@@ -1,0 +1,59 @@
+// Ablation: the two read-path optimizations the paper calls out in §5.2/§5.3
+// — path compression on DAG traversals and the check_DAG early exit — plus
+// the cost of dependency tracking itself on the update path.
+//
+// Rows: full CPLDS, no path compression, no early exit, neither, and
+// tracking disabled entirely (update-path floor; reads no longer
+// linearizable, shown for the update-time delta only).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace cpkcore;
+using namespace cpkcore::bench;
+
+struct Variant {
+  const char* name;
+  bool track;
+  bool compression;
+  bool early_exit;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: dependency-DAG read-path optimizations (dblp, insertions, "
+      "scale=%.2f, batch=%zu)\n\n",
+      harness::scale_factor(), batch_size());
+
+  const Variant variants[] = {
+      {"CPLDS (full)", true, true, true},
+      {"no path compression", true, false, true},
+      {"no early exit", true, true, false},
+      {"neither optimization", true, false, false},
+      {"no tracking (floor)", false, true, true},
+  };
+
+  harness::Table table({"Variant", "Avg read", "p99 read", "p99.99 read",
+                        "Avg batch update"});
+  for (const Variant& v : variants) {
+    harness::ExperimentSpec spec =
+        standard_spec("dblp", UpdateKind::kInsert,
+                      v.track ? ReadMode::kCplds : ReadMode::kNonSync);
+    spec.cplds_options.track_dependencies = v.track;
+    spec.cplds_options.path_compression = v.compression;
+    spec.cplds_options.early_exit = v.early_exit;
+    auto out = harness::run_experiment(spec);
+    const auto& lat = out.result.latency;
+    table.add_row(
+        {v.name, harness::fmt_seconds(lat.mean_ns() * 1e-9),
+         harness::fmt_seconds(static_cast<double>(lat.p99_ns()) * 1e-9),
+         harness::fmt_seconds(static_cast<double>(lat.p9999_ns()) * 1e-9),
+         harness::fmt_seconds(out.result.avg_batch_seconds())});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: the level-cap optimization (the original PLDS code's "-opt"
+// flag, our LDSParams::levels_per_group_cap). Fewer levels per group makes
+// update batches cheaper (shorter cascades) but loosens the approximation.
+// The paper runs its evaluation with -opt 20 and notes the accuracy cost.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/batch.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace cpkcore;
+using namespace cpkcore::bench;
+
+struct Row {
+  int cap;
+  double avg_batch_s;
+  harness::AccuracyStats acc;
+};
+
+Row run(int cap) {
+  auto data = harness::make_dataset("dblp");
+  auto params = LDSParams::create(data.num_vertices, 0.2, 9.0, cap);
+  CPLDS ds(data.num_vertices, params);
+
+  auto stream = insertion_stream(data.edges, batch_size(), 3);
+  if (stream.size() > max_batches()) stream.resize(max_batches());
+
+  harness::WorkloadConfig cfg;
+  cfg.mode = ReadMode::kCplds;
+  cfg.reader_threads = reader_threads();
+  cfg.seed = 5;
+  cfg.sample_stride = 16;
+  cfg.record_boundary_exact = true;
+  auto result = harness::run_workload(ds, stream, cfg);
+
+  Row row;
+  row.cap = cap;
+  row.avg_batch_s = result.avg_batch_seconds();
+  row.acc = harness::evaluate_accuracy(result.samples, result.boundary_exact,
+                                       params, result.window_base);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: levels-per-group cap (PLDS \"-opt\") on dblp insertions "
+      "(scale=%.2f, batch=%zu)\n\n",
+      harness::scale_factor(), batch_size());
+  harness::Table table({"Cap", "Levels/group", "Avg batch update",
+                        "Avg read error", "Max read error"});
+  for (int cap : {0, 64, 32, 20, 8}) {
+    auto row = run(cap);
+    const auto params = LDSParams::create(
+        harness::make_dataset("dblp").num_vertices, 0.2, 9.0, cap);
+    table.add_row({cap == 0 ? "theory" : std::to_string(cap),
+                   std::to_string(params.levels_per_group()),
+                   harness::fmt_seconds(row.avg_batch_s),
+                   harness::fmt_double(row.acc.avg_error, 3),
+                   harness::fmt_double(row.acc.max_error, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 4: read latency (avg / p99 / p99.99) as a function of insertion
+// batch size, on the dblp-like and yt-like datasets, for all three read
+// strategies. The paper sweeps batch sizes 1e2..1e6; we sweep the same
+// decades scaled to the synthetic dataset sizes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cpkcore;
+  using namespace cpkcore::bench;
+
+  std::vector<std::size_t> sizes = {100, 1000, 10000, 100000};
+  std::printf(
+      "Figure 4: read latency vs insertion batch size "
+      "(scale=%.2f, %zu readers / %zu writers)\n\n",
+      harness::scale_factor(), reader_threads(), writer_workers());
+
+  for (const char* name : {"yt", "dblp"}) {
+    std::printf("-- %s --\n", name);
+    harness::Table table({"Batch size", "Algorithm", "Avg", "p99", "p99.99"});
+    for (std::size_t bs : sizes) {
+      for (ReadMode mode :
+           {ReadMode::kCplds, ReadMode::kSyncReads, ReadMode::kNonSync}) {
+        auto spec = standard_spec(name, UpdateKind::kInsert, mode);
+        spec.batch_size = bs;
+        // Keep total inserted edges comparable across batch sizes.
+        spec.max_batches = std::max<std::size_t>(1, 40000 / bs);
+        auto out = run_trials(spec);
+        const auto& lat = out.result.latency;
+        table.add_row({std::to_string(bs), std::string(to_string(mode)),
+                       harness::fmt_seconds(lat.mean_ns() * 1e-9),
+                       harness::fmt_seconds(
+                           static_cast<double>(lat.p99_ns()) * 1e-9),
+                       harness::fmt_seconds(
+                           static_cast<double>(lat.p9999_ns()) * 1e-9)});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

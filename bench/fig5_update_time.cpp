@@ -1,0 +1,40 @@
+// Figure 5: average and maximum batch update time for insertions and
+// deletions across datasets and read strategies.
+//
+// Paper's shape: NonSync is fastest (no descriptor maintenance), CPLDS at
+// most ~1.48x slower, SyncReads sometimes slowest because queued reads
+// execute inside the measured update window.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cpkcore;
+  using namespace cpkcore::bench;
+  std::printf(
+      "Figure 5: batch update time (secs) "
+      "(scale=%.2f, batch=%zu, %zu readers / %zu writers)\n\n",
+      harness::scale_factor(), batch_size(), reader_threads(),
+      writer_workers());
+
+  for (UpdateKind kind : {UpdateKind::kInsert, UpdateKind::kDelete}) {
+    std::printf("-- %s --\n", kind_name(kind));
+    harness::Table table({"Graph", "Algorithm", "Avg batch", "Max batch",
+                          "Marked vertices (last)"});
+    for (const auto& name : harness::dataset_names()) {
+      for (ReadMode mode :
+           {ReadMode::kCplds, ReadMode::kSyncReads, ReadMode::kNonSync}) {
+        auto spec = standard_spec(name, kind, mode);
+        auto out = run_trials(spec);
+        table.add_row(
+            {name, std::string(to_string(mode)),
+             harness::fmt_seconds(out.result.avg_batch_seconds()),
+             harness::fmt_seconds(out.result.max_batch_seconds()),
+             std::to_string(out.last_stats.marked_vertices)});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 7: reader and writer throughput scalability on dblp-like and
+// lj-like graphs. Writer scalability fixes the reader count and sweeps
+// scheduler workers; reader scalability fixes the workers and sweeps reader
+// threads. Thread counts follow the paper: {1, 2, 4, 8, 15}.
+//
+// Paper's shape: NonSync has the highest read throughput (no DAG
+// traversal), CPLDS within ~2.2x; writer throughput of CPLDS trails the
+// baselines by the descriptor-maintenance overhead.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace cpkcore;
+using namespace cpkcore::bench;
+
+void sweep(const std::string& dataset, UpdateKind kind, bool sweep_readers) {
+  const std::vector<std::size_t> counts = {1, 2, 4, 8, 15};
+  harness::Table table({sweep_readers ? "Reader threads" : "Writer threads",
+                        "Algorithm", "Read thpt (reads/s)",
+                        "Write thpt (edges/s)"});
+  for (std::size_t c : counts) {
+    for (ReadMode mode :
+         {ReadMode::kCplds, ReadMode::kSyncReads, ReadMode::kNonSync}) {
+      auto spec = standard_spec(dataset, kind, mode);
+      if (sweep_readers) {
+        spec.workload.reader_threads = c;
+        spec.writer_workers = 15;
+      } else {
+        spec.workload.reader_threads = 15;
+        spec.writer_workers = c;
+      }
+      auto out = run_trials(spec);
+      table.add_row({std::to_string(c), std::string(to_string(mode)),
+                     harness::fmt_si(out.result.read_throughput()),
+                     harness::fmt_si(out.result.write_throughput())});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 7: reader/writer throughput scalability "
+      "(scale=%.2f, batch=%zu)\n\n",
+      harness::scale_factor(), batch_size());
+  for (const char* name : {"dblp", "lj"}) {
+    for (UpdateKind kind : {UpdateKind::kInsert, UpdateKind::kDelete}) {
+      std::printf("-- %s, %s, writer sweep (15 readers) --\n", name,
+                  kind_name(kind));
+      sweep(name, kind, /*sweep_readers=*/false);
+      std::printf("-- %s, %s, reader sweep (15 writers) --\n", name,
+                  kind_name(kind));
+      sweep(name, kind, /*sweep_readers=*/true);
+    }
+  }
+  return 0;
+}

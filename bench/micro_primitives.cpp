@@ -1,0 +1,143 @@
+// google-benchmark micro suite: the hot primitives under the CPLDS — read
+// path (quiescent and descriptor-marked), union-find operations, descriptor
+// words, latency histogram recording, and the parallel runtime.
+#include <benchmark/benchmark.h>
+
+#include "concurrent/descriptor_table.hpp"
+#include "concurrent/union_find.hpp"
+#include "core/cplds.hpp"
+#include "graph/generators.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/sort.hpp"
+#include "util/latency_histogram.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cpkcore;
+
+void BM_ReadCorenessQuiescent(benchmark::State& state) {
+  static CPLDS* ds = [] {
+    auto* d = new CPLDS(10000, LDSParams::create(10000));
+    d->insert_batch(gen::barabasi_albert(10000, 6, 1));
+    return d;
+  }();
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ds->read_coreness(static_cast<vertex_t>(rng.next_below(10000))));
+  }
+}
+BENCHMARK(BM_ReadCorenessQuiescent);
+
+void BM_ReadCorenessNonSync(benchmark::State& state) {
+  static CPLDS* ds = [] {
+    auto* d = new CPLDS(10000, LDSParams::create(10000));
+    d->insert_batch(gen::barabasi_albert(10000, 6, 1));
+    return d;
+  }();
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds->read_coreness_nonsync(
+        static_cast<vertex_t>(rng.next_below(10000))));
+  }
+}
+BENCHMARK(BM_ReadCorenessNonSync);
+
+void BM_UnionFindFind(benchmark::State& state) {
+  ConcurrentUnionFind uf(100000);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 80000; ++i) {
+    uf.unite(static_cast<vertex_t>(rng.next_below(100000)),
+             static_cast<vertex_t>(rng.next_below(100000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        uf.find(static_cast<vertex_t>(rng.next_below(100000))));
+  }
+}
+BENCHMARK(BM_UnionFindFind);
+
+void BM_UnionFindUnite(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ConcurrentUnionFind uf(4096);
+    state.ResumeTiming();
+    for (int i = 0; i < 4096; ++i) {
+      uf.unite(static_cast<vertex_t>(rng.next_below(4096)),
+               static_cast<vertex_t>(rng.next_below(4096)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_UnionFindUnite);
+
+void BM_DescriptorMarkUnmark(benchmark::State& state) {
+  DescriptorTable desc(1024);
+  vertex_t v = 0;
+  for (auto _ : state) {
+    desc.mark(v, 7, 1);
+    desc.unmark(v);
+    v = (v + 1) & 1023;
+  }
+}
+BENCHMARK(BM_DescriptorMarkUnmark);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    hist.record(rng.next_below(1 << 20));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ParallelFor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    parallel_for(0, n, [&](std::size_t i) { out[i] = i * 2654435761u; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_ParallelFor)->Arg(1 << 12)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_ParallelSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(5);
+  std::vector<std::uint64_t> base(n);
+  for (auto& b : base) b = rng.next();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = base;
+    state.ResumeTiming();
+    parallel_sort(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_InsertBatch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  auto edges = gen::barabasi_albert(20000, 6, 6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CPLDS ds(20000, LDSParams::create(20000));
+    std::vector<Edge> slice(
+        edges.begin(),
+        edges.begin() + static_cast<std::ptrdiff_t>(
+                            std::min(batch, edges.size())));
+    state.ResumeTiming();
+    ds.insert_batch(std::move(slice));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
+}
+BENCHMARK(BM_InsertBatch)->Arg(1 << 10)->Arg(1 << 14)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,205 @@
+// Interactive CLI over the CPLDS: load or generate a graph, apply edge and
+// vertex updates in batches, and query coreness estimates (with the exact
+// oracle available for comparison). Reads commands from stdin; run with no
+// arguments for a demo script.
+//
+//   $ ./example_dynamic_kcore_cli            # runs the built-in demo
+//   $ echo "gen ba 1000 4 7
+//           query 12
+//           insert 12 13
+//           exact 12
+//           stats
+//           quit" | ./example_dynamic_kcore_cli -
+//
+// Commands:
+//   gen ba <n> <edges_per_vertex> <seed>   generate Barabasi-Albert
+//   gen er <n> <m> <seed>                  generate Erdos-Renyi
+//   gen grid <side>                        generate triangulated grid
+//   load <path>                            load an edge-list file
+//   insert <u> <v> | delete <u> <v>        single-edge batch
+//   batch insert|delete <u1> <v1> <u2> <v2> ...   multi-edge batch
+//   delv <v> [...]                         delete vertices
+//   query <v>                              approximate coreness (CPLDS read)
+//   exact <v>                              exact coreness (full peel)
+//   stats                                  n, m, batch number, max estimate
+//   quit
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/cplds.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "kcore/peel.hpp"
+
+namespace {
+
+using namespace cpkcore;
+
+struct Session {
+  std::unique_ptr<CPLDS> ds;
+  std::unique_ptr<DynamicGraph> mirror;  // for the exact oracle
+
+  void reset(vertex_t n, std::vector<Edge> edges) {
+    ds = std::make_unique<CPLDS>(n, LDSParams::create(n));
+    mirror = std::make_unique<DynamicGraph>(n);
+    auto applied = ds->insert_batch(edges);
+    mirror->insert_batch(applied);
+    std::printf("graph ready: n=%u m=%zu\n", n, ds->num_edges());
+  }
+
+  bool ready() const { return ds != nullptr; }
+};
+
+bool handle(Session& s, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd) || cmd[0] == '#') return true;
+  if (cmd == "quit" || cmd == "exit") return false;
+
+  if (cmd == "gen") {
+    std::string family;
+    in >> family;
+    if (family == "ba") {
+      vertex_t n;
+      std::size_t epv;
+      std::uint64_t seed;
+      if (in >> n >> epv >> seed) {
+        s.reset(n, gen::barabasi_albert(n, epv, seed));
+      }
+    } else if (family == "er") {
+      vertex_t n;
+      std::size_t m;
+      std::uint64_t seed;
+      if (in >> n >> m >> seed) s.reset(n, gen::erdos_renyi(n, m, seed));
+    } else if (family == "grid") {
+      vertex_t side;
+      if (in >> side) s.reset(side * side, gen::grid_2d(side, side, true));
+    } else {
+      std::printf("unknown family '%s' (ba|er|grid)\n", family.c_str());
+    }
+    return true;
+  }
+  if (cmd == "load") {
+    std::string path;
+    if (in >> path) {
+      try {
+        auto file = read_edge_list(path);
+        s.reset(file.num_vertices, std::move(file.edges));
+      } catch (const std::exception& e) {
+        std::printf("error: %s\n", e.what());
+      }
+    }
+    return true;
+  }
+  if (!s.ready()) {
+    std::printf("no graph loaded; use gen/load first\n");
+    return true;
+  }
+
+  if (cmd == "insert" || cmd == "delete") {
+    vertex_t u, v;
+    if (in >> u >> v) {
+      UpdateBatch b{cmd == "insert" ? UpdateKind::kInsert
+                                    : UpdateKind::kDelete,
+                    {{u, v}}};
+      auto applied = s.ds->apply(b);
+      if (b.kind == UpdateKind::kInsert) {
+        s.mirror->insert_batch(applied);
+      } else {
+        s.mirror->delete_batch(applied);
+      }
+      std::printf("%s (%u,%u): %s; m=%zu\n", cmd.c_str(), u, v,
+                  applied.empty() ? "no-op" : "ok", s.ds->num_edges());
+    }
+    return true;
+  }
+  if (cmd == "batch") {
+    std::string kind;
+    in >> kind;
+    std::vector<Edge> edges;
+    vertex_t u, v;
+    while (in >> u >> v) edges.push_back({u, v});
+    UpdateBatch b{kind == "delete" ? UpdateKind::kDelete
+                                   : UpdateKind::kInsert,
+                  std::move(edges)};
+    auto applied = s.ds->apply(b);
+    if (b.kind == UpdateKind::kInsert) {
+      s.mirror->insert_batch(applied);
+    } else {
+      s.mirror->delete_batch(applied);
+    }
+    std::printf("batch %s: %zu applied; m=%zu\n", kind.c_str(),
+                applied.size(), s.ds->num_edges());
+    return true;
+  }
+  if (cmd == "delv") {
+    std::vector<vertex_t> victims;
+    vertex_t v;
+    while (in >> v) victims.push_back(v);
+    auto removed = s.ds->delete_vertices(victims);
+    s.mirror->delete_batch(removed);
+    std::printf("deleted %zu vertices (%zu incident edges); m=%zu\n",
+                victims.size(), removed.size(), s.ds->num_edges());
+    return true;
+  }
+  if (cmd == "query") {
+    vertex_t v;
+    if (in >> v && v < s.ds->num_vertices()) {
+      std::printf("coreness_estimate(%u) = %.3f  (level %d)\n", v,
+                  s.ds->read_coreness(v), s.ds->read_level(v));
+    }
+    return true;
+  }
+  if (cmd == "exact") {
+    vertex_t v;
+    if (in >> v && v < s.ds->num_vertices()) {
+      const auto coreness = exact_coreness(*s.mirror);
+      std::printf("exact_coreness(%u) = %u  (estimate %.3f)\n", v,
+                  coreness[v], s.ds->read_coreness(v));
+    }
+    return true;
+  }
+  if (cmd == "stats") {
+    double max_est = 0;
+    for (vertex_t w = 0; w < s.ds->num_vertices(); ++w) {
+      max_est = std::max(max_est, s.ds->read_coreness_nonsync(w));
+    }
+    std::printf("n=%u m=%zu batches=%llu max_estimate=%.3f approx_bound=%.2f\n",
+                s.ds->num_vertices(), s.ds->num_edges(),
+                static_cast<unsigned long long>(s.ds->batch_number()),
+                max_est, s.ds->params().approx_factor());
+    return true;
+  }
+  std::printf("unknown command '%s'\n", cmd.c_str());
+  return true;
+}
+
+int run_demo() {
+  Session s;
+  const char* script[] = {
+      "gen ba 5000 4 7",   "query 17",        "insert 17 42",
+      "query 17",          "exact 17",        "batch insert 1 2 2 3 3 1",
+      "delv 42",           "query 42",        "stats",
+  };
+  for (const char* line : script) {
+    std::printf("> %s\n", line);
+    handle(s, line);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return run_demo();
+  Session s;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!handle(s, line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// The paper's §9 related problems, driven live off the dynamic structure:
+// maintain a CPLDS under update batches, and after each batch derive a low
+// out-degree orientation, an O(alpha)-coloring, a maximal matching, and an
+// approximate densest subgraph from the same level snapshot.
+//
+//   $ ./example_graph_applications
+#include <cstdio>
+
+#include "apps/coloring.hpp"
+#include "apps/densest.hpp"
+#include "apps/matching.hpp"
+#include "apps/orientation.hpp"
+#include "core/cplds.hpp"
+#include "graph/batch.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace cpkcore;
+
+  constexpr vertex_t kN = 8000;
+  auto edges = gen::social(kN, 5, 8, 60, 0.9, 11);
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto stream = insertion_stream(edges, edges.size() / 4 + 1, 13);
+
+  std::printf("%-8s %-8s %-12s %-8s %-10s %-10s\n", "batch", "edges",
+              "max outdeg", "colors", "matching", "densest");
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ds.apply(stream[i]);
+    const auto& plds = ds.plds();
+
+    auto orientation = apps::extract_orientation(plds);
+    auto coloring = apps::level_order_coloring(plds);
+    auto matching = apps::maximal_matching(plds, 3);
+    auto densest = apps::approx_densest_subgraph(plds);
+
+    std::printf("%-8zu %-8zu %-12zu %-8u %-10zu %-10.2f\n", i,
+                ds.num_edges(), orientation.max_out_degree(),
+                coloring.num_colors, matching.size(), densest.density);
+  }
+  std::printf(
+      "\nAll four structures derive from the same level snapshot the\n"
+      "k-core estimates come from; no extra graph traversal state needed.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "apps/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cpkcore::apps {
+
+Coloring level_order_coloring(const PLDS& plds) {
+  const vertex_t n = plds.num_vertices();
+  std::vector<vertex_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](vertex_t a, vertex_t b) {
+    const level_t la = plds.level(a);
+    const level_t lb = plds.level(b);
+    return la != lb ? la > lb : a > b;
+  });
+
+  Coloring c;
+  c.color.assign(n, ~color_t{0});
+  std::vector<std::uint32_t> taken_stamp;
+  std::uint32_t stamp = 0;
+  for (vertex_t v : order) {
+    ++stamp;
+    // Mark colors taken by already-colored neighbors. Only `up` neighbors
+    // (same level with larger id, or higher level) can be colored already,
+    // so the scan and the palette are bounded by the up-degree.
+    const auto up = plds.up_neighbors(v);
+    if (taken_stamp.size() < up.size() + 1) {
+      taken_stamp.resize(up.size() + 1, 0);
+    }
+    const level_t lv = plds.level(v);
+    for (vertex_t w : up) {
+      const level_t lw = plds.level(w);
+      const bool colored_before = lw > lv || (lw == lv && w > v);
+      if (!colored_before) continue;
+      const color_t cw = c.color[w];
+      if (cw < taken_stamp.size()) taken_stamp[cw] = stamp;
+    }
+    color_t pick = 0;
+    while (pick < taken_stamp.size() && taken_stamp[pick] == stamp) ++pick;
+    c.color[v] = pick;
+    c.num_colors = std::max(c.num_colors, pick + 1);
+  }
+  return c;
+}
+
+bool is_proper(const PLDS& plds, const Coloring& coloring) {
+  for (vertex_t v = 0; v < plds.num_vertices(); ++v) {
+    for (vertex_t w : plds.neighbors(v)) {
+      if (coloring.color[v] == coloring.color[w]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cpkcore::apps

@@ -1,0 +1,28 @@
+// Greedy vertex coloring driven by the level structure (paper §9). Coloring
+// vertices in decreasing level order (ties by id) means each vertex only
+// competes with its already-colored `up` neighbors, so the color count is
+// bounded by 1 + max Invariant-1 threshold — an O(alpha)-coloring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plds/plds.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore::apps {
+
+using color_t = std::uint32_t;
+
+struct Coloring {
+  std::vector<color_t> color;
+  color_t num_colors = 0;
+};
+
+/// Colors a quiescent snapshot. Deterministic.
+Coloring level_order_coloring(const PLDS& plds);
+
+/// True iff no edge of the snapshot is monochromatic (test helper).
+bool is_proper(const PLDS& plds, const Coloring& coloring);
+
+}  // namespace cpkcore::apps

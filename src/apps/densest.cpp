@@ -1,0 +1,74 @@
+#include "apps/densest.hpp"
+
+#include <algorithm>
+
+#include "parallel/primitives.hpp"
+#include "util/flat_set.hpp"
+
+namespace cpkcore::apps {
+
+double induced_density(const PLDS& plds,
+                       const std::vector<vertex_t>& vertices) {
+  if (vertices.empty()) return 0;
+  IntSet<vertex_t> members;
+  for (vertex_t v : vertices) members.insert(v);
+  std::size_t twice_edges = 0;
+  for (vertex_t v : vertices) {
+    for (vertex_t w : plds.neighbors(v)) {
+      twice_edges += members.contains(w) ? 1 : 0;
+    }
+  }
+  return static_cast<double>(twice_edges) /
+         (2.0 * static_cast<double>(vertices.size()));
+}
+
+DensestResult approx_densest_subgraph(const PLDS& plds) {
+  const vertex_t n = plds.num_vertices();
+  const auto& params = plds.params();
+
+  // Sort vertices by level once; sweep suffixes at group boundaries. For a
+  // suffix S_L = {v : level(v) >= L}, the induced edge count is the number
+  // of (v, up-neighbor) pairs with both endpoints in S_L, computable from
+  // each member's up-degree restricted to S_L. Since up-neighbors of a
+  // member are at >= its level >= L, every up-neighbor is in S_L:
+  // |E(S_L)| = sum over v in S_L of |up(v)| minus same-level double counts.
+  std::vector<vertex_t> by_level(n);
+  for (vertex_t v = 0; v < n; ++v) by_level[v] = v;
+  std::sort(by_level.begin(), by_level.end(), [&](vertex_t a, vertex_t b) {
+    return plds.level(a) > plds.level(b);
+  });
+
+  DensestResult best;
+  std::size_t suffix_size = 0;
+  std::size_t suffix_half_edges = 0;  // up-edges, same-level counted twice
+  std::size_t idx = 0;
+  level_t prev_boundary = params.num_levels();
+  // Walk boundaries downward one group at a time.
+  for (int g = params.num_groups() - 1; g >= 0; --g) {
+    const level_t boundary = g * params.levels_per_group();
+    while (idx < by_level.size() && plds.level(by_level[idx]) >= boundary) {
+      const vertex_t v = by_level[idx];
+      // Count up-neighbors, splitting same-level (double-counted when both
+      // endpoints are in the suffix) from strictly-higher.
+      const level_t lv = plds.level(v);
+      for (vertex_t w : plds.up_neighbors(v)) {
+        suffix_half_edges += (plds.level(w) == lv) ? 1 : 2;
+      }
+      ++suffix_size;
+      ++idx;
+    }
+    if (suffix_size == 0 || boundary == prev_boundary) continue;
+    prev_boundary = boundary;
+    const double density = static_cast<double>(suffix_half_edges) /
+                           (2.0 * static_cast<double>(suffix_size));
+    if (density > best.density) {
+      best.density = density;
+      best.vertices.assign(by_level.begin(),
+                           by_level.begin() +
+                               static_cast<std::ptrdiff_t>(suffix_size));
+    }
+  }
+  return best;
+}
+
+}  // namespace cpkcore::apps

@@ -1,0 +1,28 @@
+// Approximate densest subgraph from the level structure (paper §9). The
+// classic peeling connection: among the "suffix" subgraphs induced by all
+// vertices at level >= L (one candidate per group boundary), the best
+// density is a 2(1+epsilon)-approximation of the maximum subgraph density,
+// because the level structure is a refinement of the peeling order.
+#pragma once
+
+#include <vector>
+
+#include "plds/plds.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore::apps {
+
+struct DensestResult {
+  std::vector<vertex_t> vertices;  ///< members of the best suffix subgraph
+  double density = 0;              ///< edges / vertices of that subgraph
+};
+
+/// Sweeps the group boundaries of a quiescent snapshot and returns the
+/// densest suffix subgraph.
+DensestResult approx_densest_subgraph(const PLDS& plds);
+
+/// Exact density of the subgraph induced by `vertices` (test helper).
+double induced_density(const PLDS& plds,
+                       const std::vector<vertex_t>& vertices);
+
+}  // namespace cpkcore::apps

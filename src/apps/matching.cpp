@@ -1,0 +1,98 @@
+#include "apps/matching.hpp"
+
+#include <atomic>
+
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore::apps {
+
+std::size_t Matching::size() const {
+  std::size_t matched = 0;
+  for (vertex_t m : mate) matched += (m != kNoVertex) ? 1 : 0;
+  return matched / 2;
+}
+
+namespace {
+std::uint64_t edge_priority(vertex_t u, vertex_t v, std::uint64_t seed) {
+  const Edge e = Edge{u, v}.canonical();
+  return hash64(e.key() ^ seed);
+}
+}  // namespace
+
+Matching maximal_matching(const PLDS& plds, std::uint64_t seed) {
+  const vertex_t n = plds.num_vertices();
+  Matching m;
+  m.mate.assign(n, kNoVertex);
+
+  // Live vertices: unmatched with at least one unmatched neighbor.
+  auto live = parallel_pack<vertex_t>(
+      n,
+      [&](std::size_t v) {
+        return plds.degree(static_cast<vertex_t>(v)) > 0;
+      },
+      [](std::size_t v) { return static_cast<vertex_t>(v); });
+
+  std::vector<std::atomic<vertex_t>> proposal(n);
+  while (!live.empty()) {
+    // 1. Each live vertex proposes along its minimum-priority live edge.
+    parallel_for(0, live.size(), [&](std::size_t i) {
+      const vertex_t v = live[i];
+      vertex_t best = kNoVertex;
+      std::uint64_t best_pri = ~std::uint64_t{0};
+      for (vertex_t w : plds.neighbors(v)) {
+        if (m.mate[w] != kNoVertex) continue;
+        const std::uint64_t pri = edge_priority(v, w, seed);
+        if (pri < best_pri || (pri == best_pri && w < best)) {
+          best_pri = pri;
+          best = w;
+        }
+      }
+      proposal[v].store(best, std::memory_order_relaxed);
+    });
+    // 2. Mutual proposals match.
+    parallel_for(0, live.size(), [&](std::size_t i) {
+      const vertex_t v = live[i];
+      const vertex_t w = proposal[v].load(std::memory_order_relaxed);
+      if (w != kNoVertex && w < n &&
+          proposal[w].load(std::memory_order_relaxed) == v && v < w) {
+        // Exactly one writer per pair (v < w), both slots disjoint.
+        m.mate[v] = w;
+        m.mate[w] = v;
+      }
+    });
+    // 3. Drop matched vertices and vertices with no unmatched neighbor.
+    live = parallel_filter(live, [&](vertex_t v) {
+      if (m.mate[v] != kNoVertex) return false;
+      for (vertex_t w : plds.neighbors(v)) {
+        if (m.mate[w] == kNoVertex) return true;
+      }
+      return false;
+    });
+  }
+  return m;
+}
+
+bool is_valid_matching(const PLDS& plds, const Matching& m) {
+  for (vertex_t v = 0; v < plds.num_vertices(); ++v) {
+    const vertex_t w = m.mate[v];
+    if (w == kNoVertex) continue;
+    if (w >= plds.num_vertices()) return false;
+    if (m.mate[w] != v) return false;
+    if (!plds.has_edge(v, w)) return false;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const PLDS& plds, const Matching& m) {
+  for (vertex_t v = 0; v < plds.num_vertices(); ++v) {
+    if (m.mate[v] != kNoVertex) continue;
+    for (vertex_t w : plds.neighbors(v)) {
+      if (m.mate[w] == kNoVertex) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cpkcore::apps

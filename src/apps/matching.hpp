@@ -1,0 +1,31 @@
+// Parallel maximal matching (paper §9). Random-priority symmetry breaking:
+// in each round every unmatched vertex proposes along its minimum-priority
+// incident live edge; edges chosen by both endpoints join the matching.
+// Expected O(log n) rounds (Luby-style), each round fully parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plds/plds.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore::apps {
+
+struct Matching {
+  /// mate[v] = matched partner, or kNoVertex.
+  std::vector<vertex_t> mate;
+
+  [[nodiscard]] std::size_t size() const;
+};
+
+/// Computes a maximal matching of a quiescent snapshot. Deterministic for a
+/// fixed seed.
+Matching maximal_matching(const PLDS& plds, std::uint64_t seed = 1);
+
+/// Test helpers: validity (mates are mutual, edges exist) and maximality
+/// (no edge with both endpoints unmatched).
+bool is_valid_matching(const PLDS& plds, const Matching& m);
+bool is_maximal_matching(const PLDS& plds, const Matching& m);
+
+}  // namespace cpkcore::apps

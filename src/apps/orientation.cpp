@@ -1,0 +1,44 @@
+#include "apps/orientation.hpp"
+
+#include <algorithm>
+
+#include "parallel/scheduler.hpp"
+
+namespace cpkcore::apps {
+
+std::size_t Orientation::max_out_degree() const {
+  std::size_t mx = 0;
+  for (const auto& o : out) mx = std::max(mx, o.size());
+  return mx;
+}
+
+std::size_t Orientation::num_edges() const {
+  std::size_t m = 0;
+  for (const auto& o : out) m += o.size();
+  return m;
+}
+
+Orientation extract_orientation(const PLDS& plds) {
+  const vertex_t n = plds.num_vertices();
+  Orientation o;
+  o.out.resize(n);
+  parallel_for(0, n, [&](std::size_t vi) {
+    const auto v = static_cast<vertex_t>(vi);
+    const level_t lv = plds.level(v);
+    // Out-edges go to strictly-higher neighbors, or same-level neighbors
+    // with a larger id — all of which live in v's `up` bucket.
+    for (vertex_t w : plds.up_neighbors(v)) {
+      const level_t lw = plds.level(w);
+      if (lw > lv || (lw == lv && w > v)) o.out[v].push_back(w);
+    }
+    std::sort(o.out[v].begin(), o.out[v].end());
+  });
+  return o;
+}
+
+double orientation_bound(const PLDS& plds, vertex_t v) {
+  const auto& p = plds.params();
+  return p.upper_threshold(p.group_of_level(plds.level(v)));
+}
+
+}  // namespace cpkcore::apps

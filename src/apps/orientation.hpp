@@ -1,0 +1,38 @@
+// Low out-degree orientation from the level structure — the first of the
+// paper's §9 "closely related problems". Orienting every edge toward the
+// endpoint that is higher in the LDS (ties broken toward the larger id)
+// bounds each vertex's out-degree by its Invariant-1 threshold, i.e. an
+// O(alpha)-orientation where alpha is the graph's arboricity. This is the
+// classic application of the Bhattacharya et al. / Henzinger et al. level
+// structure, and what the PLDS paper (Liu et al. SPAA 2022) uses for its
+// related-problem reductions.
+#pragma once
+
+#include <vector>
+
+#include "plds/plds.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore::apps {
+
+/// An acyclic orientation: out[v] lists v's out-neighbors.
+struct Orientation {
+  std::vector<std::vector<vertex_t>> out;
+
+  [[nodiscard]] std::size_t out_degree(vertex_t v) const {
+    return out[v].size();
+  }
+  [[nodiscard]] std::size_t max_out_degree() const;
+  [[nodiscard]] std::size_t num_edges() const;
+};
+
+/// Extracts the orientation from a quiescent PLDS/CPLDS snapshot. Edge
+/// (u, v) is oriented u -> v iff level(u) < level(v), or levels are equal
+/// and u < v. Out-degree of every vertex is bounded by its up-degree, which
+/// Invariant 1 caps at (2 + 3/lambda)(1+delta)^{group(level)}.
+Orientation extract_orientation(const PLDS& plds);
+
+/// Theoretical out-degree cap for vertex v under the snapshot's invariants.
+double orientation_bound(const PLDS& plds, vertex_t v);
+
+}  // namespace cpkcore::apps

@@ -1,0 +1,8 @@
+#include "concurrent/descriptor_table.hpp"
+
+namespace cpkcore {
+static_assert(DescriptorTable::is_marked(DescriptorTable::pack(0, 0)));
+static_assert(!DescriptorTable::is_marked(DescriptorTable::kUnmarked));
+static_assert(DescriptorTable::old_level(DescriptorTable::pack(42, 7)) == 42);
+static_assert(DescriptorTable::batch_tag(DescriptorTable::pack(42, 7)) == 7);
+}  // namespace cpkcore

@@ -1,0 +1,75 @@
+// Operation-descriptor table (paper §5.1, Algorithm 1). One packed 64-bit
+// atomic word per vertex:
+//
+//   bit 63      : marked flag
+//   bits 32..62 : batch tag (low 31 bits of the batch number; diagnostic)
+//   bits 0..31  : old_level — the vertex's level before the current batch
+//
+// UNMARKED is the all-zero word. The DAG parent pointer lives in the
+// companion ConcurrentUnionFind rather than in the word itself; `mark` must
+// be preceded by a union-find reset of the vertex (see CPLDS::on_mark for
+// the required ordering: reset parent, then set the word, then union).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class DescriptorTable {
+ public:
+  using word_t = std::uint64_t;
+
+  static constexpr word_t kUnmarked = 0;
+
+  explicit DescriptorTable(vertex_t n) : words_(n) {
+    for (auto& w : words_) w.store(kUnmarked, std::memory_order_relaxed);
+  }
+
+  DescriptorTable(const DescriptorTable&) = delete;
+  DescriptorTable& operator=(const DescriptorTable&) = delete;
+
+  [[nodiscard]] vertex_t size() const {
+    return static_cast<vertex_t>(words_.size());
+  }
+
+  static constexpr word_t pack(level_t old_level, std::uint64_t batch) {
+    return (word_t{1} << 63) | ((batch & 0x7FFFFFFFULL) << 32) |
+           static_cast<std::uint32_t>(old_level);
+  }
+
+  static constexpr bool is_marked(word_t w) { return (w >> 63) != 0; }
+
+  static constexpr level_t old_level(word_t w) {
+    return static_cast<level_t>(static_cast<std::uint32_t>(w));
+  }
+
+  static constexpr std::uint64_t batch_tag(word_t w) {
+    return (w >> 32) & 0x7FFFFFFFULL;
+  }
+
+  /// Atomically loads v's descriptor word.
+  [[nodiscard]] word_t word(vertex_t v) const {
+    return words_[v].load(std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] bool marked(vertex_t v) const { return is_marked(word(v)); }
+
+  /// Marks v with its pre-batch level.
+  void mark(vertex_t v, level_t old_level_value, std::uint64_t batch) {
+    words_[v].store(pack(old_level_value, batch), std::memory_order_seq_cst);
+  }
+
+  /// Unmarks v (idempotent).
+  void unmark(vertex_t v) {
+    words_[v].store(kUnmarked, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::vector<std::atomic<word_t>> words_;
+};
+
+}  // namespace cpkcore

@@ -1,0 +1,7 @@
+#include "concurrent/union_find.hpp"
+
+// Header-only implementation; this TU verifies standalone inclusion.
+
+namespace cpkcore {
+static_assert(sizeof(ConcurrentUnionFind) > 0);
+}  // namespace cpkcore

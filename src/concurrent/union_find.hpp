@@ -1,0 +1,124 @@
+// Concurrent union-find over vertex ids (Jayanti–Tarjan style: CAS link at
+// roots, path halving/compression on find). Used to maintain the
+// dependency-DAG parent pointers of the CPLDS (paper §5.2): each marked
+// vertex points (transitively) at its DAG's single root; unions merge DAGs;
+// readers traverse parents and may compress paths concurrently with
+// updates.
+//
+// Entries are 64-bit words packing (stamp, parent). The stamp is the batch
+// number at the entry's last reset; every CAS compares the full word, so a
+// reader delayed across a batch boundary cannot corrupt the next batch's
+// DAG with a stale compression (its expected word carries the old stamp and
+// the CAS fails). This closes the cross-batch ABA that a bare parent array
+// would allow.
+//
+// Determinism: links always attach the smaller-id root under the larger-id
+// root, so the surviving root of a merged set is the maximum id — the
+// deterministic "sole root" choice the paper requires. A corollary used by
+// readers for termination: every stored parent of v is >= v, so any
+// traversal strictly ascends and finishes in < n hops even across stale
+// states.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class ConcurrentUnionFind {
+ public:
+  using word_t = std::uint64_t;
+
+  explicit ConcurrentUnionFind(vertex_t n) : words_(n) {
+    for (vertex_t v = 0; v < n; ++v) {
+      words_[v].store(pack(0, v), std::memory_order_relaxed);
+    }
+  }
+
+  ConcurrentUnionFind(const ConcurrentUnionFind&) = delete;
+  ConcurrentUnionFind& operator=(const ConcurrentUnionFind&) = delete;
+
+  [[nodiscard]] vertex_t size() const {
+    return static_cast<vertex_t>(words_.size());
+  }
+
+  static constexpr word_t pack(std::uint64_t stamp, vertex_t parent) {
+    return (stamp << 32) | parent;
+  }
+  static constexpr vertex_t parent_of(word_t w) {
+    return static_cast<vertex_t>(w & 0xFFFFFFFFULL);
+  }
+  static constexpr std::uint32_t stamp_of(word_t w) {
+    return static_cast<std::uint32_t>(w >> 32);
+  }
+
+  /// Makes v a singleton root, tagged with `stamp` (low 32 bits used).
+  void reset(vertex_t v, std::uint64_t stamp) {
+    words_[v].store(pack(stamp & 0xFFFFFFFFULL, v),
+                    std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] word_t word(vertex_t v) const {
+    return words_[v].load(std::memory_order_seq_cst);
+  }
+
+  /// Raw parent pointer (one hop). parent(v) == v iff v is a root.
+  [[nodiscard]] vertex_t parent(vertex_t v) const {
+    return parent_of(word(v));
+  }
+
+  /// Root of v's set, with path halving. Safe concurrently with unite/find
+  /// and reader compression.
+  vertex_t find(vertex_t v) {
+    for (;;) {
+      word_t wv = words_[v].load(std::memory_order_seq_cst);
+      const vertex_t p = parent_of(wv);
+      if (p == v) return v;
+      const word_t wp = words_[p].load(std::memory_order_seq_cst);
+      const vertex_t gp = parent_of(wp);
+      if (gp == p) return p;
+      // Halving: splice v past its parent, preserving v's stamp. Failure is
+      // benign; continue from p either way.
+      words_[v].compare_exchange_weak(wv, pack(stamp_of(wv), gp),
+                                      std::memory_order_seq_cst);
+      v = p;
+    }
+  }
+
+  /// Best-effort reader-side compression: repoint v at `new_parent` if its
+  /// word is still exactly `expected` (same stamp and parent).
+  void compress(vertex_t v, word_t expected, vertex_t new_parent) {
+    words_[v].compare_exchange_strong(
+        expected, pack(stamp_of(expected), new_parent),
+        std::memory_order_seq_cst);
+  }
+
+  /// Merges the sets of u and v. Lock-free; the surviving root is the
+  /// maximum id among the roots at link time.
+  void unite(vertex_t u, vertex_t v) {
+    for (;;) {
+      vertex_t ru = find(u);
+      vertex_t rv = find(v);
+      if (ru == rv) return;
+      if (ru > rv) std::swap(ru, rv);  // link smaller under larger
+      word_t expected = words_[ru].load(std::memory_order_seq_cst);
+      if (parent_of(expected) != ru) continue;  // lost root status; retry
+      if (words_[ru].compare_exchange_strong(
+              expected, pack(stamp_of(expected), rv),
+              std::memory_order_seq_cst)) {
+        return;
+      }
+    }
+  }
+
+  /// True iff u and v are currently in the same set (quiescent use only).
+  bool same_set(vertex_t u, vertex_t v) { return find(u) == find(v); }
+
+ private:
+  std::vector<std::atomic<word_t>> words_;
+};
+
+}  // namespace cpkcore

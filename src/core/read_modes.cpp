@@ -1,0 +1,51 @@
+#include "core/read_modes.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace cpkcore {
+
+std::string_view to_string(ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kCplds:
+      return "CPLDS";
+    case ReadMode::kSyncReads:
+      return "SyncReads";
+    case ReadMode::kNonSync:
+      return "NonSync";
+  }
+  return "?";
+}
+
+ReadMode parse_read_mode(std::string_view name) {
+  if (name == "cplds" || name == "CPLDS") return ReadMode::kCplds;
+  if (name == "sync" || name == "SyncReads") return ReadMode::kSyncReads;
+  if (name == "nonsync" || name == "NonSync") return ReadMode::kNonSync;
+  throw std::invalid_argument("unknown read mode: " + std::string(name));
+}
+
+double read_with_mode(const CPLDS& ds, vertex_t v, ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kCplds:
+      return ds.read_coreness(v);
+    case ReadMode::kSyncReads:
+      return ds.read_coreness_sync(v);
+    case ReadMode::kNonSync:
+      return ds.read_coreness_nonsync(v);
+  }
+  return 0.0;
+}
+
+level_t read_level_with_mode(const CPLDS& ds, vertex_t v, ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kCplds:
+      return ds.read_level(v);
+    case ReadMode::kSyncReads:
+      return ds.read_level_sync(v);
+    case ReadMode::kNonSync:
+      return ds.read_level_nonsync(v);
+  }
+  return kNoLevel;
+}
+
+}  // namespace cpkcore

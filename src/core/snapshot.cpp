@@ -1,0 +1,62 @@
+#include "core/snapshot.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cpkcore {
+
+namespace {
+constexpr char kMagic[] = "cpkcore-snapshot-v1";
+}
+
+void save_snapshot(const CPLDS& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << kMagic << '\n' << ds.num_vertices() << '\n';
+  // Enumerate canonical edges from the quiescent level buckets.
+  const PLDS& plds = ds.plds();
+  std::size_t written = 0;
+  for (vertex_t v = 0; v < ds.num_vertices(); ++v) {
+    for (vertex_t w : plds.neighbors(v)) {
+      if (w > v) {
+        out << v << ' ' << w << '\n';
+        ++written;
+      }
+    }
+  }
+  if (written != ds.num_edges()) {
+    throw std::runtime_error("snapshot edge count mismatch");
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::unique_ptr<CPLDS> load_snapshot(const std::string& path, double delta,
+                                     double lambda,
+                                     int levels_per_group_cap,
+                                     CPLDS::Options options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open snapshot: " + path);
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kMagic) {
+    throw std::runtime_error("bad snapshot header in " + path);
+  }
+  vertex_t n = 0;
+  if (!(in >> n) || n < 2) {
+    throw std::runtime_error("bad vertex count in " + path);
+  }
+  std::vector<Edge> edges;
+  vertex_t u = 0;
+  vertex_t v = 0;
+  while (in >> u >> v) {
+    if (u >= n || v >= n) {
+      throw std::runtime_error("edge out of range in " + path);
+    }
+    edges.push_back({u, v});
+  }
+  auto ds = std::make_unique<CPLDS>(
+      n, LDSParams::create(n, delta, lambda, levels_per_group_cap), options);
+  ds->insert_batch(std::move(edges));
+  return ds;
+}
+
+}  // namespace cpkcore

@@ -1,0 +1,28 @@
+// Quiescent snapshot save/restore for the CPLDS: persist the current edge
+// set so a service can warm-restart without replaying its whole update
+// history. The level structure itself is rebuilt on load (levels are a
+// function of the rebalancing history, not part of the logical state; after
+// reload the estimates satisfy the same approximation bound).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cplds.hpp"
+
+namespace cpkcore {
+
+/// Writes the snapshot (vertex count + canonical edge list) to `path`.
+/// Quiescent use only. Throws std::runtime_error on IO failure.
+void save_snapshot(const CPLDS& ds, const std::string& path);
+
+/// Rebuilds a CPLDS from a snapshot written by save_snapshot, applying all
+/// edges as one insertion batch under the given options.
+/// Throws std::runtime_error on IO/format errors.
+std::unique_ptr<CPLDS> load_snapshot(const std::string& path,
+                                     double delta = 0.2,
+                                     double lambda = 9.0,
+                                     int levels_per_group_cap = 0,
+                                     CPLDS::Options options = CPLDS::Options{});
+
+}  // namespace cpkcore

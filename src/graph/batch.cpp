@@ -1,0 +1,96 @@
+#include "graph/batch.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace cpkcore {
+
+namespace {
+void shuffle_edges(std::vector<Edge>& edges, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.next_below(i)]);
+  }
+}
+}  // namespace
+
+std::vector<UpdateBatch> split_batches(const std::vector<Update>& updates) {
+  std::vector<UpdateBatch> out;
+  for (const Update& u : updates) {
+    if (out.empty() || out.back().kind != u.kind) {
+      out.push_back(UpdateBatch{u.kind, {}});
+    }
+    out.back().edges.push_back(u.edge);
+  }
+  return out;
+}
+
+std::vector<UpdateBatch> insertion_stream(std::vector<Edge> edges,
+                                          std::size_t batch_size,
+                                          std::uint64_t seed) {
+  shuffle_edges(edges, seed);
+  std::vector<UpdateBatch> out;
+  for (std::size_t i = 0; i < edges.size(); i += batch_size) {
+    UpdateBatch b;
+    b.kind = UpdateKind::kInsert;
+    const std::size_t end = std::min(edges.size(), i + batch_size);
+    b.edges.assign(edges.begin() + static_cast<std::ptrdiff_t>(i),
+                   edges.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<UpdateBatch> deletion_stream(std::vector<Edge> edges,
+                                         std::size_t batch_size,
+                                         std::uint64_t seed) {
+  shuffle_edges(edges, seed);
+  std::reverse(edges.begin(), edges.end());
+  std::vector<UpdateBatch> out;
+  for (std::size_t i = 0; i < edges.size(); i += batch_size) {
+    UpdateBatch b;
+    b.kind = UpdateKind::kDelete;
+    const std::size_t end = std::min(edges.size(), i + batch_size);
+    b.edges.assign(edges.begin() + static_cast<std::ptrdiff_t>(i),
+                   edges.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<UpdateBatch> sliding_window_stream(std::vector<Edge> edges,
+                                               std::size_t window,
+                                               std::size_t batch_size,
+                                               std::uint64_t seed) {
+  shuffle_edges(edges, seed);
+  std::vector<UpdateBatch> out;
+  const std::size_t initial = std::min(window, edges.size());
+  {
+    UpdateBatch b;
+    b.kind = UpdateKind::kInsert;
+    b.edges.assign(edges.begin(),
+                   edges.begin() + static_cast<std::ptrdiff_t>(initial));
+    out.push_back(std::move(b));
+  }
+  std::size_t head = initial;   // next edge to insert
+  std::size_t tail = 0;         // next edge to delete
+  while (head < edges.size()) {
+    const std::size_t ins = std::min(batch_size, edges.size() - head);
+    UpdateBatch del;
+    del.kind = UpdateKind::kDelete;
+    del.edges.assign(edges.begin() + static_cast<std::ptrdiff_t>(tail),
+                     edges.begin() + static_cast<std::ptrdiff_t>(tail + ins));
+    out.push_back(std::move(del));
+    UpdateBatch insb;
+    insb.kind = UpdateKind::kInsert;
+    insb.edges.assign(edges.begin() + static_cast<std::ptrdiff_t>(head),
+                      edges.begin() + static_cast<std::ptrdiff_t>(head + ins));
+    out.push_back(std::move(insb));
+    head += ins;
+    tail += ins;
+  }
+  return out;
+}
+
+}  // namespace cpkcore

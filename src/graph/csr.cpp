@@ -1,0 +1,59 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "graph/dynamic_graph.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/sort.hpp"
+
+namespace cpkcore {
+
+CsrGraph CsrGraph::from_edges(vertex_t num_vertices,
+                              std::vector<Edge> edges) {
+  for (auto& e : edges) e = e.canonical();
+  std::erase_if(edges, [](const Edge& e) { return e.is_self_loop(); });
+  parallel_sort(edges);
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  CsrGraph g;
+  std::vector<std::size_t> deg(num_vertices, 0);
+  for (const Edge& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (vertex_t v = 0; v < num_vertices; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  }
+  g.neighbors_.resize(g.offsets_[num_vertices]);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.neighbors_[cursor[e.u]++] = e.v;
+    g.neighbors_[cursor[e.v]++] = e.u;
+  }
+  parallel_for(0, num_vertices, [&](std::size_t v) {
+    std::sort(g.neighbors_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.neighbors_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  });
+  return g;
+}
+
+CsrGraph CsrGraph::from_dynamic(const DynamicGraph& dyn) {
+  const vertex_t n = dyn.num_vertices();
+  CsrGraph g;
+  g.offsets_.assign(n + 1, 0);
+  for (vertex_t v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + dyn.degree(v);
+  }
+  g.neighbors_.resize(g.offsets_[n]);
+  parallel_for(0, n, [&](std::size_t v) {
+    const auto nbrs = dyn.neighbors(static_cast<vertex_t>(v));
+    std::copy(nbrs.begin(), nbrs.end(), g.neighbors_.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                g.offsets_[v]));
+  });
+  return g;
+}
+
+}  // namespace cpkcore

@@ -1,0 +1,43 @@
+// Immutable compressed-sparse-row graph snapshot: the input format for the
+// static exact k-core peeling oracle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class DynamicGraph;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an undirected edge list (canonicalized and deduped
+  /// internally).
+  static CsrGraph from_edges(vertex_t num_vertices, std::vector<Edge> edges);
+
+  /// Snapshot of a dynamic graph.
+  static CsrGraph from_dynamic(const DynamicGraph& g);
+
+  [[nodiscard]] vertex_t num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<vertex_t>(offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_edges() const { return neighbors_.size() / 2; }
+
+  [[nodiscard]] std::size_t degree(vertex_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+    return {neighbors_.data() + offsets_[v], degree(v)};
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;   // size n + 1
+  std::vector<vertex_t> neighbors_;    // size 2m, sorted within each vertex
+};
+
+}  // namespace cpkcore

@@ -1,0 +1,133 @@
+#include "graph/dynamic_graph.hpp"
+
+#include <algorithm>
+
+#include "parallel/primitives.hpp"
+#include "parallel/sort.hpp"
+
+namespace cpkcore {
+
+namespace {
+bool sorted_contains(const std::vector<vertex_t>& list, vertex_t v) {
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+void sorted_insert(std::vector<vertex_t>& list, vertex_t v) {
+  list.insert(std::lower_bound(list.begin(), list.end(), v), v);
+}
+
+void sorted_erase(std::vector<vertex_t>& list, vertex_t v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it != list.end() && *it == v) list.erase(it);
+}
+
+/// Directed half-edge used for per-endpoint grouping.
+struct Half {
+  vertex_t at;     // vertex whose adjacency list changes
+  vertex_t other;  // the neighbor being added/removed
+};
+}  // namespace
+
+bool DynamicGraph::has_edge(vertex_t u, vertex_t v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  // Probe the smaller list.
+  if (adj_[u].size() > adj_[v].size()) std::swap(u, v);
+  return sorted_contains(adj_[u], v);
+}
+
+bool DynamicGraph::insert_edge(Edge e) {
+  e = e.canonical();
+  if (e.is_self_loop() || has_edge(e.u, e.v)) return false;
+  sorted_insert(adj_[e.u], e.v);
+  sorted_insert(adj_[e.v], e.u);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::delete_edge(Edge e) {
+  e = e.canonical();
+  if (e.is_self_loop() || !has_edge(e.u, e.v)) return false;
+  sorted_erase(adj_[e.u], e.v);
+  sorted_erase(adj_[e.v], e.u);
+  --num_edges_;
+  return true;
+}
+
+std::vector<Edge> DynamicGraph::normalize(std::vector<Edge> edges) {
+  for (auto& e : edges) e = e.canonical();
+  std::erase_if(edges, [](const Edge& e) { return e.is_self_loop(); });
+  parallel_sort(edges);
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::vector<Edge> DynamicGraph::insert_batch(std::vector<Edge> edges) {
+  edges = normalize(std::move(edges));
+  auto applied = parallel_filter(
+      edges, [&](const Edge& e) { return !has_edge(e.u, e.v); });
+  if (applied.empty()) return applied;
+
+  std::vector<Half> halves(applied.size() * 2);
+  parallel_for(0, applied.size(), [&](std::size_t i) {
+    halves[2 * i] = Half{applied[i].u, applied[i].v};
+    halves[2 * i + 1] = Half{applied[i].v, applied[i].u};
+  });
+  auto groups = group_by_key(halves, [](const Half& h) { return h.at; });
+  parallel_for(0, groups.size(), [&](std::size_t g) {
+    const vertex_t at = halves[groups[g].begin].at;
+    auto& list = adj_[at];
+    for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
+      sorted_insert(list, halves[i].other);
+    }
+  });
+  num_edges_ += applied.size();
+  return applied;
+}
+
+std::vector<Edge> DynamicGraph::delete_batch(std::vector<Edge> edges) {
+  edges = normalize(std::move(edges));
+  auto applied = parallel_filter(
+      edges, [&](const Edge& e) { return has_edge(e.u, e.v); });
+  if (applied.empty()) return applied;
+
+  std::vector<Half> halves(applied.size() * 2);
+  parallel_for(0, applied.size(), [&](std::size_t i) {
+    halves[2 * i] = Half{applied[i].u, applied[i].v};
+    halves[2 * i + 1] = Half{applied[i].v, applied[i].u};
+  });
+  auto groups = group_by_key(halves, [](const Half& h) { return h.at; });
+  parallel_for(0, groups.size(), [&](std::size_t g) {
+    const vertex_t at = halves[groups[g].begin].at;
+    auto& list = adj_[at];
+    for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
+      sorted_erase(list, halves[i].other);
+    }
+  });
+  num_edges_ -= applied.size();
+  return applied;
+}
+
+std::vector<Edge> DynamicGraph::edges() const {
+  std::vector<std::size_t> counts(num_vertices());
+  parallel_for(0, num_vertices(), [&](std::size_t v) {
+    const auto& list = adj_[v];
+    counts[v] = static_cast<std::size_t>(
+        std::lower_bound(list.begin(), list.end(), static_cast<vertex_t>(v)) -
+        list.begin());
+    // Neighbors smaller than v produce canonical edges (w, v) counted at w;
+    // we emit edges (v, w) with w > v here.
+    counts[v] = list.size() - counts[v];
+  });
+  std::vector<std::size_t> offsets = counts;
+  const std::size_t total = parallel_scan_exclusive(offsets);
+  std::vector<Edge> out(total);
+  parallel_for(0, num_vertices(), [&](std::size_t v) {
+    std::size_t pos = offsets[v];
+    for (vertex_t w : adj_[v]) {
+      if (w > v) out[pos++] = Edge{static_cast<vertex_t>(v), w};
+    }
+  });
+  return out;
+}
+
+}  // namespace cpkcore

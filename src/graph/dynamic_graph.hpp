@@ -1,0 +1,64 @@
+// Dynamic undirected graph with batch-parallel edge insertion/deletion.
+// Adjacency lists are sorted vectors; batches are applied by grouping the
+// directed half-edges by endpoint and merging per vertex in parallel, so
+// each adjacency list is written by exactly one task.
+//
+// This structure is the plain-graph substrate: the exact k-core oracle and
+// tests read it. The PLDS/CPLDS maintain their own level-bucketed adjacency.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  explicit DynamicGraph(vertex_t num_vertices) : adj_(num_vertices) {}
+
+  [[nodiscard]] vertex_t num_vertices() const {
+    return static_cast<vertex_t>(adj_.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  [[nodiscard]] std::size_t degree(vertex_t v) const {
+    return adj_[v].size();
+  }
+
+  /// Sorted neighbor list of v; invalidated by updates.
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+    return adj_[v];
+  }
+
+  [[nodiscard]] bool has_edge(vertex_t u, vertex_t v) const;
+
+  /// Inserts one edge; returns false for self loops / duplicates.
+  bool insert_edge(Edge e);
+
+  /// Deletes one edge; returns false if absent.
+  bool delete_edge(Edge e);
+
+  /// Batch-inserts edges. Self loops, in-batch duplicates, and edges already
+  /// present are dropped; returns the edges actually inserted (canonical,
+  /// sorted by key).
+  std::vector<Edge> insert_batch(std::vector<Edge> edges);
+
+  /// Batch-deletes edges. In-batch duplicates and absent edges are dropped;
+  /// returns the edges actually deleted (canonical, sorted by key).
+  std::vector<Edge> delete_batch(std::vector<Edge> edges);
+
+  /// All edges in canonical form (u < v), sorted. O(m).
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+ private:
+  /// Canonicalizes, drops self loops, sorts, and dedups a batch.
+  static std::vector<Edge> normalize(std::vector<Edge> edges);
+
+  std::vector<std::vector<vertex_t>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace cpkcore

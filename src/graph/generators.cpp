@@ -1,0 +1,217 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parallel/sort.hpp"
+#include "util/flat_set.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore::gen {
+
+namespace {
+/// Canonicalize + dedup + drop self loops.
+std::vector<Edge> finalize(std::vector<Edge> edges) {
+  for (auto& e : edges) e = e.canonical();
+  std::erase_if(edges, [](const Edge& e) { return e.is_self_loop(); });
+  parallel_sort(edges);
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+}  // namespace
+
+std::vector<Edge> erdos_renyi(vertex_t n, std::size_t m, std::uint64_t seed) {
+  assert(n >= 2);
+  Xoshiro256 rng(seed);
+  FlatSet<std::uint64_t, ~std::uint64_t{0}> seen;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  const std::size_t max_edges =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  const std::size_t target = std::min(m, max_edges);
+  while (edges.size() < target) {
+    const auto u = static_cast<vertex_t>(rng.next_below(n));
+    const auto v = static_cast<vertex_t>(rng.next_below(n));
+    if (u == v) continue;
+    const Edge e = Edge{u, v}.canonical();
+    if (seen.insert(e.key())) edges.push_back(e);
+  }
+  return finalize(std::move(edges));
+}
+
+std::vector<Edge> barabasi_albert(vertex_t n, std::size_t edges_per_vertex,
+                                  std::uint64_t seed) {
+  assert(n > edges_per_vertex && edges_per_vertex >= 1);
+  Xoshiro256 rng(seed);
+  // `targets` holds one entry per half-edge endpoint; sampling uniformly
+  // from it is sampling proportional to degree.
+  std::vector<vertex_t> targets;
+  targets.reserve(2 * n * edges_per_vertex);
+  std::vector<Edge> edges;
+  edges.reserve(n * edges_per_vertex);
+
+  // Seed clique over the first edges_per_vertex + 1 vertices.
+  const auto seed_sz = static_cast<vertex_t>(edges_per_vertex + 1);
+  for (vertex_t u = 0; u < seed_sz; ++u) {
+    for (vertex_t v = u + 1; v < seed_sz; ++v) {
+      edges.push_back({u, v});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (vertex_t v = seed_sz; v < n; ++v) {
+    IntSet<vertex_t> chosen;
+    while (chosen.size() < edges_per_vertex) {
+      const vertex_t t = targets[rng.next_below(targets.size())];
+      chosen.insert(t);
+    }
+    chosen.for_each([&](vertex_t t) {
+      edges.push_back({v, t});
+      targets.push_back(v);
+      targets.push_back(t);
+    });
+  }
+  return finalize(std::move(edges));
+}
+
+std::vector<Edge> rmat(std::uint32_t log_n, std::size_t m, std::uint64_t seed,
+                       double a, double b, double c) {
+  Xoshiro256 rng(seed);
+  const vertex_t n = vertex_t{1} << log_n;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  FlatSet<std::uint64_t, ~std::uint64_t{0}> seen;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = m * 20 + 1000;
+  while (edges.size() < m && attempts++ < max_attempts) {
+    vertex_t u = 0;
+    vertex_t v = 0;
+    for (std::uint32_t bit = 0; bit < log_n; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant probabilities with a little noise to avoid strict
+      // self-similarity artifacts.
+      if (r < a) {
+        // top-left: nothing set
+      } else if (r < a + b) {
+        v |= vertex_t{1} << bit;
+      } else if (r < a + b + c) {
+        u |= vertex_t{1} << bit;
+      } else {
+        u |= vertex_t{1} << bit;
+        v |= vertex_t{1} << bit;
+      }
+    }
+    if (u == v || u >= n || v >= n) continue;
+    const Edge e = Edge{u, v}.canonical();
+    if (seen.insert(e.key())) edges.push_back(e);
+  }
+  return finalize(std::move(edges));
+}
+
+std::vector<Edge> grid_2d(vertex_t rows, vertex_t cols, bool with_diagonals) {
+  std::vector<Edge> edges;
+  auto id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+      // One diagonal per cell: triangulated grid with degeneracy exactly 3
+      // (both diagonals would give the king graph, degeneracy 4).
+      if (with_diagonals && r + 1 < rows && c + 1 < cols) {
+        edges.push_back({id(r, c), id(r + 1, c + 1)});
+      }
+    }
+  }
+  return finalize(std::move(edges));
+}
+
+std::vector<Edge> watts_strogatz(vertex_t n, std::uint32_t k, double beta,
+                                 std::uint64_t seed) {
+  assert(k % 2 == 0 && n > k);
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k / 2);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      vertex_t v = (u + j) % n;
+      if (rng.next_double() < beta) {
+        v = static_cast<vertex_t>(rng.next_below(n));
+      }
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  return finalize(std::move(edges));
+}
+
+std::vector<Edge> complete(vertex_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (vertex_t v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+std::vector<Edge> cycle(vertex_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (vertex_t u = 0; u < n; ++u) {
+    edges.push_back(Edge{u, (u + 1) % n}.canonical());
+  }
+  return finalize(std::move(edges));
+}
+
+std::vector<Edge> star(vertex_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (vertex_t v = 1; v < n; ++v) edges.push_back({0, v});
+  return edges;
+}
+
+std::vector<Edge> random_tree(vertex_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (vertex_t v = 1; v < n; ++v) {
+    const auto parent = static_cast<vertex_t>(rng.next_below(v));
+    edges.push_back({parent, v});
+  }
+  return edges;
+}
+
+std::vector<Edge> social(vertex_t n, std::size_t edges_per_vertex,
+                         std::size_t num_communities,
+                         vertex_t community_size, double density,
+                         std::uint64_t seed) {
+  auto edges = barabasi_albert(n, edges_per_vertex, seed);
+  Xoshiro256 rng(seed ^ 0xC0AA11E5ULL);
+  std::vector<vertex_t> members(community_size);
+  for (std::size_t c = 0; c < num_communities; ++c) {
+    for (auto& m : members) {
+      m = static_cast<vertex_t>(rng.next_below(n));
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (members[i] != members[j] && rng.next_double() < density) {
+          edges.push_back({members[i], members[j]});
+        }
+      }
+    }
+  }
+  return finalize(std::move(edges));
+}
+
+std::vector<Edge> disjoint_cliques(vertex_t n, vertex_t clique_size) {
+  assert(clique_size >= 2);
+  std::vector<Edge> edges;
+  for (vertex_t base = 0; base + clique_size <= n; base += clique_size) {
+    for (vertex_t i = 0; i < clique_size; ++i) {
+      for (vertex_t j = i + 1; j < clique_size; ++j) {
+        edges.push_back({base + i, base + j});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace cpkcore::gen

@@ -1,0 +1,67 @@
+// Synthetic graph generators. These stand in for the SNAP/DIMACS datasets of
+// the paper's evaluation (Table 1): Barabási–Albert and RMAT reproduce the
+// heavy-tailed degree / coreness structure of social graphs (dblp, lj,
+// orkut, twitter), Erdős–Rényi gives a flat-core control, and 2-D grids
+// reproduce the road networks (usa, ctr), whose maximum coreness is tiny
+// (the paper reports k_max = 3 for both; a grid with diagonals has k_max 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore::gen {
+
+/// G(n, m): m distinct uniform random edges.
+std::vector<Edge> erdos_renyi(vertex_t n, std::size_t m, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+std::vector<Edge> barabasi_albert(vertex_t n, std::size_t edges_per_vertex,
+                                  std::uint64_t seed);
+
+/// RMAT power-law generator (Chakrabarti et al.), n = 2^log_n vertices,
+/// default partition probabilities (0.57, 0.19, 0.19, 0.05).
+std::vector<Edge> rmat(std::uint32_t log_n, std::size_t m, std::uint64_t seed,
+                       double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// rows x cols 4-neighbor grid; with_diagonals adds one diagonal per cell
+/// (triangulated grid, raising max coreness from 2 to 3 — matching the road
+/// datasets, whose largest k is 3 in the paper's Table 1).
+std::vector<Edge> grid_2d(vertex_t rows, vertex_t cols,
+                          bool with_diagonals = true);
+
+/// Watts–Strogatz small world: ring of n vertices, each joined to k nearest
+/// neighbors, each edge rewired with probability beta.
+std::vector<Edge> watts_strogatz(vertex_t n, std::uint32_t k, double beta,
+                                 std::uint64_t seed);
+
+/// Complete graph on n vertices (coreness n-1 everywhere).
+std::vector<Edge> complete(vertex_t n);
+
+/// Cycle on n vertices (coreness 2 everywhere).
+std::vector<Edge> cycle(vertex_t n);
+
+/// Star: vertex 0 joined to 1..n-1 (coreness 1 everywhere).
+std::vector<Edge> star(vertex_t n);
+
+/// Uniform random tree on n vertices (coreness 1 everywhere).
+std::vector<Edge> random_tree(vertex_t n, std::uint64_t seed);
+
+/// Social-network stand-in: Barabási–Albert backbone plus `num_communities`
+/// planted dense communities of `community_size` random members (each pair
+/// joined with probability `density`). Real social graphs pair a
+/// heavy-tailed degree distribution with small dense cores (k_max far above
+/// the degeneracy a pure BA graph can produce); the planted communities
+/// supply those cores.
+std::vector<Edge> social(vertex_t n, std::size_t edges_per_vertex,
+                         std::size_t num_communities,
+                         vertex_t community_size, double density,
+                         std::uint64_t seed);
+
+/// Disjoint cliques of size `clique_size` covering n vertices: a graph with
+/// exactly known coreness (clique_size - 1) for every vertex.
+std::vector<Edge> disjoint_cliques(vertex_t n, vertex_t clique_size);
+
+}  // namespace cpkcore::gen

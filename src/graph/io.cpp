@@ -1,0 +1,43 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/flat_map.hpp"
+
+namespace cpkcore {
+
+EdgeListFile read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  EdgeListFile out;
+  IntMap<std::uint64_t, vertex_t> remap;
+  auto intern = [&](std::uint64_t raw) -> vertex_t {
+    if (vertex_t* v = remap.find(raw)) return *v;
+    const vertex_t id = out.num_vertices++;
+    remap.insert_or_assign(raw, id);
+    return id;
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (!(ls >> a >> b)) continue;
+    out.edges.push_back(Edge{intern(a), intern(b)}.canonical());
+  }
+  return out;
+}
+
+void write_edge_list(const std::string& path,
+                     const std::vector<Edge>& edges) {
+  std::ofstream outf(path);
+  if (!outf) throw std::runtime_error("cannot open for write: " + path);
+  for (const Edge& e : edges) {
+    outf << e.u << ' ' << e.v << '\n';
+  }
+}
+
+}  // namespace cpkcore

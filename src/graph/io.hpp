@@ -1,0 +1,24 @@
+// Edge-list file IO: SNAP-style whitespace-separated text ("# ..." comments
+// ignored) so externally downloaded datasets drop in directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+/// Parses an edge list; vertex ids are remapped densely to [0, n) in order
+/// of first appearance. Throws std::runtime_error on unreadable files.
+struct EdgeListFile {
+  vertex_t num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+EdgeListFile read_edge_list(const std::string& path);
+
+/// Writes "u v" lines (canonical edges).
+void write_edge_list(const std::string& path, const std::vector<Edge>& edges);
+
+}  // namespace cpkcore

@@ -1,0 +1,35 @@
+// Synthetic dataset registry mirroring the paper's Table 1 at laptop scale.
+// Each entry names the paper dataset it stands in for and reproduces the
+// structural axis that matters for the experiments (degree/coreness skew
+// for the social graphs, tiny constant coreness for the road networks).
+// Sizes scale with the CPKC_SCALE environment variable (default 1.0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore::harness {
+
+struct Dataset {
+  std::string name;        ///< registry key, e.g. "dblp"
+  std::string family;      ///< generator family, e.g. "barabasi-albert"
+  vertex_t num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+/// Global size multiplier from CPKC_SCALE (clamped to [0.05, 100]).
+double scale_factor();
+
+/// All registered dataset names, in Table 1 order.
+std::vector<std::string> dataset_names();
+
+/// The subset used by the batch-size / scalability figures (dblp, yt, lj).
+std::vector<std::string> small_dataset_names();
+
+/// Builds the named dataset (throws std::invalid_argument for unknown
+/// names). Deterministic for a fixed name and scale.
+Dataset make_dataset(const std::string& name);
+
+}  // namespace cpkcore::harness

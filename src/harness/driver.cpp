@@ -1,0 +1,99 @@
+#include "harness/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/scheduler.hpp"
+
+namespace cpkcore::harness {
+
+ExperimentOutput run_experiment(const ExperimentSpec& spec) {
+  if (spec.writer_workers > 0) {
+    Scheduler::instance().set_num_workers(spec.writer_workers);
+  }
+
+  ExperimentOutput out;
+  out.dataset = make_dataset(spec.dataset);
+  auto params = LDSParams::create(out.dataset.num_vertices, 0.2, 9.0,
+                                  spec.levels_per_group_cap);
+  CPLDS ds(out.dataset.num_vertices, params, spec.cplds_options);
+
+  std::vector<UpdateBatch> stream;
+  if (spec.kind == UpdateKind::kInsert) {
+    stream = insertion_stream(out.dataset.edges, spec.batch_size,
+                              spec.workload.seed);
+  } else {
+    // Preload the full graph (unmeasured), then delete batches.
+    CPLDS* preload_target = &ds;
+    preload_target->insert_batch(out.dataset.edges);
+    stream = deletion_stream(out.dataset.edges, spec.batch_size,
+                             spec.workload.seed);
+  }
+  if (stream.size() > spec.max_batches) stream.resize(spec.max_batches);
+
+  out.result = run_workload(ds, stream, spec.workload);
+  out.batches_run = stream.size();
+  out.last_stats = ds.last_batch_stats();
+  return out;
+}
+
+namespace {
+/// Maps a sample's batch window to (begin, end) boundary indices of a
+/// workload whose first batch raised the batch number to window_base + 1.
+std::pair<std::size_t, std::size_t> window_boundaries(
+    std::uint64_t window, std::uint64_t window_base,
+    std::size_t num_boundaries) {
+  if (window <= window_base) return {0, 0};
+  const std::uint64_t idx = window - window_base;  // batch idx 1-based
+  const auto end = static_cast<std::size_t>(
+      std::min<std::uint64_t>(idx, num_boundaries - 1));
+  const auto begin = static_cast<std::size_t>(
+      std::min<std::uint64_t>(idx - 1, num_boundaries - 1));
+  return {begin, end};
+}
+}  // namespace
+
+AccuracyStats evaluate_accuracy(
+    const std::vector<ReadSample>& samples,
+    const std::vector<std::vector<vertex_t>>& boundary_exact,
+    const LDSParams& params, std::uint64_t window_base) {
+  AccuracyStats stats;
+  if (boundary_exact.empty()) return stats;
+  double sum = 0;
+  for (const ReadSample& s : samples) {
+    const auto [begin, end] =
+        window_boundaries(s.window, window_base, boundary_exact.size());
+    const double est = std::max(1.0, params.coreness_estimate(s.level));
+    auto err_vs = [&](std::size_t boundary) {
+      const double truth =
+          std::max<double>(1.0, boundary_exact[boundary][s.v]);
+      return std::max(est / truth, truth / est);
+    };
+    const double err = std::min(err_vs(begin), err_vs(end));
+    sum += err;
+    stats.max_error = std::max(stats.max_error, err);
+    ++stats.samples;
+  }
+  stats.avg_error = stats.samples ? sum / static_cast<double>(stats.samples)
+                                  : 0.0;
+  return stats;
+}
+
+std::size_t count_out_of_window_samples(
+    const std::vector<ReadSample>& samples,
+    const std::vector<std::vector<level_t>>& boundary_levels,
+    std::uint64_t window_base) {
+  if (boundary_levels.empty()) return 0;
+  std::size_t violations = 0;
+  for (const ReadSample& s : samples) {
+    const auto [begin, end] =
+        window_boundaries(s.window, window_base, boundary_levels.size());
+    if (s.level != boundary_levels[begin][s.v] &&
+        s.level != boundary_levels[end][s.v]) {
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace cpkcore::harness

@@ -1,0 +1,66 @@
+// Experiment driver: builds datasets into CPLDS instances, prepares update
+// streams, runs workloads, and post-processes accuracy/linearizability
+// metrics. One level above run_workload; used by every bench binary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/datasets.hpp"
+#include "harness/workload.hpp"
+
+namespace cpkcore::harness {
+
+struct ExperimentSpec {
+  std::string dataset;
+  UpdateKind kind = UpdateKind::kInsert;
+  std::size_t batch_size = 100000;
+  std::size_t max_batches = 8;   ///< measured batches (keeps runs bounded)
+  std::size_t writer_workers = 0;  ///< 0 = leave scheduler untouched
+  WorkloadConfig workload;
+  CPLDS::Options cplds_options;
+  int levels_per_group_cap = 0;  ///< LDSParams "-opt" style cap (0 = theory)
+};
+
+struct ExperimentOutput {
+  Dataset dataset;           ///< generated dataset (edges moved out)
+  WorkloadResult result;
+  std::size_t batches_run = 0;
+  CPLDS::BatchStats last_stats;  ///< stats of the final batch
+};
+
+/// Runs one experiment:
+///  * insertions: the dataset's edges are shuffled and inserted batch by
+///    batch (up to max_batches measured batches);
+///  * deletions: the full graph is preloaded (unmeasured), then batches of
+///    edges are deleted.
+ExperimentOutput run_experiment(const ExperimentSpec& spec);
+
+/// Accuracy metrics over sampled reads (paper Fig. 6): per sample the error
+/// is err(est, k) = max(est/k', k'/est) with k' = max(k, 1), minimized over
+/// the exact coreness at the begin and end boundaries of the read's batch
+/// window.
+struct AccuracyStats {
+  double avg_error = 0;
+  double max_error = 0;
+  std::size_t samples = 0;
+};
+
+AccuracyStats evaluate_accuracy(
+    const std::vector<ReadSample>& samples,
+    const std::vector<std::vector<vertex_t>>& boundary_exact,
+    const LDSParams& params, std::uint64_t window_base = 0);
+
+/// Linearizability evidence (tests + §6): every sampled read must return
+/// the vertex's level at its window's begin or end boundary — never an
+/// intermediate level. Returns the number of violating samples (0 for a
+/// linearizable run).
+std::size_t count_out_of_window_samples(
+    const std::vector<ReadSample>& samples,
+    const std::vector<std::vector<level_t>>& boundary_levels,
+    std::uint64_t window_base = 0);
+
+}  // namespace cpkcore::harness

@@ -1,0 +1,33 @@
+// Plain-text table rendering for the bench binaries: every figure/table of
+// the paper is reproduced as an aligned text table on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpkcore::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  void print() const;  // stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.23e-05 s"-style compact seconds.
+std::string fmt_seconds(double seconds);
+
+/// Fixed precision double.
+std::string fmt_double(double value, int precision = 3);
+
+/// Engineering notation for counts/throughputs (e.g. "1.25e6").
+std::string fmt_si(double value);
+
+}  // namespace cpkcore::harness

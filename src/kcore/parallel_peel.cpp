@@ -1,0 +1,82 @@
+#include "kcore/parallel_peel.hpp"
+
+#include <atomic>
+
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace cpkcore {
+
+std::vector<vertex_t> parallel_exact_coreness(const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<std::atomic<std::int64_t>> deg(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    deg[v].store(static_cast<std::int64_t>(
+                     g.degree(static_cast<vertex_t>(v))),
+                 std::memory_order_relaxed);
+  });
+  std::vector<std::atomic<std::uint8_t>> peeled(n);
+  parallel_for(0, n,
+               [&](std::size_t v) { peeled[v].store(0, std::memory_order_relaxed); });
+  std::vector<vertex_t> coreness(n, 0);
+
+  std::size_t remaining = n;
+  vertex_t k = 0;
+  // Current frontier: vertices to peel at threshold k. `next` is a reusable
+  // buffer sized n: every vertex is enqueued at most once per lifetime (its
+  // degree crosses k exactly once before it is peeled), so n never
+  // overflows.
+  std::vector<vertex_t> frontier;
+  std::vector<vertex_t> next(n);
+  while (remaining > 0) {
+    // Collect all unpeeled vertices with degree <= k.
+    frontier = parallel_pack<vertex_t>(
+        n,
+        [&](std::size_t v) {
+          return peeled[v].load(std::memory_order_relaxed) == 0 &&
+                 deg[v].load(std::memory_order_relaxed) <=
+                     static_cast<std::int64_t>(k);
+        },
+        [](std::size_t v) { return static_cast<vertex_t>(v); });
+    if (frontier.empty()) {
+      ++k;
+      continue;
+    }
+    while (!frontier.empty()) {
+      // Claim frontier vertices (exactly-once peel via CAS on the flag).
+      parallel_for(0, frontier.size(), [&](std::size_t i) {
+        coreness[frontier[i]] = k;
+        peeled[frontier[i]].store(1, std::memory_order_relaxed);
+      });
+      remaining -= frontier.size();
+      // Decrement neighbor degrees; vertices that drop to <= k and are
+      // unpeeled join the next sub-round. A vertex may be decremented by
+      // several peeled neighbors; claim it with a CAS from 0 -> 2 so it is
+      // enqueued once ("2" marks enqueued-but-unpeeled, treated as peeled=0
+      // for claiming purposes only here).
+      std::atomic<std::size_t> next_size{0};
+      parallel_for(0, frontier.size(), [&](std::size_t i) {
+        for (vertex_t w : g.neighbors(frontier[i])) {
+          if (peeled[w].load(std::memory_order_relaxed) != 0) continue;
+          const std::int64_t old =
+              deg[w].fetch_sub(1, std::memory_order_relaxed);
+          if (old - 1 == static_cast<std::int64_t>(k)) {
+            // Exactly one decrementer observes the k crossing (fetch_sub
+            // hands out distinct descending old values), so w is enqueued
+            // exactly once.
+            const std::size_t pos =
+                next_size.fetch_add(1, std::memory_order_relaxed);
+            next[pos] = w;
+          }
+        }
+      });
+      const std::size_t sz = next_size.load(std::memory_order_relaxed);
+      frontier.assign(next.begin(),
+                      next.begin() + static_cast<std::ptrdiff_t>(sz));
+    }
+    ++k;
+  }
+  return coreness;
+}
+
+}  // namespace cpkcore

@@ -1,0 +1,17 @@
+// Parallel exact k-core peeling (Julienne-style rounds): for k = 0, 1, ...
+// repeatedly remove, in parallel, all remaining vertices of induced degree
+// <= k; vertices removed while the threshold is k have coreness exactly k.
+// Matches the sequential oracle bit-for-bit; used when recomputing ground
+// truth at batch boundaries would otherwise dominate experiment time.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+std::vector<vertex_t> parallel_exact_coreness(const CsrGraph& g);
+
+}  // namespace cpkcore

@@ -1,0 +1,72 @@
+#include "kcore/peel.hpp"
+
+#include <algorithm>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace cpkcore {
+
+std::vector<vertex_t> exact_coreness(const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<vertex_t> deg(n);
+  vertex_t max_deg = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<vertex_t>(g.degree(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // Bucket sort vertices by degree: bucket_start[d] .. bucket_start[d+1].
+  std::vector<vertex_t> bucket_start(max_deg + 2, 0);
+  for (vertex_t v = 0; v < n; ++v) ++bucket_start[deg[v] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<vertex_t> order(n);       // vertices sorted by current degree
+  std::vector<vertex_t> pos(n);         // position of v in `order`
+  {
+    std::vector<vertex_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (vertex_t v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+  // bucket_head[d] = index in `order` of the first vertex with degree d that
+  // has not been peeled yet.
+  std::vector<vertex_t> bucket_head(bucket_start.begin(),
+                                    bucket_start.end() - 1);
+
+  std::vector<vertex_t> coreness(n, 0);
+  for (vertex_t i = 0; i < n; ++i) {
+    const vertex_t v = order[i];
+    coreness[v] = deg[v];
+    for (vertex_t w : g.neighbors(v)) {
+      if (deg[w] > deg[v]) {
+        // Move w to the front of its bucket, then shrink its degree.
+        const vertex_t dw = deg[w];
+        const vertex_t head = bucket_head[dw];
+        const vertex_t u = order[head];
+        if (u != w) {
+          std::swap(order[pos[w]], order[head]);
+          std::swap(pos[w], pos[u]);
+        }
+        ++bucket_head[dw];
+        --deg[w];
+      }
+    }
+  }
+  return coreness;
+}
+
+std::vector<vertex_t> exact_coreness(const DynamicGraph& g) {
+  return exact_coreness(CsrGraph::from_dynamic(g));
+}
+
+vertex_t degeneracy(const CsrGraph& g) {
+  const auto coreness = exact_coreness(g);
+  vertex_t best = 0;
+  for (vertex_t c : coreness) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace cpkcore

@@ -1,0 +1,24 @@
+// Exact k-core decomposition by sequential bucket peeling (Matula–Beck,
+// O(n + m)). Used as the ground-truth oracle for the approximation-error
+// experiments (Fig. 6) and for Table 1's "largest value of k".
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class DynamicGraph;
+
+/// coreness[v] = largest k such that v belongs to a k-core.
+std::vector<vertex_t> exact_coreness(const CsrGraph& g);
+
+/// Convenience overload snapshotting a dynamic graph.
+std::vector<vertex_t> exact_coreness(const DynamicGraph& g);
+
+/// Largest coreness value in the graph (0 for empty graphs).
+vertex_t degeneracy(const CsrGraph& g);
+
+}  // namespace cpkcore

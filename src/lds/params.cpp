@@ -1,0 +1,46 @@
+#include "lds/params.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cpkcore {
+
+LDSParams LDSParams::create(vertex_t n, double delta, double lambda,
+                            int levels_per_group_cap) {
+  assert(n >= 2 && delta > 0 && lambda > 0);
+  LDSParams p;
+  p.delta_ = delta;
+  p.lambda_ = lambda;
+  p.n_ = n;
+
+  const double log1d_n =
+      std::log(static_cast<double>(n)) / std::log1p(delta);
+  const int ceil_log = std::max(1, static_cast<int>(std::ceil(log1d_n)));
+  p.levels_per_group_ = 4 * ceil_log;
+  if (levels_per_group_cap > 0) {
+    p.levels_per_group_ = std::min(p.levels_per_group_, levels_per_group_cap);
+  }
+  // Enough groups that the top group's lower bound exceeds any possible
+  // degree (so the top level never binds): (1+delta)^{G-1} >= n.
+  p.num_groups_ = ceil_log + 2;
+  p.num_levels_ = p.num_groups_ * p.levels_per_group_;
+
+  p.upper_.resize(static_cast<std::size_t>(p.num_groups_));
+  p.lower_.resize(static_cast<std::size_t>(p.num_groups_));
+  double pow_g = 1.0;
+  for (int g = 0; g < p.num_groups_; ++g) {
+    p.lower_[static_cast<std::size_t>(g)] = pow_g;
+    p.upper_[static_cast<std::size_t>(g)] = (2.0 + 3.0 / lambda) * pow_g;
+    pow_g *= (1.0 + delta);
+  }
+
+  p.estimate_.resize(static_cast<std::size_t>(p.num_levels_));
+  for (int l = 0; l < p.num_levels_; ++l) {
+    const int idx = std::max((l + 1) / p.levels_per_group_ - 1, 0);
+    p.estimate_[static_cast<std::size_t>(l)] =
+        std::pow(1.0 + delta, idx);
+  }
+  return p;
+}
+
+}  // namespace cpkcore

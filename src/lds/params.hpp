@@ -1,0 +1,96 @@
+// Shared parameters of the level data structure family (LDS / PLDS / CPLDS).
+//
+// The structure has K = num_groups * levels_per_group levels; contiguous
+// runs of `levels_per_group` levels form groups g = 0, 1, .... A vertex at
+// level l in group g must satisfy (paper §3.1):
+//   Invariant 1 (upper): #neighbors at levels >= l     <= (2 + 3/lambda) * (1+delta)^g
+//   Invariant 2 (lower): #neighbors at levels >= l - 1 >= (1+delta)^{g'} where
+//                        g' = group(l - 1), for l > 0.
+// The coreness estimate of a vertex at level l is (paper Def. 3.1):
+//   (1+delta)^{max(floor((l+1)/levels_per_group) - 1, 0)}.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class LDSParams {
+ public:
+  /// Constructs parameters for an n-vertex graph.
+  /// `levels_per_group_cap`: 0 keeps the theoretical 4*ceil(log_{1+delta} n)
+  /// levels per group; a positive value caps it (our rendering of the PLDS
+  /// "-opt" optimization: fewer levels per group speeds up updates but
+  /// degrades the approximation factor).
+  static LDSParams create(vertex_t n, double delta = 0.2, double lambda = 9.0,
+                          int levels_per_group_cap = 0);
+
+  [[nodiscard]] double delta() const { return delta_; }
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] vertex_t n() const { return n_; }
+  [[nodiscard]] int num_levels() const { return num_levels_; }
+  [[nodiscard]] int num_groups() const { return num_groups_; }
+  [[nodiscard]] int levels_per_group() const { return levels_per_group_; }
+
+  /// Theoretical approximation factor 2 + 3/lambda + O(delta) reported for
+  /// these parameters (paper uses 2.8 for delta=0.2, lambda=9... computed as
+  /// (2 + 3/lambda)(1 + delta) rounded by the authors; we expose the exact
+  /// product).
+  [[nodiscard]] double approx_factor() const {
+    return (2.0 + 3.0 / lambda_) * (1.0 + delta_);
+  }
+
+  [[nodiscard]] int group_of_level(level_t level) const {
+    return static_cast<int>(level) / levels_per_group_;
+  }
+
+  /// Invariant 1 threshold for a vertex whose level lies in group g:
+  /// up-degree must be <= this.
+  [[nodiscard]] double upper_threshold(int group) const {
+    return upper_[static_cast<std::size_t>(group)];
+  }
+
+  /// Invariant 2 threshold keyed by group(level - 1): the count of
+  /// neighbors at levels >= level-1 must be >= this.
+  [[nodiscard]] double lower_threshold(int group) const {
+    return lower_[static_cast<std::size_t>(group)];
+  }
+
+  /// True iff a vertex at `level` with `up_degree` neighbors at levels
+  /// >= `level` satisfies Invariant 1. The top level always satisfies it
+  /// (nothing can move above it).
+  [[nodiscard]] bool inv1_ok(level_t level, std::size_t up_degree) const {
+    if (level >= num_levels_ - 1) return true;
+    return static_cast<double>(up_degree) <=
+           upper_threshold(group_of_level(level));
+  }
+
+  /// True iff a vertex at `level` with `count_above` neighbors at levels
+  /// >= level - 1 satisfies Invariant 2. Level 0 always satisfies it.
+  [[nodiscard]] bool inv2_ok(level_t level, std::size_t count_above) const {
+    if (level <= 0) return true;
+    return static_cast<double>(count_above) >=
+           lower_threshold(group_of_level(level - 1));
+  }
+
+  /// Coreness estimate of a vertex at `level` (Definition 3.1).
+  [[nodiscard]] double coreness_estimate(level_t level) const {
+    return estimate_[static_cast<std::size_t>(level)];
+  }
+
+ private:
+  double delta_ = 0.2;
+  double lambda_ = 9.0;
+  vertex_t n_ = 0;
+  int levels_per_group_ = 0;
+  int num_groups_ = 0;
+  int num_levels_ = 0;
+  std::vector<double> upper_;     // per group
+  std::vector<double> lower_;     // per group
+  std::vector<double> estimate_;  // per level
+};
+
+}  // namespace cpkcore

@@ -1,0 +1,80 @@
+#include "lds/sequential_lds.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace cpkcore {
+
+SequentialLDS::SequentialLDS(vertex_t num_vertices, LDSParams params)
+    : params_(std::move(params)),
+      graph_(num_vertices),
+      level_(num_vertices, 0),
+      queued_(num_vertices, 0) {}
+
+std::size_t SequentialLDS::up_degree(vertex_t v) const {
+  std::size_t c = 0;
+  for (vertex_t w : graph_.neighbors(v)) {
+    if (level_[w] >= level_[v]) ++c;
+  }
+  return c;
+}
+
+std::size_t SequentialLDS::up_star_degree(vertex_t v) const {
+  std::size_t c = 0;
+  for (vertex_t w : graph_.neighbors(v)) {
+    if (level_[w] >= level_[v] - 1) ++c;
+  }
+  return c;
+}
+
+bool SequentialLDS::insert_edge(Edge e) {
+  if (!graph_.insert_edge(e)) return false;
+  rebalance({e.u, e.v});
+  return true;
+}
+
+bool SequentialLDS::delete_edge(Edge e) {
+  if (!graph_.delete_edge(e)) return false;
+  rebalance({e.u, e.v});
+  return true;
+}
+
+void SequentialLDS::rebalance(std::vector<vertex_t> dirty) {
+  ++stamp_;
+  std::deque<vertex_t> queue;
+  auto push = [&](vertex_t v) {
+    if (queued_[v] != stamp_) {
+      queued_[v] = stamp_;
+      queue.push_back(v);
+    }
+  };
+  for (vertex_t v : dirty) push(v);
+
+  while (!queue.empty()) {
+    const vertex_t v = queue.front();
+    queue.pop_front();
+    queued_[v] = 0;
+
+    if (!params_.inv1_ok(level_[v], up_degree(v))) {
+      ++level_[v];
+      // v's rise can break Invariant 1 of neighbors now sharing its level
+      // and Invariant 2 of v itself / neighbors below; recheck locally.
+      push(v);
+      for (vertex_t w : graph_.neighbors(v)) push(w);
+    } else if (!params_.inv2_ok(level_[v], up_star_degree(v))) {
+      --level_[v];
+      push(v);
+      for (vertex_t w : graph_.neighbors(v)) push(w);
+    }
+  }
+}
+
+bool SequentialLDS::invariants_hold() const {
+  for (vertex_t v = 0; v < num_vertices(); ++v) {
+    if (!params_.inv1_ok(level_[v], up_degree(v))) return false;
+    if (!params_.inv2_ok(level_[v], up_star_degree(v))) return false;
+  }
+  return true;
+}
+
+}  // namespace cpkcore

@@ -1,0 +1,59 @@
+// Sequential level data structure (Bhattacharya et al. / Henzinger et al.,
+// as analyzed by Liu et al.): maintains a (2+epsilon)-approximate k-core
+// decomposition under single edge insertions/deletions by restoring the two
+// level invariants with a work-list. This is the validation oracle for the
+// parallel structures and the conceptual baseline of paper §3.1.
+//
+// Not thread-safe; not performance-oriented (invariant checks rescan
+// adjacency). Use PLDS/CPLDS for real workloads.
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "lds/params.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class SequentialLDS {
+ public:
+  SequentialLDS(vertex_t num_vertices, LDSParams params);
+
+  /// Inserts (deletes) one edge and restores the invariants. Returns false
+  /// for ignored updates (self loops, duplicates, missing edges).
+  bool insert_edge(Edge e);
+  bool delete_edge(Edge e);
+
+  [[nodiscard]] level_t level(vertex_t v) const { return level_[v]; }
+  [[nodiscard]] double coreness_estimate(vertex_t v) const {
+    return params_.coreness_estimate(level_[v]);
+  }
+
+  [[nodiscard]] const LDSParams& params() const { return params_; }
+  [[nodiscard]] const DynamicGraph& graph() const { return graph_; }
+  [[nodiscard]] vertex_t num_vertices() const {
+    return graph_.num_vertices();
+  }
+
+  /// Checks both invariants for every vertex (test hook).
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  /// #neighbors of v at levels >= level(v).
+  [[nodiscard]] std::size_t up_degree(vertex_t v) const;
+  /// #neighbors of v at levels >= level(v) - 1.
+  [[nodiscard]] std::size_t up_star_degree(vertex_t v) const;
+
+  /// Moves vertices up/down one level at a time until both invariants hold
+  /// everywhere reachable from the seed vertices.
+  void rebalance(std::vector<vertex_t> dirty);
+
+  LDSParams params_;
+  DynamicGraph graph_;
+  std::vector<level_t> level_;
+  std::vector<std::uint32_t> queued_;  // work-list membership stamps
+  std::uint32_t stamp_ = 0;
+};
+
+}  // namespace cpkcore

@@ -1,0 +1,159 @@
+// Data-parallel building blocks on top of the scheduler: reduce, exclusive
+// scan, pack/filter, map, and counting utilities. All functions fall back to
+// tuned serial code below a size threshold.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+
+namespace cpkcore {
+
+inline constexpr std::size_t kSerialCutoff = 2048;
+
+namespace detail {
+/// Splits [0, n) into `blocks` near-equal ranges; returns boundaries of size
+/// blocks + 1.
+inline std::vector<std::size_t> block_bounds(std::size_t n,
+                                             std::size_t blocks) {
+  std::vector<std::size_t> b(blocks + 1);
+  for (std::size_t i = 0; i <= blocks; ++i) {
+    b[i] = (n * i) / blocks;
+  }
+  return b;
+}
+
+inline std::size_t default_blocks(std::size_t n) {
+  const std::size_t w = num_workers();
+  const std::size_t blocks = std::min(n, w * 8);
+  return blocks == 0 ? 1 : blocks;
+}
+}  // namespace detail
+
+/// Sum-type reduction: returns init + f(0) + f(1) + ... + f(n-1) where `+`
+/// is the provided associative combine.
+template <class T, class F, class Combine>
+T parallel_reduce(std::size_t n, T init, F&& f, Combine&& combine) {
+  if (n < kSerialCutoff) {
+    T acc = init;
+    for (std::size_t i = 0; i < n; ++i) acc = combine(acc, f(i));
+    return acc;
+  }
+  const std::size_t blocks = detail::default_blocks(n);
+  const auto bounds = detail::block_bounds(n, blocks);
+  std::vector<T> partial(blocks, init);
+  parallel_for(0, blocks, [&](std::size_t b) {
+    T acc = init;
+    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+      acc = combine(acc, f(i));
+    }
+    partial[b] = acc;
+  });
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Convenience: parallel sum of f(i).
+template <class T, class F>
+T parallel_sum(std::size_t n, F&& f) {
+  return parallel_reduce(
+      n, T{}, std::forward<F>(f), [](T a, T b) { return a + b; });
+}
+
+/// Exclusive prefix sum of `values` in place; returns the total.
+template <class T>
+T parallel_scan_exclusive(std::vector<T>& values) {
+  const std::size_t n = values.size();
+  if (n < kSerialCutoff) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  const std::size_t blocks = detail::default_blocks(n);
+  const auto bounds = detail::block_bounds(n, blocks);
+  std::vector<T> block_sum(blocks);
+  parallel_for(0, blocks, [&](std::size_t b) {
+    T acc{};
+    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) acc += values[i];
+    block_sum[b] = acc;
+  });
+  T total{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    T v = block_sum[b];
+    block_sum[b] = total;
+    total += v;
+  }
+  parallel_for(0, blocks, [&](std::size_t b) {
+    T acc = block_sum[b];
+    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+      T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+  });
+  return total;
+}
+
+/// Returns the elements produced by gen(i) for indices where pred(i) holds,
+/// preserving index order.
+template <class T, class Pred, class Gen>
+std::vector<T> parallel_pack(std::size_t n, Pred&& pred, Gen&& gen) {
+  if (n < kSerialCutoff) {
+    std::vector<T> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(gen(i));
+    }
+    return out;
+  }
+  const std::size_t blocks = detail::default_blocks(n);
+  const auto bounds = detail::block_bounds(n, blocks);
+  std::vector<std::size_t> counts(blocks);
+  parallel_for(0, blocks, [&](std::size_t b) {
+    std::size_t c = 0;
+    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+      c += pred(i) ? 1 : 0;
+    }
+    counts[b] = c;
+  });
+  const std::size_t total = parallel_scan_exclusive(counts);
+  std::vector<T> out(total);
+  parallel_for(0, blocks, [&](std::size_t b) {
+    std::size_t pos = counts[b];
+    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+      if (pred(i)) out[pos++] = gen(i);
+    }
+  });
+  return out;
+}
+
+/// Filters a vector by predicate on elements.
+template <class T, class Pred>
+std::vector<T> parallel_filter(const std::vector<T>& in, Pred&& pred) {
+  return parallel_pack<T>(
+      in.size(), [&](std::size_t i) { return pred(in[i]); },
+      [&](std::size_t i) { return in[i]; });
+}
+
+/// out[i] = f(i) for i in [0, n).
+template <class T, class F>
+std::vector<T> parallel_tabulate(std::size_t n, F&& f) {
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+/// Counts indices where pred holds.
+template <class Pred>
+std::size_t parallel_count(std::size_t n, Pred&& pred) {
+  return parallel_sum<std::size_t>(
+      n, [&](std::size_t i) { return pred(i) ? std::size_t{1} : 0; });
+}
+
+}  // namespace cpkcore

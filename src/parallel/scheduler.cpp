@@ -1,0 +1,121 @@
+#include "parallel/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cpkcore {
+
+namespace {
+thread_local int t_chunk_depth = 0;
+
+struct ChunkScope {
+  ChunkScope() { ++t_chunk_depth; }
+  ~ChunkScope() { --t_chunk_depth; }
+};
+
+std::size_t default_workers() {
+  if (const char* env = std::getenv("CPKC_NUM_WORKERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 4 : hc;
+}
+}  // namespace
+
+bool Scheduler::in_chunk() { return t_chunk_depth > 0; }
+
+Scheduler& Scheduler::instance() {
+  static Scheduler sched(default_workers());
+  return sched;
+}
+
+Scheduler::Scheduler(std::size_t num_workers) { start(num_workers); }
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::set_num_workers(std::size_t num_workers) {
+  stop();
+  start(num_workers);
+}
+
+void Scheduler::start(std::size_t num_workers) {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = false;
+  }
+  // The submitting thread also works, so a pool of (num_workers - 1)
+  // threads yields num_workers-way parallelism.
+  const std::size_t extra = num_workers > 1 ? num_workers - 1 : 0;
+  threads_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  queue_.clear();
+}
+
+std::size_t Scheduler::work_on(Job& job) {
+  std::size_t executed = 0;
+  for (;;) {
+    const std::size_t chunk =
+        job.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.num_chunks) break;
+    {
+      ChunkScope scope;
+      job.body(chunk);
+    }
+    job.finished.fetch_add(1, std::memory_order_release);
+    ++executed;
+  }
+  return executed;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      job = queue_.front();
+      // Drop jobs whose chunks are all claimed; they finish on their own.
+      if (job->cursor.load(std::memory_order_relaxed) >= job->num_chunks) {
+        queue_.pop_front();
+        continue;
+      }
+    }
+    work_on(*job);
+  }
+}
+
+void Scheduler::run_job(std::size_t num_chunks,
+                        const std::function<void(std::size_t)>& body) {
+  auto job = std::make_shared<Job>();
+  job->body = body;
+  job->num_chunks = num_chunks;
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(job);
+  }
+  cv_.notify_all();
+  work_on(*job);
+  // Wait for stragglers still running claimed chunks.
+  while (job->finished.load(std::memory_order_acquire) < num_chunks) {
+    std::this_thread::yield();
+  }
+  // Remove the (exhausted) job from the queue if still present.
+  std::lock_guard lock(mu_);
+  std::erase(queue_, job);
+}
+
+}  // namespace cpkcore

@@ -1,0 +1,117 @@
+// Shared-memory data-parallel scheduler: a fixed pool of workers executing
+// chunked loop jobs (dynamic chunk stealing via an atomic cursor). This is
+// the cpkcore stand-in for the ParlayLib/GBBS work-stealing scheduler: the
+// algorithms in this repo only need flat fork-join data parallelism
+// (parallel_for / reduce / scan / sort over batches), so a chunk-queue design
+// is simpler and performs comparably for those shapes.
+//
+// Concurrency contract:
+//  * Any thread (pool worker or external) may submit jobs; submissions from
+//    different threads run concurrently.
+//  * parallel_for calls nested inside a running chunk execute sequentially
+//    (no deadlock, bounded stack).
+//  * The submitting thread participates in its own job and returns only when
+//    every chunk has finished.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpkcore {
+
+class Scheduler {
+ public:
+  /// Global scheduler. Created on first use with hardware_concurrency
+  /// workers (or CPKC_NUM_WORKERS env override).
+  static Scheduler& instance();
+
+  explicit Scheduler(std::size_t num_workers);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] std::size_t num_workers() const { return threads_.size(); }
+
+  /// Stops and restarts the pool with a new worker count. Must not be called
+  /// concurrently with job submission.
+  void set_num_workers(std::size_t num_workers);
+
+  /// Runs f(i) for i in [begin, end) in parallel. `grain` is the minimum
+  /// number of iterations per chunk (0 = heuristic).
+  template <class F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& f,
+                    std::size_t grain = 0) {
+    const std::size_t n = end > begin ? end - begin : 0;
+    if (n == 0) return;
+    // Serial fast paths: tiny loops, no workers, or nested inside a chunk.
+    if (n == 1 || threads_.empty() || in_chunk()) {
+      for (std::size_t i = begin; i < end; ++i) f(i);
+      return;
+    }
+    std::size_t g = grain;
+    if (g == 0) {
+      // Aim for ~8 chunks per worker, at least 1 iteration each.
+      const std::size_t target = (threads_.size() + 1) * 8;
+      g = (n + target - 1) / target;
+      if (g == 0) g = 1;
+    }
+    const std::size_t num_chunks = (n + g - 1) / g;
+    if (num_chunks <= 1) {
+      for (std::size_t i = begin; i < end; ++i) f(i);
+      return;
+    }
+    auto body = [begin, end, g, &f](std::size_t chunk) {
+      const std::size_t lo = begin + chunk * g;
+      const std::size_t hi = std::min(end, lo + g);
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+    };
+    run_job(num_chunks, body);
+  }
+
+  /// True when the calling thread is currently executing a chunk (nested
+  /// parallelism collapses to serial).
+  static bool in_chunk();
+
+ private:
+  struct Job {
+    std::function<void(std::size_t)> body;  // receives chunk index
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> finished{0};
+  };
+
+  void run_job(std::size_t num_chunks,
+               const std::function<void(std::size_t)>& body);
+
+  /// Executes available chunks of `job`; returns number executed.
+  static std::size_t work_on(Job& job);
+
+  void worker_loop();
+  void start(std::size_t num_workers);
+  void stop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool shutdown_ = false;
+};
+
+/// Convenience wrappers over the global scheduler.
+template <class F>
+void parallel_for(std::size_t begin, std::size_t end, F&& f,
+                  std::size_t grain = 0) {
+  Scheduler::instance().parallel_for(begin, end, std::forward<F>(f), grain);
+}
+
+inline std::size_t num_workers() { return Scheduler::instance().num_workers(); }
+
+}  // namespace cpkcore

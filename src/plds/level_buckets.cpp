@@ -1,0 +1,7 @@
+#include "plds/level_buckets.hpp"
+
+// Header-only implementation; this TU verifies standalone inclusion.
+
+namespace cpkcore {
+static_assert(sizeof(VertexBuckets) > 0);
+}  // namespace cpkcore

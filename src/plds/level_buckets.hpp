@@ -1,0 +1,156 @@
+// Per-vertex adjacency partitioned by neighbor level — the PLDS working
+// representation (paper §3.2 / Liu et al. SPAA 2022):
+//   * `up`      : neighbors at levels >= this vertex's level,
+//   * `down[j]` : neighbors at level j, for j < this vertex's level.
+// This gives O(1) access to the up-degree (Invariant 1) and per-level counts
+// for desire-level computation (Invariant 2), and supports moving a vertex
+// or a neighbor between levels in expected O(1) per affected neighbor.
+//
+// All mutation happens on the update path where the owner vertex is touched
+// by exactly one task at a time; readers never see these structures.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "util/flat_set.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class VertexBuckets {
+ public:
+  [[nodiscard]] std::size_t up_degree() const { return up_.size(); }
+
+  [[nodiscard]] std::size_t degree() const {
+    std::size_t d = up_.size();
+    for (const auto& b : down_) d += b.size();
+    return d;
+  }
+
+  /// #neighbors at levels >= j, where `my_level` is this vertex's level and
+  /// j <= my_level. Cost O(my_level - j).
+  [[nodiscard]] std::size_t count_at_or_above(level_t j,
+                                              level_t my_level) const {
+    assert(j <= my_level);
+    std::size_t c = up_.size();
+    for (level_t i = j; i < my_level; ++i) c += down_size(i);
+    return c;
+  }
+
+  [[nodiscard]] bool contains(vertex_t w, level_t w_level,
+                              level_t my_level) const {
+    if (w_level >= my_level) return up_.contains(w);
+    if (static_cast<std::size_t>(w_level) >= down_.size()) return false;
+    return down_[static_cast<std::size_t>(w_level)].contains(w);
+  }
+
+  /// Adds neighbor w (currently at w_level); this vertex is at my_level.
+  void insert_neighbor(vertex_t w, level_t w_level, level_t my_level) {
+    ensure_down(my_level);
+    if (w_level >= my_level) {
+      up_.insert(w);
+    } else {
+      down_[static_cast<std::size_t>(w_level)].insert(w);
+    }
+  }
+
+  /// Removes neighbor w (currently at w_level).
+  void erase_neighbor(vertex_t w, level_t w_level, level_t my_level) {
+    if (w_level >= my_level) {
+      const bool erased = up_.erase(w);
+      assert(erased);
+      (void)erased;
+    } else {
+      const bool erased =
+          down_[static_cast<std::size_t>(w_level)].erase(w);
+      assert(erased);
+      (void)erased;
+    }
+  }
+
+  /// Neighbor w moved from `from` to `to`; this vertex stays at my_level.
+  void neighbor_moved(vertex_t w, level_t from, level_t to,
+                      level_t my_level) {
+    erase_neighbor(w, from, my_level);
+    insert_neighbor(w, to, my_level);
+  }
+
+  /// This vertex rises one level: old_level -> old_level + 1. Neighbors at
+  /// exactly old_level that are *not* rising with it (the caller filters
+  /// those via `stays_behind`) drop from `up` into down[old_level].
+  template <class StaysBehind>
+  void on_my_level_up(level_t old_level, StaysBehind&& stays_behind) {
+    ensure_down(old_level + 1);
+    auto& new_bucket = down_[static_cast<std::size_t>(old_level)];
+    // Collect first: FlatSet iteration is invalidated by mutation.
+    std::vector<vertex_t> demoted;
+    up_.for_each([&](vertex_t w) {
+      if (stays_behind(w)) demoted.push_back(w);
+    });
+    for (vertex_t w : demoted) {
+      up_.erase(w);
+      new_bucket.insert(w);
+    }
+  }
+
+  /// This vertex drops from old_level to new_level < old_level: buckets
+  /// down[new_level .. old_level) merge into `up`.
+  void on_my_level_down(level_t old_level, level_t new_level) {
+    assert(new_level < old_level);
+    for (level_t j = new_level; j < old_level; ++j) {
+      auto& b = down_[static_cast<std::size_t>(j)];
+      b.for_each([&](vertex_t w) { up_.insert(w); });
+      b.clear();
+    }
+  }
+
+  /// All neighbors currently in `up` (unspecified order).
+  [[nodiscard]] std::vector<vertex_t> up_neighbors() const {
+    return up_.to_vector();
+  }
+
+  template <class F>
+  void for_each_up(F&& f) const {
+    up_.for_each(std::forward<F>(f));
+  }
+
+  /// Iterates neighbors in down[j] for j in [lo, hi).
+  template <class F>
+  void for_each_down_range(level_t lo, level_t hi, F&& f) const {
+    for (level_t j = lo; j < hi && static_cast<std::size_t>(j) < down_.size();
+         ++j) {
+      down_[static_cast<std::size_t>(j)].for_each(f);
+    }
+  }
+
+  [[nodiscard]] std::size_t down_size(level_t j) const {
+    return static_cast<std::size_t>(j) < down_.size()
+               ? down_[static_cast<std::size_t>(j)].size()
+               : 0;
+  }
+
+  /// Enumerates all neighbors with their stored level bucket:
+  /// f(w, bucket_level) where bucket_level == my_level means "in up".
+  template <class F>
+  void for_each_neighbor(level_t my_level, F&& f) const {
+    for (level_t j = 0; j < my_level; ++j) {
+      if (static_cast<std::size_t>(j) >= down_.size()) break;
+      down_[static_cast<std::size_t>(j)].for_each(
+          [&](vertex_t w) { f(w, j); });
+    }
+    up_.for_each([&](vertex_t w) { f(w, my_level); });
+  }
+
+ private:
+  void ensure_down(level_t my_level) {
+    if (down_.size() < static_cast<std::size_t>(my_level)) {
+      down_.resize(static_cast<std::size_t>(my_level));
+    }
+  }
+
+  IntSet<vertex_t> up_;
+  std::vector<IntSet<vertex_t>> down_;
+};
+
+}  // namespace cpkcore

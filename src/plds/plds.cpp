@@ -1,0 +1,393 @@
+#include "plds/plds.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "parallel/primitives.hpp"
+#include "parallel/sort.hpp"
+
+namespace cpkcore {
+
+PLDS::PLDS(vertex_t num_vertices, LDSParams params)
+    : params_(std::move(params)),
+      level_(num_vertices),
+      buckets_(num_vertices),
+      marked_stamp_(num_vertices, 0),
+      dirty_stamp_(num_vertices, 0),
+      moving_stamp_(num_vertices, 0),
+      desire_(num_vertices, 0) {}
+
+bool PLDS::has_edge(vertex_t u, vertex_t v) const {
+  if (u == v) return false;
+  return buckets_[u].contains(v, level_relaxed(v), level_relaxed(u));
+}
+
+void PLDS::begin_batch() { ++batch_stamp_; }
+
+std::vector<Edge> PLDS::normalize(std::vector<Edge> edges,
+                                  bool for_insert) const {
+  for (auto& e : edges) e = e.canonical();
+  std::erase_if(edges, [](const Edge& e) { return e.is_self_loop(); });
+  parallel_sort(edges);
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return parallel_filter(edges, [&](const Edge& e) {
+    return for_insert ? !has_edge(e.u, e.v) : has_edge(e.u, e.v);
+  });
+}
+
+std::vector<vertex_t> PLDS::apply_adjacency(const std::vector<Edge>& edges,
+                                            bool insert) {
+  struct Half {
+    vertex_t at;
+    vertex_t other;
+  };
+  std::vector<Half> halves(edges.size() * 2);
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    halves[2 * i] = Half{edges[i].u, edges[i].v};
+    halves[2 * i + 1] = Half{edges[i].v, edges[i].u};
+  });
+  auto groups = group_by_key(halves, [](const Half& h) { return h.at; });
+  std::vector<vertex_t> endpoints(groups.size());
+  parallel_for(0, groups.size(), [&](std::size_t g) {
+    const vertex_t at = halves[groups[g].begin].at;
+    endpoints[g] = at;
+    const level_t at_level = level_relaxed(at);
+    for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
+      const vertex_t other = halves[i].other;
+      if (insert) {
+        buckets_[at].insert_neighbor(other, level_relaxed(other), at_level);
+      } else {
+        buckets_[at].erase_neighbor(other, level_relaxed(other), at_level);
+      }
+    }
+  });
+  return endpoints;
+}
+
+std::vector<Edge> PLDS::insert_batch(std::vector<Edge> edges) {
+  begin_batch();
+  edges = normalize(std::move(edges), /*for_insert=*/true);
+  if (edges.empty()) return edges;
+  auto endpoints = apply_adjacency(edges, /*insert=*/true);
+  num_edges_ += edges.size();
+  insertion_rebalance(std::move(endpoints));
+  return edges;
+}
+
+std::vector<Edge> PLDS::delete_batch(std::vector<Edge> edges) {
+  begin_batch();
+  edges = normalize(std::move(edges), /*for_insert=*/false);
+  if (edges.empty()) return edges;
+  auto endpoints = apply_adjacency(edges, /*insert=*/false);
+  num_edges_ -= edges.size();
+  deletion_rebalance(std::move(endpoints));
+  return edges;
+}
+
+void PLDS::mark_if_needed(vertex_t v, bool insertion_phase) {
+  if (!hooks_.on_mark) return;
+  if (marked_stamp_[v] == batch_stamp_) return;
+  marked_stamp_[v] = batch_stamp_;
+  const level_t old_level = level_relaxed(v);
+  std::vector<vertex_t> triggers;
+  if (hooks_.is_marked) {
+    if (insertion_phase) {
+      // Marked neighbors at the same or higher level (all of `up`).
+      buckets_[v].for_each_up([&](vertex_t w) {
+        if (hooks_.is_marked(w)) triggers.push_back(w);
+      });
+    } else {
+      // Marked neighbors strictly below level(v) - 1.
+      buckets_[v].for_each_down_range(0, old_level - 1, [&](vertex_t w) {
+        if (hooks_.is_marked(w)) triggers.push_back(w);
+      });
+    }
+  }
+  hooks_.on_mark(v, old_level, triggers);
+}
+
+void PLDS::insertion_rebalance(std::vector<vertex_t> dirty) {
+  // Deduplicate the initial dirty set (endpoints are already distinct) and
+  // stamp membership.
+  for (vertex_t v : dirty) dirty_stamp_[v] = batch_stamp_;
+
+  while (!dirty.empty()) {
+    // Lowest level present in the dirty set; the sweep visits levels in
+    // increasing order and new dirt only appears above the current level.
+    const level_t lmin = static_cast<level_t>(parallel_reduce(
+        dirty.size(), std::numeric_limits<level_t>::max(),
+        [&](std::size_t i) { return level_relaxed(dirty[i]); },
+        [](level_t a, level_t b) { return std::min(a, b); }));
+    if (lmin >= params_.num_levels() - 1) break;  // top level cannot rise
+
+    auto candidates = parallel_filter(dirty, [&](vertex_t v) {
+      return level_relaxed(v) == lmin;
+    });
+    auto rest = parallel_filter(dirty, [&](vertex_t v) {
+      return level_relaxed(v) != lmin;
+    });
+
+    auto movers = parallel_filter(candidates, [&](vertex_t v) {
+      return !params_.inv1_ok(lmin, buckets_[v].up_degree());
+    });
+    // Non-movers at this level leave the dirty set (they may re-enter when
+    // a neighbor rises into their level).
+    parallel_for(0, candidates.size(), [&](std::size_t i) {
+      const vertex_t v = candidates[i];
+      if (params_.inv1_ok(lmin, buckets_[v].up_degree())) {
+        dirty_stamp_[v] = 0;
+      }
+    });
+    if (movers.empty()) {
+      dirty = std::move(rest);
+      continue;
+    }
+
+    ++move_step_;
+    const std::uint64_t step = move_step_;
+    parallel_for(0, movers.size(),
+                 [&](std::size_t i) { moving_stamp_[movers[i]] = step; });
+
+    // Mark before any level changes (descriptors must capture old levels and
+    // be visible before readers can observe movement).
+    if (hooks_.on_mark) {
+      parallel_for(0, movers.size(), [&](std::size_t i) {
+        mark_if_needed(movers[i], /*insertion_phase=*/true);
+      });
+    }
+
+    // Restructure each mover's own buckets and emit fix-ups for non-moving
+    // neighbors at levels >= lmin + 1. Uses pre-move levels throughout.
+    std::vector<std::vector<NeighborMove>> emitted(movers.size());
+    parallel_for(0, movers.size(), [&](std::size_t i) {
+      const vertex_t v = movers[i];
+      auto& out = emitted[i];
+      buckets_[v].for_each_up([&](vertex_t w) {
+        if (moving_stamp_[w] == step) return;  // rises with v; no fix-up
+        if (level_relaxed(w) >= lmin + 1) {
+          out.push_back(NeighborMove{w, v, lmin, lmin + 1});
+        }
+      });
+      // Neighbors staying at lmin drop from v's `up` into down[lmin].
+      buckets_[v].on_my_level_up(lmin, [&](vertex_t w) {
+        return moving_stamp_[w] != step && level_relaxed(w) == lmin;
+      });
+    });
+
+    // Publish the new levels.
+    parallel_for(0, movers.size(), [&](std::size_t i) {
+      level_[movers[i]].store(lmin + 1, std::memory_order_seq_cst);
+    });
+
+    // Flatten + group fix-ups by affected vertex and apply; a vertex whose
+    // up-degree grows (neighbor rose into its level) becomes dirty.
+    std::vector<std::size_t> offsets(movers.size());
+    parallel_for(0, movers.size(),
+                 [&](std::size_t i) { offsets[i] = emitted[i].size(); });
+    const std::size_t total = parallel_scan_exclusive(offsets);
+    std::vector<NeighborMove> moves(total);
+    parallel_for(0, movers.size(), [&](std::size_t i) {
+      std::copy(emitted[i].begin(), emitted[i].end(),
+                moves.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+    });
+    auto groups = group_by_key(moves, [](const NeighborMove& m) {
+      return m.at;
+    });
+    std::vector<std::uint8_t> grew(groups.size(), 0);
+    parallel_for(0, groups.size(), [&](std::size_t g) {
+      const vertex_t at = moves[groups[g].begin].at;
+      const level_t at_level = level_relaxed(at);
+      for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
+        buckets_[at].neighbor_moved(moves[i].moved, moves[i].from,
+                                    moves[i].to, at_level);
+      }
+      // Neighbors rose to lmin+1; `at`'s up-degree grew iff it sits exactly
+      // at lmin+1 (they joined its `up` bucket).
+      grew[g] = (at_level == lmin + 1) ? 1 : 0;
+    });
+
+    // Next dirty set: untouched higher-level dirt, movers (recheck at
+    // lmin+1), and vertices whose up-degree grew.
+    std::vector<vertex_t> next = std::move(rest);
+    next.insert(next.end(), movers.begin(), movers.end());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (!grew[g]) continue;
+      const vertex_t at = moves[groups[g].begin].at;
+      if (dirty_stamp_[at] != batch_stamp_) {
+        dirty_stamp_[at] = batch_stamp_;
+        next.push_back(at);
+      }
+    }
+    dirty = std::move(next);
+  }
+  // Clear residual stamps lazily: batch_stamp_ changes next batch.
+}
+
+level_t PLDS::desire_level(vertex_t v) const {
+  const level_t current = level_relaxed(v);
+  std::size_t cnt = buckets_[v].up_degree();
+  for (level_t d = current; d >= 1; --d) {
+    cnt += buckets_[v].down_size(d - 1);  // cnt = #neighbors at >= d-1
+    if (params_.inv2_ok(d, cnt)) return d;
+  }
+  return 0;
+}
+
+void PLDS::deletion_rebalance(std::vector<vertex_t> dirty) {
+  // Pending set P: vertices violating Invariant 2, with cached desire
+  // levels. Counts only decrease during the deletion phase, so a violating
+  // vertex stays violating until it moves.
+  std::vector<vertex_t> pending;
+  for (vertex_t v : dirty) {
+    if (dirty_stamp_[v] == batch_stamp_) continue;
+    if (inv2_violated(v)) {
+      dirty_stamp_[v] = batch_stamp_;
+      desire_[v] = desire_level(v);
+      pending.push_back(v);
+    }
+  }
+
+  while (!pending.empty()) {
+    const level_t target = static_cast<level_t>(parallel_reduce(
+        pending.size(), std::numeric_limits<level_t>::max(),
+        [&](std::size_t i) { return desire_[pending[i]]; },
+        [](level_t a, level_t b) { return std::min(a, b); }));
+
+    auto movers = parallel_filter(
+        pending, [&](vertex_t v) { return desire_[v] == target; });
+    auto rest = parallel_filter(
+        pending, [&](vertex_t v) { return desire_[v] != target; });
+    assert(!movers.empty());
+
+    ++move_step_;
+    const std::uint64_t step = move_step_;
+    parallel_for(0, movers.size(),
+                 [&](std::size_t i) { moving_stamp_[movers[i]] = step; });
+
+    if (hooks_.on_mark) {
+      parallel_for(0, movers.size(), [&](std::size_t i) {
+        mark_if_needed(movers[i], /*insertion_phase=*/false);
+      });
+    }
+
+    // Emit fix-ups for non-moving neighbors above the target level, using
+    // pre-move state: v's old level and bucket indices identify where v sat
+    // in each neighbor's structure.
+    std::vector<std::vector<NeighborMove>> emitted(movers.size());
+    parallel_for(0, movers.size(), [&](std::size_t i) {
+      const vertex_t v = movers[i];
+      const level_t old_level = level_relaxed(v);
+      auto& out = emitted[i];
+      buckets_[v].for_each_up([&](vertex_t w) {
+        if (moving_stamp_[w] == step) return;
+        out.push_back(NeighborMove{w, v, old_level, target});
+      });
+      buckets_[v].for_each_down_range(target + 1, old_level, [&](vertex_t w) {
+        if (moving_stamp_[w] == step) return;
+        out.push_back(NeighborMove{w, v, old_level, target});
+      });
+      // Own restructure: down[target..old_level) merges into `up`.
+      buckets_[v].on_my_level_down(old_level, target);
+    });
+
+    parallel_for(0, movers.size(), [&](std::size_t i) {
+      level_[movers[i]].store(target, std::memory_order_seq_cst);
+    });
+
+    std::vector<std::size_t> offsets(movers.size());
+    parallel_for(0, movers.size(),
+                 [&](std::size_t i) { offsets[i] = emitted[i].size(); });
+    const std::size_t total = parallel_scan_exclusive(offsets);
+    std::vector<NeighborMove> moves(total);
+    parallel_for(0, movers.size(), [&](std::size_t i) {
+      std::copy(emitted[i].begin(), emitted[i].end(),
+                moves.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+    });
+    auto groups = group_by_key(moves, [](const NeighborMove& m) {
+      return m.at;
+    });
+    std::vector<std::uint8_t> affected(groups.size(), 0);
+    parallel_for(0, groups.size(), [&](std::size_t g) {
+      const vertex_t at = moves[groups[g].begin].at;
+      const level_t at_level = level_relaxed(at);
+      bool touched = false;
+      for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
+        // `from` is v's pre-move level; >= at_level means v was in at's
+        // `up` bucket (erase_neighbor dispatches on that comparison).
+        buckets_[at].neighbor_moved(moves[i].moved, moves[i].from,
+                                    moves[i].to, at_level);
+        // v left Z_{at_level - 1} iff it was at >= at_level - 1 and landed
+        // below; those departures can break Invariant 2 of `at`.
+        if (moves[i].from + 1 >= at_level && moves[i].to + 1 < at_level) {
+          touched = true;
+        }
+      }
+      affected[g] = touched ? 1 : 0;
+    });
+
+    // Movers now satisfy Invariant 2 at their desire level by construction.
+    parallel_for(0, movers.size(), [&](std::size_t i) {
+      dirty_stamp_[movers[i]] = 0;
+    });
+
+    // Enqueue new violators and refresh stale desire levels.
+    //  * A *pending* vertex must refresh whenever any neighbor moved: its
+    //    cached desire level depends on counts at levels below its current
+    //    one, which the current-level `affected` test does not cover.
+    //    (Counts only decrease during the deletion phase, so refreshed
+    //    desires only decrease — the min-target processing order survives.)
+    //  * A non-pending vertex joins the pending set iff a departure from
+    //    Z_{level-1} broke its Invariant 2.
+    std::vector<vertex_t> next = std::move(rest);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const vertex_t at = moves[groups[g].begin].at;
+      if (dirty_stamp_[at] == batch_stamp_) {
+        desire_[at] = desire_level(at);  // unconditional refresh
+      } else if (affected[g] && inv2_violated(at)) {
+        dirty_stamp_[at] = batch_stamp_;
+        desire_[at] = desire_level(at);
+        next.push_back(at);
+      }
+    }
+    pending = std::move(next);
+  }
+}
+
+bool PLDS::validate(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  const vertex_t n = num_vertices();
+  std::size_t half_edges = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    const level_t lv = level_relaxed(v);
+    if (lv < 0 || lv >= params_.num_levels()) {
+      return fail("level out of range at vertex " + std::to_string(v));
+    }
+    bool ok = true;
+    buckets_[v].for_each_neighbor(lv, [&](vertex_t w, level_t bucket) {
+      const level_t lw = level_relaxed(w);
+      // `up` bucket is keyed by my level; down buckets by exact level.
+      if (bucket == lv ? (lw < lv) : (lw != bucket)) ok = false;
+      if (!buckets_[w].contains(v, lv, lw)) ok = false;
+      ++half_edges;
+    });
+    if (!ok) return fail("bucket inconsistency at vertex " + std::to_string(v));
+    if (!params_.inv1_ok(lv, buckets_[v].up_degree())) {
+      return fail("Invariant 1 violated at vertex " + std::to_string(v));
+    }
+    if (lv > 0 &&
+        !params_.inv2_ok(lv, buckets_[v].count_at_or_above(lv - 1, lv))) {
+      return fail("Invariant 2 violated at vertex " + std::to_string(v));
+    }
+  }
+  if (half_edges != 2 * num_edges_) {
+    return fail("edge count mismatch: " + std::to_string(half_edges) +
+                " half-edges vs m=" + std::to_string(num_edges_));
+  }
+  return true;
+}
+
+}  // namespace cpkcore

@@ -1,0 +1,156 @@
+// Parallel batch-dynamic level data structure (PLDS, Liu et al. SPAA 2022;
+// paper §3.2). Maintains a (2+epsilon)-approximate k-core decomposition
+// under batches of edge insertions or deletions:
+//
+//  * Insertion phase: levels are processed in increasing order; all vertices
+//    at the current level violating Invariant 1 rise one level in parallel.
+//    Each level is visited at most once per batch.
+//  * Deletion phase: each vertex violating Invariant 2 computes its *desire
+//    level* (the highest level below its current one where Invariant 2
+//    holds) and moves there directly; desire levels of affected neighbors
+//    are recomputed as moves land.
+//
+// Per-neighbor bucket mutations are aggregated and grouped by the affected
+// vertex (semisort), so every VertexBuckets instance is mutated by exactly
+// one task per step — no locks on the update path.
+//
+// Reader-visible state is only the atomic per-vertex level array; CPLDS
+// layers descriptors on top via the marking hooks below.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lds/params.hpp"
+#include "plds/level_buckets.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class PLDS {
+ public:
+  /// CPLDS integration points. `on_mark(v, old_level, triggers)` fires the
+  /// first time v is about to move in the current batch, *before* its level
+  /// changes; `triggers` holds the marked neighbors per the paper's trigger
+  /// rule (insertions: marked neighbors at v's level or above; deletions:
+  /// marked neighbors strictly below level(v) - 1). `is_marked` lets the
+  /// PLDS filter triggers.
+  struct Hooks {
+    std::function<void(vertex_t, level_t, std::span<const vertex_t>)> on_mark;
+    std::function<bool(vertex_t)> is_marked;
+  };
+
+  PLDS(vertex_t num_vertices, LDSParams params);
+
+  PLDS(const PLDS&) = delete;
+  PLDS& operator=(const PLDS&) = delete;
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Applies a batch of insertions (deletions). Self loops, duplicates, and
+  /// already-present (resp. absent) edges are dropped. Returns the edges
+  /// actually applied.
+  std::vector<Edge> insert_batch(std::vector<Edge> edges);
+  std::vector<Edge> delete_batch(std::vector<Edge> edges);
+
+  /// Reader-visible level of v (atomic).
+  [[nodiscard]] level_t level(vertex_t v) const {
+    return level_[v].load(std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] double coreness_estimate(vertex_t v) const {
+    return params_.coreness_estimate(level(v));
+  }
+
+  [[nodiscard]] const LDSParams& params() const { return params_; }
+  [[nodiscard]] vertex_t num_vertices() const {
+    return static_cast<vertex_t>(level_.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Update-path only (not safe concurrent with a running batch).
+  [[nodiscard]] bool has_edge(vertex_t u, vertex_t v) const;
+  [[nodiscard]] std::size_t up_degree(vertex_t v) const {
+    return buckets_[v].up_degree();
+  }
+  [[nodiscard]] std::size_t degree(vertex_t v) const {
+    return buckets_[v].degree();
+  }
+
+  /// All neighbors of v (unspecified order). Quiescent use only.
+  [[nodiscard]] std::vector<vertex_t> neighbors(vertex_t v) const {
+    std::vector<vertex_t> out;
+    out.reserve(buckets_[v].degree());
+    buckets_[v].for_each_neighbor(
+        level_relaxed(v), [&](vertex_t w, level_t) { out.push_back(w); });
+    return out;
+  }
+
+  /// Neighbors of v at levels >= level(v) (the `up` bucket). Quiescent use
+  /// only; the basis of the low out-degree orientation application.
+  [[nodiscard]] std::vector<vertex_t> up_neighbors(vertex_t v) const {
+    return buckets_[v].up_neighbors();
+  }
+
+  /// Test hook: checks bucket/level consistency and both invariants for
+  /// every vertex. On failure returns false and, if `why` is non-null,
+  /// stores a description.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+
+ private:
+  /// A neighbor-bucket fix-up: vertex `moved` changed level from `from` to
+  /// `to`; the buckets of vertex `at` must reflect it.
+  struct NeighborMove {
+    vertex_t at = kNoVertex;
+    vertex_t moved = kNoVertex;
+    level_t from = kNoLevel;
+    level_t to = kNoLevel;
+  };
+
+  void begin_batch();
+  std::vector<Edge> normalize(std::vector<Edge> edges, bool for_insert) const;
+  /// Inserts/removes batch edges into/from the bucket structures, grouped by
+  /// endpoint. Returns the distinct endpoints.
+  std::vector<vertex_t> apply_adjacency(const std::vector<Edge>& edges,
+                                        bool insert);
+
+  void insertion_rebalance(std::vector<vertex_t> dirty);
+  void deletion_rebalance(std::vector<vertex_t> dirty);
+
+  /// Calls hooks_.on_mark for v if this is v's first move in the batch.
+  void mark_if_needed(vertex_t v, bool insertion_phase);
+
+  /// Desire level (deletion phase): highest d <= level(v) where Invariant 2
+  /// holds for v at level d; 0 if none.
+  [[nodiscard]] level_t desire_level(vertex_t v) const;
+
+  [[nodiscard]] bool inv2_violated(vertex_t v) const {
+    const level_t l = level_relaxed(v);
+    if (l <= 0) return false;
+    return !params_.inv2_ok(l, buckets_[v].count_at_or_above(l - 1, l));
+  }
+
+  /// Non-synchronizing level read for the update path.
+  [[nodiscard]] level_t level_relaxed(vertex_t v) const {
+    return level_[v].load(std::memory_order_relaxed);
+  }
+
+  LDSParams params_;
+  std::vector<std::atomic<level_t>> level_;
+  std::vector<VertexBuckets> buckets_;
+  std::size_t num_edges_ = 0;
+  Hooks hooks_;
+
+  // Batch-scoped scratch (stamp arrays avoid per-batch clearing).
+  std::uint32_t batch_stamp_ = 0;
+  std::vector<std::uint32_t> marked_stamp_;  // v marked in batch b
+  std::vector<std::uint32_t> dirty_stamp_;   // v in the dirty/pending set
+  std::uint64_t move_step_ = 0;
+  std::vector<std::uint64_t> moving_stamp_;  // v moves in step s
+  std::vector<level_t> desire_;              // cached desire levels
+};
+
+}  // namespace cpkcore

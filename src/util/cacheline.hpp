@@ -1,0 +1,29 @@
+// Cache-line utilities: padded wrappers to prevent false sharing between
+// per-thread counters in the concurrent harness and scheduler.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace cpkcore {
+
+// 64 bytes on every mainstream x86-64/ARM64 part; fixed rather than
+// std::hardware_destructive_interference_size so the ABI does not depend on
+// compiler flags.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Value padded out to a full cache line.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace cpkcore

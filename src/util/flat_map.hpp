@@ -1,0 +1,141 @@
+// Open-addressing hash map for integer keys, mirroring FlatSet (linear
+// probing, backward-shift deletion, allocation-free when empty).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cpkcore {
+
+template <class K, class V, K EmptyKey>
+class FlatMap {
+ public:
+  struct Slot {
+    K key = EmptyKey;
+    V value{};
+  };
+
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool insert_or_assign(K key, V value) {
+    assert(key != EmptyKey);
+    if (size_ + 1 > (slots_.size() * 7) / 8 || slots_.empty()) grow();
+    std::size_t i = probe_start(key);
+    while (slots_[i].key != EmptyKey) {
+      if (slots_[i].key == key) {
+        slots_[i].value = std::move(value);
+        return false;
+      }
+      i = next(i);
+    }
+    slots_[i] = Slot{key, std::move(value)};
+    ++size_;
+    return true;
+  }
+
+  /// Returns a pointer to the value, or nullptr if absent. Stable only until
+  /// the next mutation.
+  [[nodiscard]] V* find(K key) {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = probe_start(key);
+    while (slots_[i].key != EmptyKey) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = next(i);
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const V* find(K key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Returns the value for key, inserting a default if absent.
+  V& operator[](K key) {
+    assert(key != EmptyKey);
+    if (V* v = find(key)) return *v;
+    insert_or_assign(key, V{});
+    return *find(key);
+  }
+
+  bool erase(K key) {
+    if (slots_.empty()) return false;
+    std::size_t i = probe_start(key);
+    while (slots_[i].key != EmptyKey) {
+      if (slots_[i].key == key) {
+        backward_shift(i);
+        --size_;
+        return true;
+      }
+      i = next(i);
+    }
+    return false;
+  }
+
+  void clear() {
+    slots_.clear();
+    slots_.shrink_to_fit();
+    size_ = 0;
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    for (const Slot& s : slots_) {
+      if (s.key != EmptyKey) f(s.key, s.value);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t probe_start(K key) const {
+    return static_cast<std::size_t>(hash64(key)) & (slots_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t next(std::size_t i) const {
+    return (i + 1) & (slots_.size() - 1);
+  }
+
+  void grow() {
+    const std::size_t new_cap = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.key == EmptyKey) continue;
+      std::size_t i = probe_start(s.key);
+      while (slots_[i].key != EmptyKey) i = next(i);
+      slots_[i] = std::move(s);
+      ++size_;
+    }
+  }
+
+  void backward_shift(std::size_t hole) {
+    std::size_t i = next(hole);
+    while (slots_[i].key != EmptyKey) {
+      const std::size_t ideal = probe_start(slots_[i].key);
+      const std::size_t mask = slots_.size() - 1;
+      const std::size_t d_hole = (hole - ideal) & mask;
+      const std::size_t d_i = (i - ideal) & mask;
+      if (d_hole <= d_i) {
+        slots_[hole] = std::move(slots_[i]);
+        hole = i;
+      }
+      i = next(i);
+    }
+    slots_[hole] = Slot{};
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+template <class K, class V>
+using IntMap = FlatMap<K, V, static_cast<K>(~K{0})>;
+
+}  // namespace cpkcore

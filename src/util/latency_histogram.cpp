@@ -1,0 +1,75 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace cpkcore {
+
+LatencyHistogram::LatencyHistogram() : buckets_(64 * kSub, 0) {}
+
+std::uint32_t LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < kSub) return static_cast<std::uint32_t>(ns);
+  const int msb = 63 - std::countl_zero(ns);
+  // Exponent block = msb, sub-bucket = next kSubBits bits below the MSB.
+  const int shift = msb - kSubBits;
+  const auto sub = static_cast<std::uint32_t>((ns >> shift) & (kSub - 1));
+  return static_cast<std::uint32_t>((msb - kSubBits + 1) * kSub) + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_midpoint(std::uint32_t index) {
+  const std::uint32_t block = index / kSub;
+  const std::uint32_t sub = index % kSub;
+  if (block == 0) return sub;
+  const int shift = static_cast<int>(block) - 1;
+  const std::uint64_t base = (std::uint64_t{kSub} + sub) << shift;
+  const std::uint64_t width = std::uint64_t{1} << shift;
+  return base + width / 2;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  ++buckets_[bucket_index(ns)];
+  ++count_;
+  sum_ += ns;
+  max_ = std::max(max_, ns);
+  min_ = std::min(min_, ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+double LatencyHistogram::mean_ns() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return bucket_midpoint(static_cast<std::uint32_t>(i));
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+  min_ = ~std::uint64_t{0};
+}
+
+}  // namespace cpkcore

@@ -1,0 +1,53 @@
+// Log-bucketed latency histogram (HdrHistogram-style) for recording millions
+// of read latencies with bounded memory and ~2% relative quantile error.
+// Single-writer; merge histograms across threads after the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cpkcore {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one latency sample in nanoseconds.
+  void record(std::uint64_t ns);
+
+  /// Adds all samples of `other` into this histogram.
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t max_ns() const { return max_; }
+  [[nodiscard]] std::uint64_t min_ns() const { return count_ ? min_ : 0; }
+
+  /// Arithmetic mean of recorded samples (0 when empty).
+  [[nodiscard]] double mean_ns() const;
+
+  /// Quantile in [0,1]; returns a representative value of the bucket
+  /// containing the q-th sample (0 when empty).
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const;
+
+  [[nodiscard]] std::uint64_t p50_ns() const { return quantile_ns(0.50); }
+  [[nodiscard]] std::uint64_t p99_ns() const { return quantile_ns(0.99); }
+  [[nodiscard]] std::uint64_t p9999_ns() const { return quantile_ns(0.9999); }
+
+  void clear();
+
+ private:
+  // Buckets: 64 exponents x kSub linear sub-buckets each.
+  static constexpr int kSubBits = 5;
+  static constexpr int kSub = 1 << kSubBits;
+
+  static std::uint32_t bucket_index(std::uint64_t ns);
+  static std::uint64_t bucket_midpoint(std::uint32_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+};
+
+}  // namespace cpkcore

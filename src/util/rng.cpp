@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+// Header-only implementation; this TU exists so the build exercises the
+// header standalone (include hygiene) and anchors any future out-of-line
+// additions.
+
+namespace cpkcore {
+static_assert(Xoshiro256::min() < Xoshiro256::max());
+}  // namespace cpkcore

@@ -1,0 +1,33 @@
+// Monotonic wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cpkcore {
+
+/// Nanoseconds since an arbitrary monotonic epoch.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple start/elapsed stopwatch.
+class Timer {
+ public:
+  Timer() : start_(now_ns()) {}
+
+  void reset() { start_ = now_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace cpkcore

@@ -1,0 +1,54 @@
+// Fundamental scalar types shared by every cpkcore subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace cpkcore {
+
+/// Vertex identifier. Vertices of an n-vertex graph are [0, n).
+using vertex_t = std::uint32_t;
+
+/// Level index inside the level data structure (LDS/PLDS/CPLDS).
+using level_t = std::int32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr vertex_t kNoVertex = std::numeric_limits<vertex_t>::max();
+
+/// Sentinel for "no level".
+inline constexpr level_t kNoLevel = -1;
+
+/// An undirected edge. Canonical form has u < v (see canonical()).
+struct Edge {
+  vertex_t u = kNoVertex;
+  vertex_t v = kNoVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+
+  /// Returns the same edge with endpoints ordered (u <= v).
+  [[nodiscard]] Edge canonical() const {
+    return u <= v ? *this : Edge{v, u};
+  }
+
+  [[nodiscard]] bool is_self_loop() const { return u == v; }
+
+  /// Packs the edge into one 64-bit key (canonical order assumed by caller).
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+};
+
+/// Kind of a graph update.
+enum class UpdateKind : std::uint8_t { kInsert, kDelete };
+
+/// One dynamic-graph update: an edge plus whether it is inserted or deleted.
+struct Update {
+  Edge edge;
+  UpdateKind kind = UpdateKind::kInsert;
+
+  friend bool operator==(const Update&, const Update&) = default;
+};
+
+}  // namespace cpkcore

@@ -1,0 +1,251 @@
+// Tests for the applications layer (the paper's §9 related problems):
+// low out-degree orientation, level-order coloring, parallel maximal
+// matching, and approximate densest subgraph — all derived from quiescent
+// PLDS snapshots, parameterized across graph families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "apps/coloring.hpp"
+#include "apps/densest.hpp"
+#include "apps/matching.hpp"
+#include "apps/orientation.hpp"
+#include "graph/generators.hpp"
+#include "kcore/peel.hpp"
+#include "graph/dynamic_graph.hpp"
+
+namespace cpkcore::apps {
+namespace {
+
+std::unique_ptr<PLDS> build_plds(vertex_t n, std::vector<Edge> edges) {
+  auto plds = std::make_unique<PLDS>(n, LDSParams::create(n));
+  plds->insert_batch(std::move(edges));
+  return plds;
+}
+
+// ---------------------------------------------------------------------------
+// Orientation
+// ---------------------------------------------------------------------------
+
+TEST(Orientation, EveryEdgeOrientedExactlyOnce) {
+  auto edges = gen::erdos_renyi(300, 1500, 3);
+  auto plds_owner = build_plds(300, edges);
+  auto& plds = *plds_owner;
+  auto o = extract_orientation(plds);
+  EXPECT_EQ(o.num_edges(), edges.size());
+  std::set<std::uint64_t> oriented;
+  for (vertex_t v = 0; v < 300; ++v) {
+    for (vertex_t w : o.out[v]) {
+      EXPECT_TRUE(plds.has_edge(v, w));
+      oriented.insert(Edge{v, w}.canonical().key());
+    }
+  }
+  EXPECT_EQ(oriented.size(), edges.size());
+}
+
+TEST(Orientation, RespectsPerVertexBound) {
+  auto plds_owner = build_plds(500, gen::social(500, 5, 5, 30, 0.9, 7));
+  auto& plds = *plds_owner;
+  auto o = extract_orientation(plds);
+  for (vertex_t v = 0; v < 500; ++v) {
+    EXPECT_LE(static_cast<double>(o.out_degree(v)),
+              orientation_bound(plds, v))
+        << v;
+  }
+}
+
+TEST(Orientation, IsAcyclic) {
+  // Orientation by (level, id) is a topological order, hence acyclic:
+  // verify out-edges strictly increase in that order.
+  auto plds_owner = build_plds(200, gen::barabasi_albert(200, 4, 9));
+  auto& plds = *plds_owner;
+  auto o = extract_orientation(plds);
+  auto key = [&](vertex_t v) {
+    return std::make_pair(plds.level(v), v);
+  };
+  for (vertex_t v = 0; v < 200; ++v) {
+    for (vertex_t w : o.out[v]) {
+      EXPECT_LT(key(v), key(w));
+    }
+  }
+}
+
+TEST(Orientation, TreeHasConstantOutDegree) {
+  auto plds_owner = build_plds(500, gen::random_tree(500, 11));
+  auto& plds = *plds_owner;
+  auto o = extract_orientation(plds);
+  // Trees have arboricity 1; the bound is the group-0..1 threshold.
+  EXPECT_LE(o.max_out_degree(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Coloring
+// ---------------------------------------------------------------------------
+
+class ColoringFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringFamilies, ProperAndBounded) {
+  vertex_t n = 0;
+  std::vector<Edge> edges;
+  switch (GetParam()) {
+    case 0:
+      n = 400;
+      edges = gen::erdos_renyi(n, 2000, 13);
+      break;
+    case 1:
+      n = 400;
+      edges = gen::barabasi_albert(n, 6, 13);
+      break;
+    case 2:
+      n = 400;
+      edges = gen::grid_2d(20, 20, true);
+      break;
+    case 3:
+      n = 120;
+      edges = gen::disjoint_cliques(n, 12);
+      break;
+    default:
+      FAIL();
+  }
+  auto plds_owner = build_plds(n, edges);
+  auto& plds = *plds_owner;
+  auto coloring = level_order_coloring(plds);
+  EXPECT_TRUE(is_proper(plds, coloring));
+  // Bound: 1 + max over vertices of the Invariant-1 threshold.
+  double max_bound = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    max_bound = std::max(max_bound, orientation_bound(plds, v));
+  }
+  EXPECT_LE(coloring.num_colors, static_cast<color_t>(max_bound) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ColoringFamilies, ::testing::Range(0, 4));
+
+TEST(Coloring, CliqueNeedsCliqueSizeColors) {
+  auto plds_owner = build_plds(30, gen::complete(30));
+  auto& plds = *plds_owner;
+  auto coloring = level_order_coloring(plds);
+  EXPECT_TRUE(is_proper(plds, coloring));
+  EXPECT_EQ(coloring.num_colors, 30u);  // chromatic number of K_30
+}
+
+TEST(Coloring, EmptyGraphUsesOneColor) {
+  PLDS plds(10, LDSParams::create(10));
+  auto coloring = level_order_coloring(plds);
+  EXPECT_EQ(coloring.num_colors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Matching
+// ---------------------------------------------------------------------------
+
+class MatchingFamilies
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MatchingFamilies, ValidAndMaximal) {
+  const auto [family, seed] = GetParam();
+  vertex_t n = 0;
+  std::vector<Edge> edges;
+  switch (family) {
+    case 0:
+      n = 500;
+      edges = gen::erdos_renyi(n, 2500, seed);
+      break;
+    case 1:
+      n = 500;
+      edges = gen::barabasi_albert(n, 5, seed);
+      break;
+    case 2:
+      n = 400;
+      edges = gen::grid_2d(20, 20, false);
+      break;
+    default:
+      FAIL();
+  }
+  auto plds_owner = build_plds(n, edges);
+  auto& plds = *plds_owner;
+  auto m = maximal_matching(plds, seed);
+  EXPECT_TRUE(is_valid_matching(plds, m));
+  EXPECT_TRUE(is_maximal_matching(plds, m));
+  EXPECT_GT(m.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MatchingFamilies,
+    ::testing::Combine(::testing::Range(0, 3),
+                       ::testing::Values(1ull, 2ull, 3ull)));
+
+TEST(Matching, PerfectOnEvenCycle) {
+  auto plds_owner = build_plds(100, gen::cycle(100));
+  auto& plds = *plds_owner;
+  auto m = maximal_matching(plds, 5);
+  EXPECT_TRUE(is_valid_matching(plds, m));
+  EXPECT_TRUE(is_maximal_matching(plds, m));
+  // Maximal matching on a cycle covers at least 2/3 ... at least n/3 edges.
+  EXPECT_GE(m.size(), 100u / 3);
+}
+
+TEST(Matching, StarMatchesExactlyOneEdge) {
+  auto plds_owner = build_plds(50, gen::star(50));
+  auto& plds = *plds_owner;
+  auto m = maximal_matching(plds, 7);
+  EXPECT_TRUE(is_valid_matching(plds, m));
+  EXPECT_TRUE(is_maximal_matching(plds, m));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Matching, DeterministicForFixedSeed) {
+  auto edges = gen::erdos_renyi(300, 1200, 17);
+  auto p1 = build_plds(300, edges);
+  auto p2 = build_plds(300, edges);
+  EXPECT_EQ(maximal_matching(*p1, 9).mate, maximal_matching(*p2, 9).mate);
+}
+
+// ---------------------------------------------------------------------------
+// Densest subgraph
+// ---------------------------------------------------------------------------
+
+TEST(Densest, FindsPlantedDenseCommunity) {
+  // Sparse background + a 40-clique: densest subgraph density ~ 19.5.
+  constexpr vertex_t kN = 2000;
+  auto edges = gen::random_tree(kN, 3);
+  for (vertex_t u = 0; u < 40; ++u) {
+    for (vertex_t v = u + 1; v < 40; ++v) edges.push_back({u, v});
+  }
+  auto plds_owner = build_plds(kN, edges);
+  auto& plds = *plds_owner;
+  auto result = approx_densest_subgraph(plds);
+  // The optimum is (40*39/2)/40 = 19.5; a 2(1+eps) approximation must
+  // exceed 19.5 / (2 * 1.2^2) ~ 6.8.
+  EXPECT_GT(result.density, 6.7);
+  // Reported density must match an exact recount of the returned set.
+  EXPECT_NEAR(result.density, induced_density(plds, result.vertices), 1e-9);
+  // The planted clique must be inside the reported subgraph.
+  std::set<vertex_t> members(result.vertices.begin(), result.vertices.end());
+  for (vertex_t v = 0; v < 40; ++v) {
+    EXPECT_TRUE(members.contains(v)) << v;
+  }
+}
+
+TEST(Densest, DensityConsistentOnUniformGraph) {
+  auto plds_owner = build_plds(300, gen::erdos_renyi(300, 3000, 21));
+  auto& plds = *plds_owner;
+  auto result = approx_densest_subgraph(plds);
+  EXPECT_GT(result.density, 0);
+  EXPECT_NEAR(result.density, induced_density(plds, result.vertices), 1e-9);
+  // Whole graph density is 10; the best suffix is at least half of it
+  // under the approximation guarantee.
+  EXPECT_GE(result.density, 10.0 / (2 * 1.44) - 1e-9);
+}
+
+TEST(Densest, EmptyGraphYieldsZero) {
+  PLDS plds(10, LDSParams::create(10));
+  auto result = approx_densest_subgraph(plds);
+  EXPECT_EQ(result.density, 0);
+}
+
+}  // namespace
+}  // namespace cpkcore::apps

@@ -1,0 +1,216 @@
+// Tests for the concurrency substrate: the stamped concurrent union-find
+// (sequential semantics, deterministic roots, multi-threaded stress against
+// a sequential reference, stale-compression rejection) and the packed
+// descriptor table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "concurrent/descriptor_table.hpp"
+#include "concurrent/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore {
+namespace {
+
+/// Simple sequential DSU for reference partitions.
+struct RefDsu {
+  std::vector<vertex_t> parent;
+  explicit RefDsu(vertex_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  vertex_t find(vertex_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  }
+  void unite(vertex_t u, vertex_t v) {
+    u = find(u);
+    v = find(v);
+    if (u != v) parent[std::min(u, v)] = std::max(u, v);
+  }
+};
+
+TEST(UnionFind, SingletonsAreRoots) {
+  ConcurrentUnionFind uf(10);
+  for (vertex_t v = 0; v < 10; ++v) {
+    EXPECT_EQ(uf.parent(v), v);
+    EXPECT_EQ(uf.find(v), v);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndRootIsMaxId) {
+  ConcurrentUnionFind uf(10);
+  uf.unite(2, 5);
+  EXPECT_TRUE(uf.same_set(2, 5));
+  EXPECT_EQ(uf.find(2), 5u);
+  uf.unite(5, 3);
+  EXPECT_EQ(uf.find(3), 5u);
+  uf.unite(7, 2);
+  EXPECT_EQ(uf.find(2), 7u);
+  EXPECT_EQ(uf.find(5), 7u);
+  EXPECT_FALSE(uf.same_set(0, 2));
+}
+
+TEST(UnionFind, PathCompressionPreservesPartition) {
+  ConcurrentUnionFind uf(100);
+  for (vertex_t v = 0; v + 1 < 100; ++v) uf.unite(v, v + 1);
+  for (vertex_t v = 0; v < 100; ++v) EXPECT_EQ(uf.find(v), 99u);
+  // Path halving shortens the chain geometrically: a few repeated finds
+  // must flatten vertex 0 all the way to the root.
+  for (int i = 0; i < 8; ++i) uf.find(0);
+  EXPECT_EQ(uf.parent(0), 99u);
+}
+
+TEST(UnionFind, MatchesReferenceOnRandomUnions) {
+  constexpr vertex_t kN = 500;
+  ConcurrentUnionFind uf(kN);
+  RefDsu ref(kN);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<vertex_t>(rng.next_below(kN));
+    const auto v = static_cast<vertex_t>(rng.next_below(kN));
+    uf.unite(u, v);
+    ref.unite(u, v);
+  }
+  for (vertex_t u = 0; u < kN; u += 7) {
+    for (vertex_t v = 0; v < kN; v += 11) {
+      ASSERT_EQ(uf.same_set(u, v), ref.find(u) == ref.find(v))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(UnionFind, ConcurrentUnionsMatchSequentialPartition) {
+  constexpr vertex_t kN = 20000;
+  constexpr int kThreads = 8;
+  constexpr int kPairsPerThread = 30000;
+  // Pre-generate pairs so the reference applies the same multiset.
+  Xoshiro256 rng(23);
+  std::vector<std::pair<vertex_t, vertex_t>> pairs;
+  pairs.reserve(kThreads * kPairsPerThread);
+  for (int i = 0; i < kThreads * kPairsPerThread; ++i) {
+    pairs.emplace_back(static_cast<vertex_t>(rng.next_below(kN)),
+                       static_cast<vertex_t>(rng.next_below(kN)));
+  }
+
+  ConcurrentUnionFind uf(kN);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        const auto& [u, v] = pairs[t * kPairsPerThread + i];
+        uf.unite(u, v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  RefDsu ref(kN);
+  for (const auto& [u, v] : pairs) ref.unite(u, v);
+  // Same partition: map each vertex's root consistently.
+  for (vertex_t v = 0; v < kN; ++v) {
+    ASSERT_EQ(uf.find(v) == uf.find(ref.find(v)), true) << v;
+  }
+  // Spot-check disjointness both ways.
+  Xoshiro256 rng2(29);
+  for (int i = 0; i < 20000; ++i) {
+    const auto u = static_cast<vertex_t>(rng2.next_below(kN));
+    const auto v = static_cast<vertex_t>(rng2.next_below(kN));
+    ASSERT_EQ(uf.same_set(u, v), ref.find(u) == ref.find(v));
+  }
+}
+
+TEST(UnionFind, ConcurrentFindsDuringUnionsTerminate) {
+  constexpr vertex_t kN = 5000;
+  ConcurrentUnionFind uf(kN);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    Xoshiro256 rng(31);
+    while (!stop.load(std::memory_order_relaxed)) {
+      uf.find(static_cast<vertex_t>(rng.next_below(kN)));
+    }
+  });
+  Xoshiro256 rng(37);
+  for (int i = 0; i < 100000; ++i) {
+    uf.unite(static_cast<vertex_t>(rng.next_below(kN)),
+             static_cast<vertex_t>(rng.next_below(kN)));
+  }
+  stop.store(true);
+  reader.join();
+  SUCCEED();
+}
+
+TEST(UnionFind, ResetMakesSingletonAgainWithNewStamp) {
+  ConcurrentUnionFind uf(10);
+  uf.unite(1, 2);
+  EXPECT_EQ(uf.find(1), 2u);
+  uf.reset(1, /*stamp=*/5);
+  EXPECT_EQ(uf.parent(1), 1u);
+  EXPECT_EQ(ConcurrentUnionFind::stamp_of(uf.word(1)), 5u);
+}
+
+TEST(UnionFind, StaleCompressionIsRejected) {
+  ConcurrentUnionFind uf(10);
+  uf.reset(3, 1);
+  uf.reset(7, 1);
+  uf.unite(3, 7);  // parent(3) = 7, stamp 1
+  const auto stale_word = uf.word(3);
+  // A new "batch" resets 3 and links it elsewhere.
+  uf.reset(3, 2);
+  uf.reset(9, 2);
+  uf.unite(3, 9);  // parent(3) = 9, stamp 2
+  // A delayed reader from batch 1 tries to compress with its stale word.
+  uf.compress(3, stale_word, 7);
+  EXPECT_EQ(uf.parent(3), 9u) << "stale CAS must fail on stamp mismatch";
+  // A current-word compression succeeds.
+  uf.compress(3, uf.word(3), 9);
+  EXPECT_EQ(uf.parent(3), 9u);
+}
+
+TEST(UnionFind, ParentNeverBelowSelf) {
+  // The max-root link rule means every stored parent id >= own id; readers
+  // rely on this for wait-free termination of traversals.
+  ConcurrentUnionFind uf(1000);
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 5000; ++i) {
+    uf.unite(static_cast<vertex_t>(rng.next_below(1000)),
+             static_cast<vertex_t>(rng.next_below(1000)));
+  }
+  for (vertex_t v = 0; v < 1000; ++v) {
+    EXPECT_GE(uf.parent(v), v);
+  }
+}
+
+TEST(DescriptorTable, PackRoundTrip) {
+  using DT = DescriptorTable;
+  const auto w = DT::pack(1234, 77);
+  EXPECT_TRUE(DT::is_marked(w));
+  EXPECT_EQ(DT::old_level(w), 1234);
+  EXPECT_EQ(DT::batch_tag(w), 77u);
+  EXPECT_FALSE(DT::is_marked(DT::kUnmarked));
+}
+
+TEST(DescriptorTable, MarkUnmarkLifecycle) {
+  DescriptorTable desc(10);
+  EXPECT_FALSE(desc.marked(3));
+  desc.mark(3, 12, 1);
+  EXPECT_TRUE(desc.marked(3));
+  EXPECT_EQ(DescriptorTable::old_level(desc.word(3)), 12);
+  desc.unmark(3);
+  EXPECT_FALSE(desc.marked(3));
+  desc.unmark(3);  // idempotent
+  EXPECT_FALSE(desc.marked(3));
+}
+
+TEST(DescriptorTable, BatchTagWraps31Bits) {
+  DescriptorTable desc(2);
+  desc.mark(0, 5, (1ull << 31) + 9);
+  EXPECT_EQ(DescriptorTable::batch_tag(desc.word(0)), 9u);
+  EXPECT_TRUE(desc.marked(0));
+}
+
+}  // namespace
+}  // namespace cpkcore

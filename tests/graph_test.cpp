@@ -1,0 +1,276 @@
+// Tests for the graph substrate: dynamic graph batch semantics, CSR
+// snapshots, generators, IO round-trips, and batch-stream builders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "graph/batch.hpp"
+#include "graph/csr.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore {
+namespace {
+
+TEST(DynamicGraph, SingleInsertDelete) {
+  DynamicGraph g(10);
+  EXPECT_TRUE(g.insert_edge({1, 2}));
+  EXPECT_FALSE(g.insert_edge({2, 1}));  // duplicate (canonicalized)
+  EXPECT_FALSE(g.insert_edge({3, 3}));  // self loop
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.delete_edge({2, 1}));
+  EXPECT_FALSE(g.delete_edge({1, 2}));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DynamicGraph, BatchInsertDedupsAndDropsExisting) {
+  DynamicGraph g(100);
+  g.insert_edge({0, 1});
+  std::vector<Edge> batch = {{1, 0}, {0, 1}, {2, 3}, {3, 2}, {4, 4}, {5, 6}};
+  auto applied = g.insert_batch(batch);
+  ASSERT_EQ(applied.size(), 2u);  // (2,3) and (5,6)
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(5, 6));
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(DynamicGraph, BatchDeleteDropsAbsent) {
+  DynamicGraph g(100);
+  g.insert_batch({{0, 1}, {1, 2}, {2, 3}});
+  auto applied = g.delete_batch({{1, 0}, {7, 8}, {1, 0}});
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(DynamicGraph, LargeBatchMatchesReference) {
+  Xoshiro256 rng(21);
+  constexpr vertex_t kN = 2000;
+  DynamicGraph g(kN);
+  std::set<std::pair<vertex_t, vertex_t>> ref;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Edge> ins;
+    for (int i = 0; i < 20000; ++i) {
+      const auto u = static_cast<vertex_t>(rng.next_below(kN));
+      const auto v = static_cast<vertex_t>(rng.next_below(kN));
+      ins.push_back({u, v});
+    }
+    g.insert_batch(ins);
+    for (auto e : ins) {
+      e = e.canonical();
+      if (!e.is_self_loop()) ref.insert({e.u, e.v});
+    }
+    ASSERT_EQ(g.num_edges(), ref.size());
+
+    std::vector<Edge> del;
+    for (int i = 0; i < 5000; ++i) {
+      const auto u = static_cast<vertex_t>(rng.next_below(kN));
+      const auto v = static_cast<vertex_t>(rng.next_below(kN));
+      del.push_back({u, v});
+    }
+    g.delete_batch(del);
+    for (auto e : del) {
+      e = e.canonical();
+      ref.erase({e.u, e.v});
+    }
+    ASSERT_EQ(g.num_edges(), ref.size());
+  }
+  // Spot-check adjacency symmetry and sortedness.
+  for (vertex_t v = 0; v < kN; v += 97) {
+    auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (vertex_t w : nbrs) {
+      EXPECT_TRUE(g.has_edge(w, v));
+    }
+  }
+}
+
+TEST(DynamicGraph, EdgesReturnsCanonicalSortedList) {
+  DynamicGraph g(10);
+  g.insert_batch({{3, 1}, {0, 2}, {5, 4}});
+  auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 2}));
+  EXPECT_EQ(edges[1], (Edge{1, 3}));
+  EXPECT_EQ(edges[2], (Edge{4, 5}));
+}
+
+TEST(Csr, FromEdgesBuildsSymmetricAdjacency) {
+  auto g = CsrGraph::from_edges(5, {{0, 1}, {1, 2}, {1, 3}, {0, 1}});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(4), 0u);
+  auto n1 = g.neighbors(1);
+  EXPECT_EQ(std::vector<vertex_t>(n1.begin(), n1.end()),
+            (std::vector<vertex_t>{0, 2, 3}));
+}
+
+TEST(Csr, FromDynamicMatches) {
+  DynamicGraph dyn(50);
+  Xoshiro256 rng(5);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 200; ++i) {
+    edges.push_back({static_cast<vertex_t>(rng.next_below(50)),
+                     static_cast<vertex_t>(rng.next_below(50))});
+  }
+  dyn.insert_batch(edges);
+  auto csr = CsrGraph::from_dynamic(dyn);
+  ASSERT_EQ(csr.num_edges(), dyn.num_edges());
+  for (vertex_t v = 0; v < 50; ++v) {
+    auto a = dyn.neighbors(v);
+    auto b = csr.neighbors(v);
+    ASSERT_EQ(std::vector<vertex_t>(a.begin(), a.end()),
+              std::vector<vertex_t>(b.begin(), b.end()));
+  }
+}
+
+TEST(Generators, ErdosRenyiProducesRequestedEdges) {
+  auto edges = gen::erdos_renyi(1000, 5000, 1);
+  EXPECT_EQ(edges.size(), 5000u);
+  std::set<std::uint64_t> keys;
+  for (const auto& e : edges) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, 1000u);
+    keys.insert(e.key());
+  }
+  EXPECT_EQ(keys.size(), edges.size());
+}
+
+TEST(Generators, ErdosRenyiClampsToMaxEdges) {
+  auto edges = gen::erdos_renyi(10, 1000, 2);
+  EXPECT_EQ(edges.size(), 45u);  // complete graph
+}
+
+TEST(Generators, BarabasiAlbertDegreesSkewed) {
+  auto edges = gen::barabasi_albert(5000, 3, 3);
+  std::vector<std::size_t> deg(5000, 0);
+  for (const auto& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  const auto max_deg = *std::max_element(deg.begin(), deg.end());
+  // Preferential attachment must produce hubs far above the mean (~6).
+  EXPECT_GT(max_deg, 50u);
+}
+
+TEST(Generators, RmatStaysInRange) {
+  auto edges = gen::rmat(12, 20000, 4);
+  EXPECT_GT(edges.size(), 10000u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.v, 1u << 12);
+  }
+}
+
+TEST(Generators, GridHasExpectedEdgeCount) {
+  // 4-neighbor grid: 2*r*c - r - c edges.
+  auto plain = gen::grid_2d(10, 12, /*with_diagonals=*/false);
+  EXPECT_EQ(plain.size(), 2u * 10 * 12 - 10 - 12);
+  auto diag = gen::grid_2d(10, 12, /*with_diagonals=*/true);
+  EXPECT_EQ(diag.size(), plain.size() + 9u * 11);
+}
+
+TEST(Generators, WattsStrogatzKeepsDegreeBudget) {
+  auto edges = gen::watts_strogatz(2000, 8, 0.1, 6);
+  EXPECT_GT(edges.size(), 7000u);
+  EXPECT_LE(edges.size(), 8000u);
+}
+
+TEST(Generators, KnownStructures) {
+  EXPECT_EQ(gen::complete(6).size(), 15u);
+  EXPECT_EQ(gen::cycle(10).size(), 10u);
+  EXPECT_EQ(gen::star(10).size(), 9u);
+  EXPECT_EQ(gen::random_tree(100, 7).size(), 99u);
+  EXPECT_EQ(gen::disjoint_cliques(12, 4).size(), 3u * 6);
+}
+
+TEST(Io, RoundTripAndRemap) {
+  const std::string path = "/tmp/cpkc_io_test.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# comment line\n100 200\n200 300\n% other comment\n100 300\n",
+               f);
+    std::fclose(f);
+  }
+  auto parsed = read_edge_list(path);
+  EXPECT_EQ(parsed.num_vertices, 3u);
+  ASSERT_EQ(parsed.edges.size(), 3u);
+  // Ids remapped densely in first-appearance order: 100->0, 200->1, 300->2.
+  EXPECT_EQ(parsed.edges[0], (Edge{0, 1}));
+  EXPECT_EQ(parsed.edges[1], (Edge{1, 2}));
+  EXPECT_EQ(parsed.edges[2], (Edge{0, 2}));
+
+  write_edge_list(path, parsed.edges);
+  auto again = read_edge_list(path);
+  EXPECT_EQ(again.edges.size(), parsed.edges.size());
+  std::filesystem::remove(path);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list("/nonexistent/nope.txt"), std::runtime_error);
+}
+
+TEST(BatchStream, SplitBatchesSegmentsByKind) {
+  std::vector<Update> updates = {
+      {{0, 1}, UpdateKind::kInsert}, {{1, 2}, UpdateKind::kInsert},
+      {{0, 1}, UpdateKind::kDelete}, {{2, 3}, UpdateKind::kInsert},
+  };
+  auto batches = split_batches(updates);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(batches[0].edges.size(), 2u);
+  EXPECT_EQ(batches[1].kind, UpdateKind::kDelete);
+  EXPECT_EQ(batches[2].kind, UpdateKind::kInsert);
+}
+
+TEST(BatchStream, InsertionStreamCoversAllEdges) {
+  auto edges = gen::erdos_renyi(500, 3000, 9);
+  auto batches = insertion_stream(edges, 1000, 42);
+  ASSERT_EQ(batches.size(), 3u);
+  std::set<std::uint64_t> seen;
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.kind, UpdateKind::kInsert);
+    for (const auto& e : b.edges) seen.insert(e.canonical().key());
+  }
+  EXPECT_EQ(seen.size(), edges.size());
+}
+
+TEST(BatchStream, DeletionStreamIsReverseOfInsertion) {
+  auto edges = gen::erdos_renyi(200, 900, 10);
+  auto ins = insertion_stream(edges, 300, 5);
+  auto del = deletion_stream(edges, 300, 5);
+  ASSERT_EQ(ins.size(), del.size());
+  // First deleted edge equals last inserted edge (same shuffle, reversed).
+  EXPECT_EQ(del.front().edges.front(), ins.back().edges.back());
+}
+
+TEST(BatchStream, SlidingWindowKeepsWindowSize) {
+  auto edges = gen::erdos_renyi(300, 2000, 11);
+  auto stream = sliding_window_stream(edges, 800, 200, 13);
+  ASSERT_FALSE(stream.empty());
+  EXPECT_EQ(stream[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(stream[0].edges.size(), 800u);
+  DynamicGraph g(300);
+  std::size_t applied = 0;
+  for (const auto& b : stream) {
+    if (b.kind == UpdateKind::kInsert) {
+      applied += g.insert_batch(b.edges).size();
+    } else {
+      g.delete_batch(b.edges);
+    }
+    EXPECT_LE(g.num_edges(), 800u);
+  }
+  EXPECT_EQ(applied, edges.size());
+}
+
+}  // namespace
+}  // namespace cpkcore

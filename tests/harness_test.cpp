@@ -1,0 +1,230 @@
+// Tests for the experiment harness: dataset registry, workload runner
+// bookkeeping (latencies, throughput, boundary snapshots, sample windows),
+// accuracy evaluation math, the experiment driver, and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/read_modes.hpp"
+#include "graph/batch.hpp"
+#include "graph/generators.hpp"
+#include "harness/datasets.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+#include "kcore/peel.hpp"
+
+namespace cpkcore::harness {
+namespace {
+
+TEST(Datasets, RegistryBuildsEveryEntry) {
+  for (const auto& name : dataset_names()) {
+    auto d = make_dataset(name);
+    EXPECT_EQ(d.name, name);
+    EXPECT_GT(d.num_vertices, 0u) << name;
+    EXPECT_GT(d.edges.size(), 0u) << name;
+    for (const Edge& e : d.edges) {
+      EXPECT_LT(e.u, d.num_vertices) << name;
+      EXPECT_LT(e.v, d.num_vertices) << name;
+      EXPECT_LT(e.u, e.v) << name;  // canonical, no self loops
+    }
+  }
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("not-a-dataset"), std::invalid_argument);
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  auto a = make_dataset("dblp");
+  auto b = make_dataset("dblp");
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Datasets, RoadNetworksHaveCorenessThree) {
+  for (const char* name : {"ctr", "usa"}) {
+    auto d = make_dataset(name);
+    auto coreness =
+        exact_coreness(CsrGraph::from_edges(d.num_vertices, d.edges));
+    vertex_t mx = 0;
+    for (vertex_t c : coreness) mx = std::max(mx, c);
+    EXPECT_EQ(mx, 3u) << name;
+  }
+}
+
+TEST(Datasets, SmallNamesAreSubsetOfRegistry) {
+  auto all = dataset_names();
+  for (const auto& name : small_dataset_names()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+}
+
+TEST(Workload, CountsReadsAndBatches) {
+  constexpr vertex_t kN = 500;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto stream = insertion_stream(gen::erdos_renyi(kN, 2000, 3), 500, 5);
+  WorkloadConfig cfg;
+  cfg.mode = ReadMode::kCplds;
+  cfg.reader_threads = 2;
+  auto result = run_workload(ds, stream, cfg);
+  EXPECT_EQ(result.batch_seconds.size(), stream.size());
+  EXPECT_EQ(result.total_applied_edges, 2000u);
+  EXPECT_GT(result.total_reads, 0u);
+  EXPECT_EQ(result.latency.count(), result.total_reads);
+  EXPECT_GT(result.read_throughput(), 0.0);
+  EXPECT_GT(result.write_throughput(), 0.0);
+  EXPECT_EQ(result.window_base, 0u);
+}
+
+TEST(Workload, BoundarySnapshotsHaveCorrectShape) {
+  constexpr vertex_t kN = 300;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto stream = insertion_stream(gen::erdos_renyi(kN, 900, 5), 300, 7);
+  WorkloadConfig cfg;
+  cfg.reader_threads = 1;
+  cfg.record_boundary_levels = true;
+  auto result = run_workload(ds, stream, cfg);
+  ASSERT_EQ(result.boundary_levels.size(), stream.size() + 1);
+  for (const auto& snap : result.boundary_levels) {
+    EXPECT_EQ(snap.size(), kN);
+  }
+  // Boundary 0 is the empty structure: all levels zero.
+  for (level_t l : result.boundary_levels[0]) EXPECT_EQ(l, 0);
+  // Final boundary equals the quiescent structure.
+  for (vertex_t v = 0; v < kN; ++v) {
+    EXPECT_EQ(result.boundary_levels.back()[v], ds.read_level(v));
+  }
+}
+
+TEST(Workload, WindowBaseReflectsPreloadedBatches) {
+  constexpr vertex_t kN = 200;
+  CPLDS ds(kN, LDSParams::create(kN));
+  ds.insert_batch(gen::erdos_renyi(kN, 400, 9));  // preload: batch #1
+  auto stream = deletion_stream(gen::erdos_renyi(kN, 400, 9), 200, 11);
+  WorkloadConfig cfg;
+  cfg.reader_threads = 1;
+  auto result = run_workload(ds, stream, cfg);
+  EXPECT_EQ(result.window_base, 1u);
+}
+
+TEST(Workload, BoundaryExactRequiresEmptyStart) {
+  constexpr vertex_t kN = 100;
+  CPLDS ds(kN, LDSParams::create(kN));
+  ds.insert_batch({{0, 1}});
+  WorkloadConfig cfg;
+  cfg.record_boundary_exact = true;
+  EXPECT_THROW(run_workload(ds, {}, cfg), std::logic_error);
+}
+
+TEST(Workload, BoundaryExactTracksMirror) {
+  constexpr vertex_t kN = 200;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto edges = gen::disjoint_cliques(kN, 10);
+  std::vector<UpdateBatch> stream = {
+      UpdateBatch{UpdateKind::kInsert, edges},
+      UpdateBatch{UpdateKind::kDelete, edges},
+  };
+  WorkloadConfig cfg;
+  cfg.reader_threads = 1;
+  cfg.record_boundary_exact = true;
+  auto result = run_workload(ds, stream, cfg);
+  ASSERT_EQ(result.boundary_exact.size(), 3u);
+  for (vertex_t c : result.boundary_exact[0]) EXPECT_EQ(c, 0u);
+  for (vertex_t c : result.boundary_exact[1]) EXPECT_EQ(c, 9u);
+  for (vertex_t c : result.boundary_exact[2]) EXPECT_EQ(c, 0u);
+}
+
+TEST(Driver, InsertionExperimentRuns) {
+  ExperimentSpec spec;
+  spec.dataset = "ctr";
+  spec.kind = UpdateKind::kInsert;
+  spec.batch_size = 5000;
+  spec.max_batches = 2;
+  spec.workload.reader_threads = 2;
+  auto out = run_experiment(spec);
+  EXPECT_EQ(out.batches_run, 2u);
+  EXPECT_EQ(out.result.batch_seconds.size(), 2u);
+  EXPECT_GT(out.result.total_applied_edges, 0u);
+}
+
+TEST(Driver, DeletionExperimentPreloads) {
+  ExperimentSpec spec;
+  spec.dataset = "ctr";
+  spec.kind = UpdateKind::kDelete;
+  spec.batch_size = 5000;
+  spec.max_batches = 2;
+  spec.workload.reader_threads = 1;
+  auto out = run_experiment(spec);
+  EXPECT_EQ(out.batches_run, 2u);
+  // Deletions actually removed edges (the graph was preloaded).
+  EXPECT_GT(out.result.total_applied_edges, 0u);
+}
+
+TEST(Driver, AccuracyMathMatchesHandComputation) {
+  // One vertex, two boundaries: exact coreness 4 -> 8. Samples at level
+  // whose estimate is 5.0 land between them.
+  LDSParams params = LDSParams::create(100);
+  // Find a level whose estimate is some value e; use level 0 (e=1).
+  std::vector<std::vector<vertex_t>> exact = {{4}, {8}};
+  std::vector<ReadSample> samples = {{0, 0, 1}};  // level 0 -> estimate 1
+  auto stats = evaluate_accuracy(samples, exact, params, 0);
+  ASSERT_EQ(stats.samples, 1u);
+  // err vs 4 = 4, err vs 8 = 8 -> min is 4.
+  EXPECT_DOUBLE_EQ(stats.max_error, 4.0);
+  EXPECT_DOUBLE_EQ(stats.avg_error, 4.0);
+}
+
+TEST(Driver, OutOfWindowCounterFlagsIntermediateLevels) {
+  std::vector<std::vector<level_t>> bounds = {{0}, {10}};
+  // window 1 (during batch 1): levels 0 and 10 are fine, 5 is a violation.
+  std::vector<ReadSample> ok1 = {{0, 0, 1}};
+  std::vector<ReadSample> ok2 = {{0, 10, 1}};
+  std::vector<ReadSample> bad = {{0, 5, 1}};
+  EXPECT_EQ(count_out_of_window_samples(ok1, bounds, 0), 0u);
+  EXPECT_EQ(count_out_of_window_samples(ok2, bounds, 0), 0u);
+  EXPECT_EQ(count_out_of_window_samples(bad, bounds, 0), 1u);
+  // With a window base of 3, window 4 maps to the same boundaries.
+  std::vector<ReadSample> shifted = {{0, 5, 4}};
+  EXPECT_EQ(count_out_of_window_samples(shifted, bounds, 3), 1u);
+  // Windows at or before the base map to boundary 0.
+  std::vector<ReadSample> pre = {{0, 0, 3}};
+  EXPECT_EQ(count_out_of_window_samples(pre, bounds, 3), 0u);
+}
+
+TEST(Report, TableAlignsColumns) {
+  Table t({"A", "Long header", "C"});
+  t.add_row({"x", "1", "yy"});
+  t.add_row({"longer", "2", "z"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Long header"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header, separator, and two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_NE(fmt_seconds(0.001).find("e-03"), std::string::npos);
+  EXPECT_NE(fmt_si(1234567.0).find("e+06"), std::string::npos);
+}
+
+TEST(Workload, SamplesRespectStrideAndCap) {
+  constexpr vertex_t kN = 300;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto stream = insertion_stream(gen::erdos_renyi(kN, 1500, 13), 500, 15);
+  WorkloadConfig cfg;
+  cfg.reader_threads = 2;
+  cfg.sample_stride = 8;
+  cfg.max_samples_per_thread = 100;
+  auto result = run_workload(ds, stream, cfg);
+  EXPECT_LE(result.samples.size(), 200u);
+  for (const auto& s : result.samples) {
+    EXPECT_LT(s.v, kN);
+    EXPECT_GE(s.level, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cpkcore::harness

@@ -1,0 +1,170 @@
+// End-to-end integration: every registry dataset through mixed workloads
+// with concurrent readers, cross-checked against the exact oracle and the
+// sequential LDS; IO round-trips feeding the CPLDS; and full pipeline runs
+// (generate -> stream -> CPLDS + mirror -> accuracy).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/read_modes.hpp"
+#include "graph/batch.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "harness/datasets.hpp"
+#include "harness/driver.hpp"
+#include "kcore/parallel_peel.hpp"
+#include "kcore/peel.hpp"
+#include "lds/sequential_lds.hpp"
+
+namespace cpkcore {
+namespace {
+
+double bound(const LDSParams& p) {
+  return (2.0 + 3.0 / p.lambda()) * std::pow(1.0 + p.delta(), 2);
+}
+
+class DatasetPipeline : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetPipeline, SlidingWindowChurnWithReadersStaysSound) {
+  auto data = harness::make_dataset(GetParam());
+  // Shrink for test time: keep ~12k edges.
+  if (data.edges.size() > 12000) data.edges.resize(12000);
+  auto params = LDSParams::create(data.num_vertices);
+  CPLDS ds(data.num_vertices, params);
+  DynamicGraph mirror(data.num_vertices);
+
+  auto stream = sliding_window_stream(data.edges, 6000, 2000, 3);
+  harness::WorkloadConfig cfg;
+  cfg.mode = ReadMode::kCplds;
+  cfg.reader_threads = 3;
+  cfg.sample_stride = 64;
+  cfg.record_boundary_levels = true;
+  auto result = harness::run_workload(ds, stream, cfg);
+
+  // Linearizability evidence.
+  EXPECT_EQ(harness::count_out_of_window_samples(
+                result.samples, result.boundary_levels, result.window_base),
+            0u);
+
+  // Structure + approximation vs the exact oracle at the end.
+  for (const auto& b : stream) {
+    if (b.kind == UpdateKind::kInsert) {
+      mirror.insert_batch(b.edges);
+    } else {
+      mirror.delete_batch(b.edges);
+    }
+  }
+  ASSERT_EQ(ds.num_edges(), mirror.num_edges());
+  std::string why;
+  ASSERT_TRUE(ds.plds().validate(&why)) << why;
+  const auto exact = exact_coreness(mirror);
+  for (vertex_t v = 0; v < data.num_vertices; ++v) {
+    const double est = ds.read_coreness(v);
+    const double truth = std::max<double>(1.0, exact[v]);
+    ASSERT_LE(std::max(est / truth, truth / est), bound(params))
+        << GetParam() << " vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetPipeline,
+                         ::testing::Values("dblp", "wiki", "yt", "ctr",
+                                           "orkut"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Integration, SequentialAndParallelStructuresAgreeOnEstimateBounds) {
+  // The sequential LDS and the CPLDS need not produce identical levels, but
+  // both must satisfy the same approximation bound on the same graph.
+  constexpr vertex_t kN = 250;
+  auto edges = gen::social(kN, 4, 4, 25, 0.9, 5);
+  auto params = LDSParams::create(kN);
+
+  SequentialLDS seq(kN, params);
+  for (const Edge& e : edges) seq.insert_edge(e);
+  CPLDS par(kN, params);
+  par.insert_batch(edges);
+
+  DynamicGraph mirror(kN);
+  mirror.insert_batch(edges);
+  const auto exact = exact_coreness(mirror);
+  for (vertex_t v = 0; v < kN; ++v) {
+    const double truth = std::max<double>(1.0, exact[v]);
+    for (double est : {seq.coreness_estimate(v), par.read_coreness(v)}) {
+      ASSERT_LE(std::max(est / truth, truth / est), bound(params)) << v;
+    }
+  }
+}
+
+TEST(Integration, EdgeListFileFeedsCplds) {
+  const std::string path = "/tmp/cpkc_integration_edges.txt";
+  auto edges = gen::erdos_renyi(500, 2500, 21);
+  write_edge_list(path, edges);
+  auto parsed = read_edge_list(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(parsed.edges.size(), edges.size());
+
+  CPLDS ds(parsed.num_vertices, LDSParams::create(parsed.num_vertices));
+  auto applied = ds.insert_batch(parsed.edges);
+  EXPECT_EQ(applied.size(), edges.size());
+  std::string why;
+  EXPECT_TRUE(ds.plds().validate(&why)) << why;
+}
+
+TEST(Integration, ParallelPeelMatchesSequentialOnRegistryDataset) {
+  auto data = harness::make_dataset("wiki");
+  auto csr = CsrGraph::from_edges(data.num_vertices, data.edges);
+  EXPECT_EQ(parallel_exact_coreness(csr), exact_coreness(csr));
+}
+
+TEST(Integration, AllReadModesAgreeAtQuiescence) {
+  auto data = harness::make_dataset("ctr");
+  CPLDS ds(data.num_vertices, LDSParams::create(data.num_vertices));
+  ds.insert_batch(data.edges);
+  for (vertex_t v = 0; v < data.num_vertices; v += 37) {
+    const double a = read_with_mode(ds, v, ReadMode::kCplds);
+    const double b = read_with_mode(ds, v, ReadMode::kSyncReads);
+    const double c = read_with_mode(ds, v, ReadMode::kNonSync);
+    ASSERT_DOUBLE_EQ(a, b);
+    ASSERT_DOUBLE_EQ(a, c);
+  }
+}
+
+TEST(Integration, RepeatedInsertDeleteCyclesStaySound) {
+  constexpr vertex_t kN = 400;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto edges = gen::watts_strogatz(kN, 8, 0.2, 17);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    ds.insert_batch(edges);
+    EXPECT_EQ(ds.num_edges(), edges.size()) << cycle;
+    ds.delete_batch(edges);
+    EXPECT_EQ(ds.num_edges(), 0u) << cycle;
+    std::string why;
+    ASSERT_TRUE(ds.plds().validate(&why)) << cycle << ": " << why;
+    for (vertex_t v = 0; v < kN; v += 51) {
+      ASSERT_DOUBLE_EQ(ds.read_coreness(v), 1.0) << cycle;
+    }
+  }
+}
+
+TEST(Integration, CappedParamsKeepLinearizability) {
+  // The "-opt" level cap degrades approximation but must not affect the
+  // concurrency protocol.
+  constexpr vertex_t kN = 1000;
+  CPLDS ds(kN, LDSParams::create(kN, 0.2, 9.0, /*cap=*/20));
+  auto stream = insertion_stream(gen::social(kN, 6, 6, 40, 0.9, 23), 1500, 25);
+  harness::WorkloadConfig cfg;
+  cfg.mode = ReadMode::kCplds;
+  cfg.reader_threads = 3;
+  cfg.sample_stride = 4;
+  cfg.record_boundary_levels = true;
+  auto result = harness::run_workload(ds, stream, cfg);
+  ASSERT_GT(result.samples.size(), 0u);
+  EXPECT_EQ(harness::count_out_of_window_samples(
+                result.samples, result.boundary_levels, result.window_base),
+            0u);
+}
+
+}  // namespace
+}  // namespace cpkcore

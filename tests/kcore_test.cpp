@@ -1,0 +1,181 @@
+// Exact k-core oracle tests: closed-form graphs, sequential-vs-parallel
+// equivalence (parameterized across families and sizes), and a brute-force
+// cross-check on tiny random graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/csr.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "kcore/parallel_peel.hpp"
+#include "kcore/peel.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore {
+namespace {
+
+/// O(n^2 m)-ish reference: repeatedly strip vertices of degree < k.
+std::vector<vertex_t> brute_force_coreness(const CsrGraph& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<vertex_t> coreness(n, 0);
+  for (vertex_t k = 1;; ++k) {
+    std::vector<bool> alive(n, true);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (vertex_t v = 0; v < n; ++v) {
+        if (!alive[v]) continue;
+        std::size_t deg = 0;
+        for (vertex_t w : g.neighbors(v)) deg += alive[w] ? 1 : 0;
+        if (deg < k) {
+          alive[v] = false;
+          changed = true;
+        }
+      }
+    }
+    bool any = false;
+    for (vertex_t v = 0; v < n; ++v) {
+      if (alive[v]) {
+        coreness[v] = k;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return coreness;
+}
+
+TEST(ExactCore, CompleteGraph) {
+  auto g = CsrGraph::from_edges(8, gen::complete(8));
+  for (vertex_t c : exact_coreness(g)) EXPECT_EQ(c, 7u);
+  EXPECT_EQ(degeneracy(g), 7u);
+}
+
+TEST(ExactCore, CycleIsTwo) {
+  auto g = CsrGraph::from_edges(20, gen::cycle(20));
+  for (vertex_t c : exact_coreness(g)) EXPECT_EQ(c, 2u);
+}
+
+TEST(ExactCore, TreeIsOne) {
+  auto g = CsrGraph::from_edges(200, gen::random_tree(200, 3));
+  for (vertex_t c : exact_coreness(g)) EXPECT_EQ(c, 1u);
+}
+
+TEST(ExactCore, StarIsOne) {
+  auto g = CsrGraph::from_edges(50, gen::star(50));
+  for (vertex_t c : exact_coreness(g)) EXPECT_EQ(c, 1u);
+}
+
+TEST(ExactCore, IsolatedVerticesAreZero) {
+  auto g = CsrGraph::from_edges(10, {{0, 1}});
+  auto c = exact_coreness(g);
+  EXPECT_EQ(c[0], 1u);
+  EXPECT_EQ(c[1], 1u);
+  for (vertex_t v = 2; v < 10; ++v) EXPECT_EQ(c[v], 0u);
+}
+
+TEST(ExactCore, DisjointCliquesHaveKnownCoreness) {
+  auto g = CsrGraph::from_edges(20, gen::disjoint_cliques(20, 5));
+  for (vertex_t c : exact_coreness(g)) EXPECT_EQ(c, 4u);
+}
+
+TEST(ExactCore, GridWithDiagonalsIsAtMostThree) {
+  auto g = CsrGraph::from_edges(400, gen::grid_2d(20, 20, true));
+  const auto c = exact_coreness(g);
+  const auto mx = *std::max_element(c.begin(), c.end());
+  EXPECT_EQ(mx, 3u);
+}
+
+TEST(ExactCore, CliqueWithTailPeelsTail) {
+  // 5-clique (0..4) plus a path 4-5-6: path vertices have coreness 1.
+  auto edges = gen::complete(5);
+  edges.push_back({4, 5});
+  edges.push_back({5, 6});
+  auto g = CsrGraph::from_edges(7, edges);
+  auto c = exact_coreness(g);
+  for (vertex_t v = 0; v < 5; ++v) EXPECT_EQ(c[v], 4u);
+  EXPECT_EQ(c[5], 1u);
+  EXPECT_EQ(c[6], 1u);
+}
+
+TEST(ExactCore, MatchesBruteForceOnTinyRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto edges = gen::erdos_renyi(30, 60 + seed * 10, seed);
+    auto g = CsrGraph::from_edges(30, edges);
+    EXPECT_EQ(exact_coreness(g), brute_force_coreness(g)) << seed;
+  }
+}
+
+TEST(ExactCore, DynamicGraphOverloadMatches) {
+  DynamicGraph dyn(100);
+  dyn.insert_batch(gen::erdos_renyi(100, 400, 17));
+  auto c1 = exact_coreness(dyn);
+  auto c2 = exact_coreness(CsrGraph::from_dynamic(dyn));
+  EXPECT_EQ(c1, c2);
+}
+
+struct PeelCase {
+  const char* name;
+  vertex_t n;
+  std::vector<Edge> edges;
+};
+
+class PeelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PeelEquivalence, ParallelMatchesSequential) {
+  const auto [family, seed] = GetParam();
+  vertex_t n = 0;
+  std::vector<Edge> edges;
+  switch (family) {
+    case 0:
+      n = 3000;
+      edges = gen::erdos_renyi(n, 12000, seed);
+      break;
+    case 1:
+      n = 3000;
+      edges = gen::barabasi_albert(n, 5, seed);
+      break;
+    case 2:
+      n = 4096;
+      edges = gen::rmat(12, 16000, seed);
+      break;
+    case 3:
+      n = 2500;
+      edges = gen::grid_2d(50, 50, true);
+      break;
+    case 4:
+      n = 3000;
+      edges = gen::watts_strogatz(n, 6, 0.2, seed);
+      break;
+    default:
+      FAIL();
+  }
+  auto g = CsrGraph::from_edges(n, std::move(edges));
+  EXPECT_EQ(parallel_exact_coreness(g), exact_coreness(g));
+}
+
+const char* const kPeelFamilyNames[] = {"er", "ba", "rmat", "grid", "ws"};
+
+std::string peel_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& info) {
+  return std::string(kPeelFamilyNames[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PeelEquivalence,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    peel_case_name);
+
+TEST(ParallelPeel, EmptyGraph) {
+  auto g = CsrGraph::from_edges(10, {});
+  auto c = parallel_exact_coreness(g);
+  for (vertex_t v : c) EXPECT_EQ(v, 0u);
+}
+
+}  // namespace
+}  // namespace cpkcore

@@ -1,0 +1,210 @@
+// Tests for LDS parameters and the sequential level data structure:
+// threshold math, invariant maintenance under random update sequences, and
+// the (2+epsilon) coreness-approximation property against exact peeling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "kcore/peel.hpp"
+#include "lds/params.hpp"
+#include "lds/sequential_lds.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore {
+namespace {
+
+TEST(LdsParams, StructureSizes) {
+  auto p = LDSParams::create(1000, 0.2, 9.0);
+  EXPECT_GT(p.num_groups(), 0);
+  EXPECT_EQ(p.levels_per_group() % 4, 0);
+  EXPECT_EQ(p.num_levels(), p.num_groups() * p.levels_per_group());
+  // Enough groups to cover degree n: (1+delta)^{G-2} >= n.
+  EXPECT_GE(std::pow(1.2, p.num_groups() - 1), 1000.0);
+}
+
+TEST(LdsParams, ThresholdsGrowGeometrically) {
+  auto p = LDSParams::create(10000, 0.2, 9.0);
+  for (int g = 0; g + 1 < p.num_groups(); ++g) {
+    EXPECT_NEAR(p.lower_threshold(g + 1) / p.lower_threshold(g), 1.2, 1e-9);
+    EXPECT_NEAR(p.upper_threshold(g) / p.lower_threshold(g), 2.0 + 3.0 / 9.0,
+                1e-9);
+  }
+}
+
+TEST(LdsParams, GroupOfLevel) {
+  auto p = LDSParams::create(1000);
+  EXPECT_EQ(p.group_of_level(0), 0);
+  EXPECT_EQ(p.group_of_level(p.levels_per_group() - 1), 0);
+  EXPECT_EQ(p.group_of_level(p.levels_per_group()), 1);
+}
+
+TEST(LdsParams, EstimateMonotoneInLevel) {
+  auto p = LDSParams::create(100000);
+  double prev = 0;
+  for (int l = 0; l < p.num_levels(); ++l) {
+    const double e = p.coreness_estimate(l);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+  EXPECT_DOUBLE_EQ(p.coreness_estimate(0), 1.0);
+}
+
+TEST(LdsParams, EstimateFollowsDefinition31) {
+  auto p = LDSParams::create(5000, 0.2, 9.0);
+  const int lpg = p.levels_per_group();
+  for (int l : {0, 1, lpg - 1, lpg, 2 * lpg - 1, 2 * lpg, 3 * lpg + 5}) {
+    const int idx = std::max((l + 1) / lpg - 1, 0);
+    EXPECT_DOUBLE_EQ(p.coreness_estimate(l), std::pow(1.2, idx)) << l;
+  }
+}
+
+TEST(LdsParams, LevelsPerGroupCapApplies) {
+  auto theory = LDSParams::create(100000, 0.2, 9.0, 0);
+  auto capped = LDSParams::create(100000, 0.2, 9.0, 20);
+  EXPECT_GT(theory.levels_per_group(), 20);
+  EXPECT_EQ(capped.levels_per_group(), 20);
+  EXPECT_LT(capped.num_levels(), theory.num_levels());
+}
+
+TEST(LdsParams, Inv1TopLevelAlwaysOk) {
+  auto p = LDSParams::create(1000);
+  EXPECT_TRUE(p.inv1_ok(p.num_levels() - 1, 1u << 30));
+  EXPECT_TRUE(p.inv2_ok(0, 0));
+}
+
+TEST(SequentialLds, EmptyGraphAllAtLevelZero) {
+  SequentialLDS lds(10, LDSParams::create(10));
+  for (vertex_t v = 0; v < 10; ++v) EXPECT_EQ(lds.level(v), 0);
+  EXPECT_TRUE(lds.invariants_hold());
+}
+
+TEST(SequentialLds, RejectsBadUpdates) {
+  SequentialLDS lds(10, LDSParams::create(10));
+  EXPECT_FALSE(lds.insert_edge({3, 3}));
+  EXPECT_TRUE(lds.insert_edge({1, 2}));
+  EXPECT_FALSE(lds.insert_edge({2, 1}));
+  EXPECT_FALSE(lds.delete_edge({4, 5}));
+  EXPECT_TRUE(lds.delete_edge({1, 2}));
+}
+
+TEST(SequentialLds, InvariantsHoldDuringRandomChurn) {
+  constexpr vertex_t kN = 120;
+  SequentialLDS lds(kN, LDSParams::create(kN));
+  Xoshiro256 rng(31);
+  std::vector<Edge> present;
+  for (int step = 0; step < 1500; ++step) {
+    if (present.empty() || rng.next_below(3) != 0) {
+      const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                   static_cast<vertex_t>(rng.next_below(kN))};
+      if (lds.insert_edge(e)) present.push_back(e.canonical());
+    } else {
+      const std::size_t i = rng.next_below(present.size());
+      EXPECT_TRUE(lds.delete_edge(present[i]));
+      present[i] = present.back();
+      present.pop_back();
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(lds.invariants_hold()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(lds.invariants_hold());
+}
+
+/// The paper's Lemma 3.2 yields: estimate/k in [1/c, c] where
+/// c = (2 + 3/lambda)(1 + delta)^2 up to rounding at group boundaries. We
+/// assert the practical bound used in the paper's plots: ratio <= c for
+/// k >= 1 vertices (with one (1+delta) slack for discretization).
+void expect_estimates_within_bound(const SequentialLDS& lds) {
+  const auto exact = exact_coreness(lds.graph());
+  const double c =
+      (2.0 + 3.0 / lds.params().lambda()) * std::pow(1 + lds.params().delta(), 2);
+  for (vertex_t v = 0; v < lds.num_vertices(); ++v) {
+    const double est = lds.coreness_estimate(v);
+    const double truth = std::max<double>(1.0, exact[v]);
+    const double ratio = std::max(est / truth, truth / est);
+    EXPECT_LE(ratio, c) << "vertex " << v << " est " << est << " true "
+                        << truth;
+  }
+}
+
+class SeqLdsApprox
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SeqLdsApprox, EstimateWithinTheoreticalFactor) {
+  const auto [family, seed] = GetParam();
+  vertex_t n = 0;
+  std::vector<Edge> edges;
+  switch (family) {
+    case 0:
+      n = 150;
+      edges = gen::erdos_renyi(n, 700, seed);
+      break;
+    case 1:
+      n = 150;
+      edges = gen::barabasi_albert(n, 4, seed);
+      break;
+    case 2:
+      n = 144;
+      edges = gen::grid_2d(12, 12, true);
+      break;
+    case 3:
+      n = 60;
+      edges = gen::disjoint_cliques(n, 10);
+      break;
+    default:
+      FAIL();
+  }
+  SequentialLDS lds(n, LDSParams::create(n));
+  for (const Edge& e : edges) lds.insert_edge(e);
+  ASSERT_TRUE(lds.invariants_hold());
+  expect_estimates_within_bound(lds);
+
+  // Delete half the edges and re-check.
+  for (std::size_t i = 0; i < edges.size(); i += 2) {
+    lds.delete_edge(edges[i]);
+  }
+  ASSERT_TRUE(lds.invariants_hold());
+  expect_estimates_within_bound(lds);
+}
+
+const char* const kLdsFamilyNames[] = {"er", "ba", "grid", "cliques"};
+
+std::string lds_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& info) {
+  return std::string(kLdsFamilyNames[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SeqLdsApprox,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(11ull, 22ull)),
+    lds_case_name);
+
+TEST(SequentialLds, CliqueLandsInHighGroup) {
+  constexpr vertex_t kN = 40;
+  SequentialLDS lds(kN, LDSParams::create(kN));
+  for (const Edge& e : gen::complete(kN)) lds.insert_edge(e);
+  // Every vertex has coreness 39; estimates must be > 39 / 2.8.
+  for (vertex_t v = 0; v < kN; ++v) {
+    EXPECT_GT(lds.coreness_estimate(v), 39.0 / 2.8);
+  }
+}
+
+TEST(SequentialLds, DeleteAllEdgesReturnsEstimateToOne) {
+  constexpr vertex_t kN = 30;
+  SequentialLDS lds(kN, LDSParams::create(kN));
+  auto edges = gen::erdos_renyi(kN, 120, 8);
+  for (const Edge& e : edges) lds.insert_edge(e);
+  for (const Edge& e : edges) lds.delete_edge(e);
+  EXPECT_TRUE(lds.invariants_hold());
+  for (vertex_t v = 0; v < kN; ++v) {
+    EXPECT_DOUBLE_EQ(lds.coreness_estimate(v), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cpkcore

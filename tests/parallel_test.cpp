@@ -1,0 +1,262 @@
+// Tests for the parallel runtime: scheduler semantics (coverage, nesting,
+// concurrent submitters), primitives (reduce/scan/pack), sample sort, and
+// group_by.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sort.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore {
+namespace {
+
+TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  parallel_for(0, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(Scheduler, EmptyAndSingletonRanges) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(5, 6, [&](std::size_t i) {
+    EXPECT_EQ(i, 5u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, NestedParallelForRunsSerially) {
+  constexpr std::size_t kOuter = 64;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  parallel_for(0, kOuter, [&](std::size_t i) {
+    EXPECT_FALSE(!Scheduler::in_chunk());
+    parallel_for(0, kInner, [&](std::size_t j) {
+      hits[i * kInner + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ConcurrentSubmittersBothComplete) {
+  std::atomic<std::uint64_t> sum_a{0};
+  std::atomic<std::uint64_t> sum_b{0};
+  std::thread ta([&] {
+    parallel_for(0, 200000, [&](std::size_t i) {
+      sum_a.fetch_add(i, std::memory_order_relaxed);
+    });
+  });
+  std::thread tb([&] {
+    parallel_for(0, 200000, [&](std::size_t i) {
+      sum_b.fetch_add(i, std::memory_order_relaxed);
+    });
+  });
+  ta.join();
+  tb.join();
+  const std::uint64_t expect = 200000ull * 199999 / 2;
+  EXPECT_EQ(sum_a.load(), expect);
+  EXPECT_EQ(sum_b.load(), expect);
+}
+
+TEST(Scheduler, GrainControlsChunking) {
+  std::atomic<std::size_t> count{0};
+  parallel_for(
+      0, 1000, [&](std::size_t) { count.fetch_add(1); }, 100);
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(Primitives, ReduceMatchesSerialSum) {
+  constexpr std::size_t kN = 1 << 18;
+  const auto sum = parallel_sum<std::uint64_t>(
+      kN, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(Primitives, ReduceWithMinCombine) {
+  constexpr std::size_t kN = 100000;
+  const auto mn = parallel_reduce(
+      kN, std::numeric_limits<std::uint64_t>::max(),
+      [](std::size_t i) { return static_cast<std::uint64_t>((i * 37 + 11) % 1000); },
+      [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+  std::uint64_t expect = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < kN; ++i) {
+    expect = std::min<std::uint64_t>(expect, (i * 37 + 11) % 1000);
+  }
+  EXPECT_EQ(mn, expect);
+}
+
+TEST(Primitives, SmallInputsTakeSerialPath) {
+  const auto sum = parallel_sum<int>(10, [](std::size_t i) {
+    return static_cast<int>(i);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(Primitives, ExclusiveScanMatchesSerial) {
+  for (std::size_t n : {0ul, 1ul, 100ul, 5000ul, 1ul << 17}) {
+    Xoshiro256 rng(n);
+    std::vector<std::uint64_t> vals(n);
+    for (auto& v : vals) v = rng.next_below(100);
+    std::vector<std::uint64_t> expect = vals;
+    std::uint64_t acc = 0;
+    for (auto& v : expect) {
+      const auto tmp = v;
+      v = acc;
+      acc += tmp;
+    }
+    auto mine = vals;
+    const auto total = parallel_scan_exclusive(mine);
+    EXPECT_EQ(total, acc) << n;
+    EXPECT_EQ(mine, expect) << n;
+  }
+}
+
+TEST(Primitives, PackKeepsOrderAndFilters) {
+  constexpr std::size_t kN = 1 << 17;
+  auto out = parallel_pack<std::size_t>(
+      kN, [](std::size_t i) { return i % 3 == 0; },
+      [](std::size_t i) { return i; });
+  ASSERT_EQ(out.size(), (kN + 2) / 3);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    ASSERT_EQ(out[j], j * 3);
+  }
+}
+
+TEST(Primitives, FilterOnElements) {
+  std::vector<int> in(100000);
+  std::iota(in.begin(), in.end(), 0);
+  auto evens = parallel_filter(in, [](int x) { return x % 2 == 0; });
+  ASSERT_EQ(evens.size(), in.size() / 2);
+  EXPECT_EQ(evens[10], 20);
+}
+
+TEST(Primitives, TabulateAndCount) {
+  auto sq = parallel_tabulate<std::uint64_t>(
+      50000, [](std::size_t i) { return static_cast<std::uint64_t>(i) * i; });
+  EXPECT_EQ(sq[333], 333ull * 333);
+  const auto odd = parallel_count(50000, [](std::size_t i) {
+    return i % 2 == 1;
+  });
+  EXPECT_EQ(odd, 25000u);
+}
+
+TEST(Sort, RandomInput) {
+  Xoshiro256 rng(77);
+  std::vector<std::uint64_t> data(200000);
+  for (auto& d : data) d = rng.next();
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(data);
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Sort, AlreadySortedAndReverse) {
+  std::vector<int> data(100000);
+  std::iota(data.begin(), data.end(), 0);
+  auto expect = data;
+  parallel_sort(data);
+  EXPECT_EQ(data, expect);
+  std::reverse(data.begin(), data.end());
+  parallel_sort(data);
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Sort, ManyDuplicates) {
+  Xoshiro256 rng(3);
+  std::vector<std::uint32_t> data(150000);
+  for (auto& d : data) d = static_cast<std::uint32_t>(rng.next_below(7));
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(data);
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Sort, CustomComparator) {
+  Xoshiro256 rng(4);
+  std::vector<std::uint64_t> data(100000);
+  for (auto& d : data) d = rng.next();
+  auto expect = data;
+  std::sort(expect.begin(), expect.end(), std::greater<>());
+  parallel_sort(data, std::greater<>());
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Sort, SmallInputsUseSerialPath) {
+  std::vector<int> data = {5, 3, 8, 1};
+  parallel_sort(data);
+  EXPECT_EQ(data, (std::vector<int>{1, 3, 5, 8}));
+}
+
+TEST(GroupBy, GroupsAreContiguousAndComplete) {
+  Xoshiro256 rng(8);
+  struct Item {
+    std::uint32_t key;
+    std::uint32_t payload;
+  };
+  std::vector<Item> items(120000);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = {static_cast<std::uint32_t>(rng.next_below(500)),
+                static_cast<std::uint32_t>(i)};
+  }
+  std::vector<std::size_t> key_count(500, 0);
+  for (const auto& it : items) ++key_count[it.key];
+
+  auto groups = group_by_key(items, [](const Item& it) { return it.key; });
+  std::size_t covered = 0;
+  std::uint32_t prev_key = 0;
+  bool first = true;
+  for (const auto& g : groups) {
+    ASSERT_GT(g.size(), 0u);
+    const std::uint32_t key = items[g.begin].key;
+    for (std::size_t i = g.begin; i < g.end; ++i) {
+      ASSERT_EQ(items[i].key, key);
+    }
+    EXPECT_EQ(g.size(), key_count[key]);
+    if (!first) EXPECT_GT(key, prev_key);
+    prev_key = key;
+    first = false;
+    covered += g.size();
+  }
+  EXPECT_EQ(covered, items.size());
+}
+
+TEST(GroupBy, EmptyAndSingleKey) {
+  std::vector<std::uint32_t> empty;
+  EXPECT_TRUE(group_by_key(empty, [](std::uint32_t k) { return k; }).empty());
+  std::vector<std::uint32_t> same(1000, 7);
+  auto groups = group_by_key(same, [](std::uint32_t k) { return k; });
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 1000u);
+}
+
+TEST(Scheduler, SetNumWorkersReconfigures) {
+  auto& sched = Scheduler::instance();
+  const std::size_t original = sched.num_workers();
+  sched.set_num_workers(2);
+  std::atomic<std::size_t> count{0};
+  parallel_for(0, 10000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10000u);
+  sched.set_num_workers(original);
+  count = 0;
+  parallel_for(0, 10000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10000u);
+}
+
+}  // namespace
+}  // namespace cpkcore

@@ -1,0 +1,122 @@
+// Parameter-sweep property suite: the approximation guarantee and both
+// invariants must hold for every (delta, lambda) combination, for both the
+// sequential LDS and the PLDS, and the CPLDS read protocol must remain
+// linearizable under non-default geometry. Sweeps the constants the paper's
+// theory parameterizes (delta controls group growth, lambda the Invariant-1
+// slack).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/read_modes.hpp"
+#include "graph/batch.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "harness/driver.hpp"
+#include "kcore/peel.hpp"
+#include "lds/sequential_lds.hpp"
+#include "plds/plds.hpp"
+
+namespace cpkcore {
+namespace {
+
+class ParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ParamSweep, ParamsGeometryIsConsistent) {
+  const auto [delta, lambda] = GetParam();
+  auto p = LDSParams::create(5000, delta, lambda);
+  EXPECT_GT(p.num_levels(), 0);
+  EXPECT_EQ(p.num_levels(), p.num_groups() * p.levels_per_group());
+  for (int g = 0; g + 1 < p.num_groups(); ++g) {
+    EXPECT_NEAR(p.lower_threshold(g + 1) / p.lower_threshold(g), 1 + delta,
+                1e-9);
+    EXPECT_NEAR(p.upper_threshold(g) / p.lower_threshold(g),
+                2.0 + 3.0 / lambda, 1e-9);
+  }
+  // Estimates are monotone in level and start at 1.
+  EXPECT_DOUBLE_EQ(p.coreness_estimate(0), 1.0);
+  for (int l = 1; l < p.num_levels(); ++l) {
+    EXPECT_GE(p.coreness_estimate(l), p.coreness_estimate(l - 1));
+  }
+}
+
+TEST_P(ParamSweep, PldsApproximationHoldsAcrossGeometry) {
+  const auto [delta, lambda] = GetParam();
+  constexpr vertex_t kN = 300;
+  auto params = LDSParams::create(kN, delta, lambda);
+  PLDS plds(kN, params);
+  DynamicGraph mirror(kN);
+  auto edges = gen::social(kN, 5, 4, 30, 0.9, 7);
+  for (const auto& b : insertion_stream(edges, 400, 9)) {
+    plds.insert_batch(b.edges);
+    mirror.insert_batch(b.edges);
+    std::string why;
+    ASSERT_TRUE(plds.validate(&why)) << why;
+  }
+  const double c =
+      (2.0 + 3.0 / lambda) * std::pow(1.0 + delta, 2);
+  const auto exact = exact_coreness(mirror);
+  for (vertex_t v = 0; v < kN; ++v) {
+    const double est = plds.coreness_estimate(v);
+    const double truth = std::max<double>(1.0, exact[v]);
+    ASSERT_LE(std::max(est / truth, truth / est), c)
+        << "delta=" << delta << " lambda=" << lambda << " v=" << v;
+  }
+  // Deletion phase under the same geometry.
+  for (const auto& b : deletion_stream(edges, 400, 9)) {
+    plds.delete_batch(b.edges);
+    std::string why;
+    ASSERT_TRUE(plds.validate(&why)) << why;
+  }
+  EXPECT_EQ(plds.num_edges(), 0u);
+}
+
+TEST_P(ParamSweep, SequentialLdsAgreesWithGeometry) {
+  const auto [delta, lambda] = GetParam();
+  constexpr vertex_t kN = 100;
+  SequentialLDS lds(kN, LDSParams::create(kN, delta, lambda));
+  auto edges = gen::erdos_renyi(kN, 400, 11);
+  for (const Edge& e : edges) lds.insert_edge(e);
+  EXPECT_TRUE(lds.invariants_hold());
+  for (std::size_t i = 0; i < edges.size(); i += 3) {
+    lds.delete_edge(edges[i]);
+  }
+  EXPECT_TRUE(lds.invariants_hold());
+}
+
+TEST_P(ParamSweep, CpldsReadsLinearizableAcrossGeometry) {
+  const auto [delta, lambda] = GetParam();
+  constexpr vertex_t kN = 800;
+  auto ds = std::make_unique<CPLDS>(
+      kN, LDSParams::create(kN, delta, lambda));
+  auto stream = insertion_stream(gen::barabasi_albert(kN, 6, 13), 1200, 15);
+  harness::WorkloadConfig cfg;
+  cfg.mode = ReadMode::kCplds;
+  cfg.reader_threads = 3;
+  cfg.sample_stride = 8;
+  cfg.record_boundary_levels = true;
+  auto result = harness::run_workload(*ds, stream, cfg);
+  EXPECT_EQ(harness::count_out_of_window_samples(
+                result.samples, result.boundary_levels, result.window_base),
+            0u)
+      << "delta=" << delta << " lambda=" << lambda;
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<double, double>>& info) {
+  const auto [delta, lambda] = info.param;
+  return "d" + std::to_string(static_cast<int>(delta * 100)) + "_l" +
+         std::to_string(static_cast<int>(lambda));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ParamSweep,
+    ::testing::Combine(::testing::Values(0.1, 0.2, 0.5, 1.0),
+                       ::testing::Values(3.0, 9.0, 30.0)),
+    param_name);
+
+}  // namespace
+}  // namespace cpkcore

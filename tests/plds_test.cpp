@@ -1,0 +1,340 @@
+// PLDS tests: structural validation (buckets + both invariants) after every
+// batch, equivalence of membership with a mirror graph, determinism of the
+// level-synchronous algorithm, and the coreness-approximation property
+// across graph families and batch sizes (parameterized).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "graph/batch.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "kcore/peel.hpp"
+#include "plds/plds.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore {
+namespace {
+
+void expect_within_bound(const PLDS& plds, const DynamicGraph& mirror,
+                         const std::string& context) {
+  const auto exact = exact_coreness(mirror);
+  const auto& p = plds.params();
+  const double c =
+      (2.0 + 3.0 / p.lambda()) * std::pow(1.0 + p.delta(), 2);
+  for (vertex_t v = 0; v < plds.num_vertices(); ++v) {
+    const double est = plds.coreness_estimate(v);
+    const double truth = std::max<double>(1.0, exact[v]);
+    const double ratio = std::max(est / truth, truth / est);
+    ASSERT_LE(ratio, c) << context << " vertex " << v << " level "
+                        << plds.level(v) << " est " << est << " true "
+                        << truth;
+  }
+}
+
+TEST(Plds, EmptyStartsAtLevelZero) {
+  PLDS plds(50, LDSParams::create(50));
+  for (vertex_t v = 0; v < 50; ++v) EXPECT_EQ(plds.level(v), 0);
+  std::string why;
+  EXPECT_TRUE(plds.validate(&why)) << why;
+}
+
+TEST(Plds, SingleBatchInsertValidates) {
+  PLDS plds(100, LDSParams::create(100));
+  auto applied = plds.insert_batch(gen::erdos_renyi(100, 400, 1));
+  EXPECT_EQ(applied.size(), 400u);
+  EXPECT_EQ(plds.num_edges(), 400u);
+  std::string why;
+  EXPECT_TRUE(plds.validate(&why)) << why;
+}
+
+TEST(Plds, RejectsSelfLoopsAndDuplicates) {
+  PLDS plds(10, LDSParams::create(10));
+  auto applied = plds.insert_batch({{1, 2}, {2, 1}, {3, 3}, {1, 2}});
+  EXPECT_EQ(applied.size(), 1u);
+  applied = plds.insert_batch({{1, 2}, {2, 3}});
+  EXPECT_EQ(applied.size(), 1u);
+  EXPECT_TRUE(plds.has_edge(1, 2));
+  EXPECT_TRUE(plds.has_edge(3, 2));
+  EXPECT_FALSE(plds.has_edge(1, 3));
+}
+
+TEST(Plds, DeleteBatchRemovesAndValidates) {
+  PLDS plds(100, LDSParams::create(100));
+  auto edges = gen::erdos_renyi(100, 500, 2);
+  plds.insert_batch(edges);
+  std::vector<Edge> half(edges.begin(),
+                         edges.begin() + static_cast<std::ptrdiff_t>(250));
+  auto removed = plds.delete_batch(half);
+  EXPECT_EQ(removed.size(), 250u);
+  EXPECT_EQ(plds.num_edges(), 250u);
+  std::string why;
+  EXPECT_TRUE(plds.validate(&why)) << why;
+  // Absent deletions are dropped.
+  EXPECT_TRUE(plds.delete_batch(half).empty());
+}
+
+TEST(Plds, InsertThenDeleteEverythingReturnsToLevelZero) {
+  PLDS plds(80, LDSParams::create(80));
+  auto edges = gen::barabasi_albert(80, 4, 3);
+  plds.insert_batch(edges);
+  plds.delete_batch(edges);
+  EXPECT_EQ(plds.num_edges(), 0u);
+  std::string why;
+  EXPECT_TRUE(plds.validate(&why)) << why;
+  for (vertex_t v = 0; v < 80; ++v) {
+    EXPECT_DOUBLE_EQ(plds.coreness_estimate(v), 1.0);
+  }
+}
+
+TEST(Plds, HasEdgeMatchesMirrorUnderChurn) {
+  constexpr vertex_t kN = 300;
+  PLDS plds(kN, LDSParams::create(kN));
+  DynamicGraph mirror(kN);
+  Xoshiro256 rng(4);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Edge> batch;
+    for (int i = 0; i < 500; ++i) {
+      batch.push_back({static_cast<vertex_t>(rng.next_below(kN)),
+                       static_cast<vertex_t>(rng.next_below(kN))});
+    }
+    if (round % 3 == 2) {
+      auto removed = plds.delete_batch(batch);
+      mirror.delete_batch(batch);
+      EXPECT_EQ(plds.num_edges(), mirror.num_edges());
+    } else {
+      plds.insert_batch(batch);
+      mirror.insert_batch(batch);
+      EXPECT_EQ(plds.num_edges(), mirror.num_edges());
+    }
+    for (int probe = 0; probe < 200; ++probe) {
+      const auto u = static_cast<vertex_t>(rng.next_below(kN));
+      const auto v = static_cast<vertex_t>(rng.next_below(kN));
+      ASSERT_EQ(plds.has_edge(u, v), mirror.has_edge(u, v));
+    }
+  }
+}
+
+TEST(Plds, LevelsAreDeterministicAcrossRuns) {
+  auto run = [](std::size_t batch_size) {
+    PLDS plds(200, LDSParams::create(200));
+    auto stream = insertion_stream(gen::barabasi_albert(200, 5, 5),
+                                   batch_size, 7);
+    for (const auto& b : stream) plds.insert_batch(b.edges);
+    std::vector<level_t> levels(200);
+    for (vertex_t v = 0; v < 200; ++v) levels[v] = plds.level(v);
+    return levels;
+  };
+  EXPECT_EQ(run(100), run(100));  // same batches, two executions
+}
+
+TEST(Plds, MarkHooksFireOncePerMovedVertexWithOldLevel) {
+  constexpr vertex_t kN = 60;
+  PLDS plds(kN, LDSParams::create(kN));
+  std::vector<int> marks(kN, 0);
+  std::vector<level_t> old_levels(kN, -1);
+  std::atomic<int> total{0};
+  PLDS::Hooks hooks;
+  hooks.on_mark = [&](vertex_t v, level_t old_level,
+                      std::span<const vertex_t>) {
+    ++marks[v];
+    old_levels[v] = old_level;
+    total.fetch_add(1);
+  };
+  hooks.is_marked = [&](vertex_t v) { return marks[v] > 0; };
+  plds.set_hooks(hooks);
+
+  std::vector<level_t> before(kN);
+  for (vertex_t v = 0; v < kN; ++v) before[v] = plds.level(v);
+  plds.insert_batch(gen::complete(kN));
+
+  EXPECT_GT(total.load(), 0);
+  for (vertex_t v = 0; v < kN; ++v) {
+    EXPECT_LE(marks[v], 1) << v;
+    if (marks[v] == 1) {
+      // Old level recorded at mark time must be the pre-batch level.
+      EXPECT_EQ(old_levels[v], before[v]) << v;
+      EXPECT_GT(plds.level(v), before[v]) << v;
+    } else {
+      EXPECT_EQ(plds.level(v), before[v]) << v;
+    }
+  }
+}
+
+TEST(Plds, TriggerRuleRespectsLevelsPerPhase) {
+  // Paper §5.2: insertion triggers are marked neighbors at the same or
+  // higher level than the marked vertex (pre-move); deletion triggers are
+  // marked neighbors strictly below level(v) - 1. Capture every hook call
+  // and check both rules against levels at mark time.
+  constexpr vertex_t kN = 200;
+  PLDS plds(kN, LDSParams::create(kN));
+
+  struct MarkRecord {
+    vertex_t v;
+    level_t old_level;
+    std::vector<vertex_t> triggers;
+  };
+  std::vector<MarkRecord> records;
+  std::mutex mu;
+  std::vector<std::uint8_t> marked(kN, 0);
+  bool deleting = false;
+
+  PLDS::Hooks hooks;
+  hooks.on_mark = [&](vertex_t v, level_t old_level,
+                      std::span<const vertex_t> triggers) {
+    std::lock_guard lock(mu);
+    marked[v] = 1;
+    // Check trigger levels NOW (triggers have not moved past this point in
+    // the current step; earlier movers already sit at their new levels).
+    for (vertex_t t : triggers) {
+      const level_t lt = plds.level(t);
+      if (deleting) {
+        EXPECT_LT(lt, old_level - 1)
+            << "deletion trigger " << t << " for " << v;
+      } else {
+        EXPECT_GE(lt, old_level)
+            << "insertion trigger " << t << " for " << v;
+      }
+      EXPECT_TRUE(marked[t]) << "trigger " << t << " not marked";
+    }
+    records.push_back(
+        {v, old_level, std::vector<vertex_t>(triggers.begin(),
+                                             triggers.end())});
+  };
+  hooks.is_marked = [&](vertex_t v) {
+    std::lock_guard lock(mu);
+    return marked[v] != 0;
+  };
+  plds.set_hooks(hooks);
+
+  auto edges = gen::disjoint_cliques(kN, 20);
+  plds.insert_batch(edges);
+  EXPECT_FALSE(records.empty());
+
+  records.clear();
+  std::fill(marked.begin(), marked.end(), 0);
+  deleting = true;
+  std::vector<Edge> del;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i % 190 != 0) del.push_back(edges[i]);
+  }
+  plds.delete_batch(del);
+  EXPECT_FALSE(records.empty());
+}
+
+struct PldsCase {
+  int family;
+  std::size_t batch_size;
+};
+
+class PldsApprox
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(PldsApprox, InvariantsAndApproximationAcrossBatches) {
+  const auto [family, batch_size] = GetParam();
+  vertex_t n = 0;
+  std::vector<Edge> edges;
+  switch (family) {
+    case 0:
+      n = 400;
+      edges = gen::erdos_renyi(n, 2400, 13);
+      break;
+    case 1:
+      n = 400;
+      edges = gen::barabasi_albert(n, 6, 14);
+      break;
+    case 2:
+      n = 1024;
+      edges = gen::rmat(10, 4000, 15);
+      break;
+    case 3:
+      n = 400;
+      edges = gen::grid_2d(20, 20, true);
+      break;
+    case 4:
+      n = 120;
+      edges = gen::disjoint_cliques(n, 12);
+      break;
+    default:
+      FAIL();
+  }
+  PLDS plds(n, LDSParams::create(n));
+  DynamicGraph mirror(n);
+
+  auto ins = insertion_stream(edges, batch_size, 99);
+  // Validation is O(n + m); for single-edge streams validate periodically.
+  const std::size_t stride = ins.size() > 200 ? 23 : 1;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    plds.insert_batch(ins[i].edges);
+    mirror.insert_batch(ins[i].edges);
+    if (i % stride == 0 || i + 1 == ins.size()) {
+      std::string why;
+      ASSERT_TRUE(plds.validate(&why))
+          << "insert batch " << i << ": " << why;
+    }
+  }
+  expect_within_bound(plds, mirror, "after inserts");
+
+  auto del = deletion_stream(edges, batch_size, 99);
+  for (std::size_t i = 0; i < del.size(); ++i) {
+    plds.delete_batch(del[i].edges);
+    mirror.delete_batch(del[i].edges);
+    if (i % stride == 0 || i + 1 == del.size()) {
+      std::string why;
+      ASSERT_TRUE(plds.validate(&why))
+          << "delete batch " << i << ": " << why;
+    }
+    if (i == del.size() / 2) {
+      expect_within_bound(plds, mirror, "mid deletes");
+    }
+  }
+  EXPECT_EQ(plds.num_edges(), 0u);
+}
+
+const char* const kPldsFamilyNames[] = {"er", "ba", "rmat", "grid",
+                                        "cliques"};
+
+std::string plds_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, std::size_t>>& info) {
+  return std::string(kPldsFamilyNames[std::get<0>(info.param)]) + "_b" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndBatchSizes, PldsApprox,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(std::size_t{1}, std::size_t{64},
+                                         std::size_t{1000},
+                                         std::size_t{1000000})),
+    plds_case_name);
+
+TEST(Plds, SlidingWindowChurnStaysValid) {
+  constexpr vertex_t kN = 500;
+  PLDS plds(kN, LDSParams::create(kN));
+  auto edges = gen::barabasi_albert(kN, 6, 21);
+  auto stream = sliding_window_stream(edges, 1200, 300, 5);
+  for (const auto& b : stream) {
+    if (b.kind == UpdateKind::kInsert) {
+      plds.insert_batch(b.edges);
+    } else {
+      plds.delete_batch(b.edges);
+    }
+    std::string why;
+    ASSERT_TRUE(plds.validate(&why)) << why;
+  }
+}
+
+TEST(Plds, CappedLevelsStillValidate) {
+  constexpr vertex_t kN = 300;
+  PLDS plds(kN, LDSParams::create(kN, 0.2, 9.0, /*levels_per_group_cap=*/8));
+  plds.insert_batch(gen::barabasi_albert(kN, 8, 30));
+  std::string why;
+  EXPECT_TRUE(plds.validate(&why)) << why;
+}
+
+}  // namespace
+}  // namespace cpkcore

@@ -1,0 +1,125 @@
+// Snapshot save/restore and mixed-batch application tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "core/snapshot.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "kcore/peel.hpp"
+
+namespace cpkcore {
+namespace {
+
+TEST(Snapshot, RoundTripPreservesEdgeSet) {
+  const std::string path = "/tmp/cpkc_snapshot_test.snap";
+  constexpr vertex_t kN = 400;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto edges = gen::social(kN, 4, 3, 30, 0.9, 5);
+  ds.insert_batch(edges);
+  ds.delete_batch({edges.begin(),
+                   edges.begin() + static_cast<std::ptrdiff_t>(100)});
+  save_snapshot(ds, path);
+
+  auto restored = load_snapshot(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(restored->num_vertices(), kN);
+  ASSERT_EQ(restored->num_edges(), ds.num_edges());
+  for (const Edge& e : edges) {
+    EXPECT_EQ(restored->plds().has_edge(e.u, e.v),
+              ds.plds().has_edge(e.u, e.v));
+  }
+  std::string why;
+  EXPECT_TRUE(restored->plds().validate(&why)) << why;
+}
+
+TEST(Snapshot, RestoredEstimatesSatisfyBound) {
+  const std::string path = "/tmp/cpkc_snapshot_bound.snap";
+  constexpr vertex_t kN = 300;
+  CPLDS ds(kN, LDSParams::create(kN));
+  ds.insert_batch(gen::barabasi_albert(kN, 6, 9));
+  save_snapshot(ds, path);
+  auto restored = load_snapshot(path);
+  std::filesystem::remove(path);
+
+  DynamicGraph mirror(kN);
+  const PLDS& plds = restored->plds();
+  for (vertex_t v = 0; v < kN; ++v) {
+    for (vertex_t w : plds.neighbors(v)) {
+      if (w > v) mirror.insert_edge({v, w});
+    }
+  }
+  const auto exact = exact_coreness(mirror);
+  const double c = (2.0 + 3.0 / 9.0) * 1.44;
+  for (vertex_t v = 0; v < kN; ++v) {
+    const double est = restored->read_coreness(v);
+    const double truth = std::max<double>(1.0, exact[v]);
+    EXPECT_LE(std::max(est / truth, truth / est), c) << v;
+  }
+}
+
+TEST(Snapshot, RejectsCorruptFiles) {
+  const std::string path = "/tmp/cpkc_snapshot_bad.snap";
+  {
+    std::ofstream out(path);
+    out << "not-a-snapshot\n12\n1 2\n";
+  }
+  EXPECT_THROW(load_snapshot(path), std::runtime_error);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_snapshot("/nonexistent/x.snap"), std::runtime_error);
+}
+
+TEST(MixedBatches, ApplyMixedSplitsRuns) {
+  constexpr vertex_t kN = 100;
+  CPLDS ds(kN, LDSParams::create(kN));
+  std::vector<Update> updates = {
+      {{0, 1}, UpdateKind::kInsert}, {{1, 2}, UpdateKind::kInsert},
+      {{2, 3}, UpdateKind::kInsert}, {{0, 1}, UpdateKind::kDelete},
+      {{4, 5}, UpdateKind::kInsert},
+  };
+  const std::uint64_t batches_before = ds.batch_number();
+  const std::size_t applied = ds.apply_mixed(updates);
+  EXPECT_EQ(applied, 5u);
+  // Three homogeneous runs -> three batches.
+  EXPECT_EQ(ds.batch_number() - batches_before, 3u);
+  EXPECT_EQ(ds.num_edges(), 3u);
+  EXPECT_FALSE(ds.plds().has_edge(0, 1));
+  EXPECT_TRUE(ds.plds().has_edge(4, 5));
+}
+
+TEST(MixedBatches, MixedStreamMatchesManualSplit) {
+  constexpr vertex_t kN = 300;
+  Xoshiro256 rng(33);
+  std::vector<Update> updates;
+  DynamicGraph mirror(kN);
+  std::vector<Edge> present;
+  for (int i = 0; i < 2000; ++i) {
+    if (present.empty() || rng.next_below(3) != 0) {
+      const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                   static_cast<vertex_t>(rng.next_below(kN))};
+      updates.push_back({e, UpdateKind::kInsert});
+      if (mirror.insert_edge(e)) present.push_back(e.canonical());
+    } else {
+      const std::size_t j = rng.next_below(present.size());
+      updates.push_back({present[j], UpdateKind::kDelete});
+      mirror.delete_edge(present[j]);
+      present[j] = present.back();
+      present.pop_back();
+    }
+  }
+  CPLDS ds(kN, LDSParams::create(kN));
+  ds.apply_mixed(updates);
+  EXPECT_EQ(ds.num_edges(), mirror.num_edges());
+  for (vertex_t v = 0; v < kN; v += 3) {
+    for (vertex_t w : mirror.neighbors(v)) {
+      EXPECT_TRUE(ds.plds().has_edge(v, w));
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(ds.plds().validate(&why)) << why;
+}
+
+}  // namespace
+}  // namespace cpkcore

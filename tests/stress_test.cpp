@@ -1,0 +1,139 @@
+// Longer-running concurrency stress: many reader threads across all three
+// read modes simultaneously, repeated insert/delete cycles, reader threads
+// that outlive multiple batches (the asynchronous-process model: readers
+// may be arbitrarily delayed), and scheduler reconfiguration under load.
+// These runs assert the strongest cheap global properties: no crash/hang,
+// linearizable samples, structural validity, and exact agreement with an
+// unperturbed replay.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/read_modes.hpp"
+#include "graph/batch.hpp"
+#include "graph/generators.hpp"
+#include "harness/driver.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore {
+namespace {
+
+TEST(Stress, MixedModeReadersDuringInsertAndDeletePhases) {
+  constexpr vertex_t kN = 4000;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto edges = gen::social(kN, 6, 8, 50, 0.9, 3);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    const ReadMode mode = t % 3 == 0   ? ReadMode::kCplds
+                          : t % 3 == 1 ? ReadMode::kSyncReads
+                                       : ReadMode::kNonSync;
+    readers.emplace_back([&, mode, t] {
+      Xoshiro256 rng(1000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<vertex_t>(rng.next_below(kN));
+        const double est = read_with_mode(ds, v, mode);
+        ASSERT_GE(est, 1.0);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (const auto& b : insertion_stream(edges, 5000, 11 + cycle)) {
+      ds.insert_batch(b.edges);
+    }
+    for (const auto& b : deletion_stream(edges, 5000, 11 + cycle)) {
+      ds.delete_batch(b.edges);
+    }
+    ASSERT_EQ(ds.num_edges(), 0u) << cycle;
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_GT(reads.load(), 0u);
+  std::string why;
+  EXPECT_TRUE(ds.plds().validate(&why)) << why;
+}
+
+TEST(Stress, DelayedReaderAcrossManyBatchesStaysLinearizable) {
+  // A reader that sleeps mid-stream models the paper's asynchronous-process
+  // assumption: arbitrary delays must not break linearizability (the
+  // stamped union-find rejects its stale compressions).
+  constexpr vertex_t kN = 1500;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto edges = gen::barabasi_albert(kN, 10, 17);
+  auto stream = insertion_stream(edges, 600, 19);
+
+  harness::WorkloadConfig cfg;
+  cfg.mode = ReadMode::kCplds;
+  cfg.reader_threads = 5;
+  cfg.sample_stride = 2;
+  cfg.record_boundary_levels = true;
+  // Many small batches maximize cross-batch reader exposure.
+  auto result = harness::run_workload(ds, stream, cfg);
+  ASSERT_GT(result.samples.size(), 0u);
+  EXPECT_EQ(harness::count_out_of_window_samples(
+                result.samples, result.boundary_levels, result.window_base),
+            0u);
+}
+
+TEST(Stress, SchedulerWidthChangesBetweenBatches) {
+  constexpr vertex_t kN = 2000;
+  auto edges = gen::erdos_renyi(kN, 10000, 23);
+  auto stream = insertion_stream(edges, 2500, 29);
+
+  CPLDS narrow(kN, LDSParams::create(kN));
+  Scheduler::instance().set_num_workers(2);
+  for (const auto& b : stream) narrow.insert_batch(b.edges);
+
+  CPLDS wide(kN, LDSParams::create(kN));
+  Scheduler::instance().set_num_workers(16);
+  for (const auto& b : stream) wide.insert_batch(b.edges);
+
+  // Level-synchronous updates are deterministic regardless of parallelism.
+  for (vertex_t v = 0; v < kN; ++v) {
+    ASSERT_EQ(narrow.read_level(v), wide.read_level(v)) << v;
+  }
+  Scheduler::instance().set_num_workers(
+      std::thread::hardware_concurrency());
+}
+
+TEST(Stress, ManySmallBatchesWithSyncReaders) {
+  // SyncReads blocks readers on a condition variable per batch; hammer the
+  // wait/notify path with hundreds of small batches.
+  constexpr vertex_t kN = 800;
+  CPLDS ds(kN, LDSParams::create(kN));
+  auto stream = insertion_stream(gen::barabasi_albert(kN, 5, 31), 50, 37);
+  harness::WorkloadConfig cfg;
+  cfg.mode = ReadMode::kSyncReads;
+  cfg.reader_threads = 4;
+  auto result = harness::run_workload(ds, stream, cfg);
+  EXPECT_GT(result.total_reads, 0u);
+  EXPECT_EQ(result.batch_seconds.size(), stream.size());
+}
+
+TEST(Stress, HighChurnSlidingWindowWithAllModes) {
+  constexpr vertex_t kN = 4096;  // rmat(12) vertex space
+  auto edges = gen::rmat(12, 20000, 41);
+  auto stream = sliding_window_stream(edges, 8000, 2000, 43);
+  for (ReadMode mode :
+       {ReadMode::kCplds, ReadMode::kSyncReads, ReadMode::kNonSync}) {
+    CPLDS::Options opt;
+    opt.track_dependencies = (mode == ReadMode::kCplds);
+    CPLDS ds(kN, LDSParams::create(kN), opt);
+    harness::WorkloadConfig cfg;
+    cfg.mode = mode;
+    cfg.reader_threads = 3;
+    auto result = harness::run_workload(ds, stream, cfg);
+    EXPECT_GT(result.total_reads, 0u) << to_string(mode);
+    std::string why;
+    EXPECT_TRUE(ds.plds().validate(&why)) << to_string(mode) << ": " << why;
+  }
+}
+
+}  // namespace
+}  // namespace cpkcore

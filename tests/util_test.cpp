@@ -1,0 +1,266 @@
+// Unit tests for src/util: RNG, flat hash containers, latency histogram,
+// cache-line padding, and the core Edge type.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/flat_map.hpp"
+#include "util/flat_set.hpp"
+#include "util/latency_histogram.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore {
+namespace {
+
+TEST(Edge, CanonicalOrdersEndpoints) {
+  EXPECT_EQ((Edge{3, 7}.canonical()), (Edge{3, 7}));
+  EXPECT_EQ((Edge{7, 3}.canonical()), (Edge{3, 7}));
+  EXPECT_TRUE((Edge{5, 5}.is_self_loop()));
+  EXPECT_FALSE((Edge{5, 6}.is_self_loop()));
+}
+
+TEST(Edge, KeyIsInjectiveOnCanonicalEdges) {
+  std::set<std::uint64_t> keys;
+  for (vertex_t u = 0; u < 30; ++u) {
+    for (vertex_t v = u + 1; v < 30; ++v) {
+      keys.insert(Edge{u, v}.key());
+    }
+  }
+  EXPECT_EQ(keys.size(), 30u * 29 / 2);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound :
+       {1ull, 2ull, 3ull, 10ull, 1000ull, 1048576ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversRangeRoughlyUniformly) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t kBound = 16;
+  std::vector<int> hits(kBound, 0);
+  constexpr int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) ++hits[rng.next_below(kBound)];
+  for (std::uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_GT(hits[b], kDraws / static_cast<int>(kBound) / 2);
+    EXPECT_LT(hits[b], kDraws * 2 / static_cast<int>(kBound));
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  IntSet<vertex_t> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(6));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, DefaultConstructedHoldsNoAllocation) {
+  IntSet<vertex_t> s;
+  EXPECT_EQ(s.capacity(), 0u);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_FALSE(s.erase(3));
+}
+
+TEST(FlatSet, MatchesStdUnorderedSetUnderRandomOps) {
+  Xoshiro256 rng(123);
+  IntSet<vertex_t> mine;
+  std::unordered_set<vertex_t> ref;
+  for (int i = 0; i < 50000; ++i) {
+    const auto key = static_cast<vertex_t>(rng.next_below(500));
+    if (rng.next_below(3) == 0) {
+      EXPECT_EQ(mine.erase(key), ref.erase(key) > 0);
+    } else {
+      EXPECT_EQ(mine.insert(key), ref.insert(key).second);
+    }
+    if (i % 1000 == 0) {
+      ASSERT_EQ(mine.size(), ref.size());
+    }
+  }
+  EXPECT_EQ(mine.size(), ref.size());
+  std::size_t seen = 0;
+  mine.for_each([&](vertex_t k) {
+    EXPECT_TRUE(ref.contains(k));
+    ++seen;
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatSet, ToVectorReturnsAllElements) {
+  IntSet<vertex_t> s;
+  for (vertex_t v = 0; v < 100; ++v) s.insert(v * 3);
+  auto vec = s.to_vector();
+  std::sort(vec.begin(), vec.end());
+  ASSERT_EQ(vec.size(), 100u);
+  for (vertex_t i = 0; i < 100; ++i) EXPECT_EQ(vec[i], i * 3);
+}
+
+TEST(FlatSet, BackwardShiftPreservesLookupAfterHeavyChurn) {
+  IntSet<vertex_t> s;
+  // Force many collisions with a small key range, then verify integrity.
+  for (int round = 0; round < 50; ++round) {
+    for (vertex_t v = 0; v < 64; ++v) s.insert(v);
+    for (vertex_t v = 0; v < 64; v += 2) s.erase(v);
+    for (vertex_t v = 0; v < 64; ++v) {
+      EXPECT_EQ(s.contains(v), v % 2 == 1) << v;
+    }
+    for (vertex_t v = 1; v < 64; v += 2) s.erase(v);
+    EXPECT_TRUE(s.empty());
+  }
+}
+
+TEST(FlatMap, InsertFindEraseBracket) {
+  IntMap<vertex_t, int> m;
+  EXPECT_TRUE(m.insert_or_assign(4, 40));
+  EXPECT_FALSE(m.insert_or_assign(4, 44));
+  ASSERT_NE(m.find(4), nullptr);
+  EXPECT_EQ(*m.find(4), 44);
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 50;
+  EXPECT_EQ(*m.find(5), 50);
+  EXPECT_TRUE(m.erase(4));
+  EXPECT_EQ(m.find(4), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, RandomOpsMatchReference) {
+  Xoshiro256 rng(99);
+  IntMap<vertex_t, vertex_t> mine;
+  std::unordered_set<vertex_t> keys;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = static_cast<vertex_t>(rng.next_below(300));
+    if (rng.next_below(4) == 0) {
+      mine.erase(k);
+      keys.erase(k);
+    } else {
+      mine.insert_or_assign(k, k + 1);
+      keys.insert(k);
+    }
+  }
+  EXPECT_EQ(mine.size(), keys.size());
+  for (vertex_t k : keys) {
+    ASSERT_NE(mine.find(k), nullptr);
+    EXPECT_EQ(*mine.find(k), k + 1);
+  }
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_ns(0.5), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 31u);
+  EXPECT_EQ(h.quantile_ns(0.0), 0u);
+  EXPECT_EQ(h.quantile_ns(1.0), 31u);
+}
+
+TEST(LatencyHistogram, QuantilesWithinBucketError) {
+  LatencyHistogram h;
+  Xoshiro256 rng(5);
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = 100 + rng.next_below(1000000);
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.5, 0.9, 0.99, 0.9999}) {
+    const auto exact =
+        vals[static_cast<std::size_t>(q * (vals.size() - 1))];
+    const auto approx = h.quantile_ns(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.05 * static_cast<double>(exact))
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeCombinesCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.max_ns(), 1000000u);
+  EXPECT_EQ(a.min_ns(), 10u);
+  EXPECT_LT(a.quantile_ns(0.25), 100u);
+  EXPECT_GT(a.quantile_ns(0.75), 100000u);
+}
+
+TEST(LatencyHistogram, MeanMatchesSum) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 50.5);
+}
+
+TEST(Padded, OccupiesFullCacheLines) {
+  static_assert(sizeof(Padded<int>) >= kCacheLine);
+  static_assert(alignof(Padded<int>) >= kCacheLine);
+  Padded<int> p(7);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(t.elapsed_ns(), 0u);
+  EXPECT_GE(t.elapsed_s(), 0.0);
+}
+
+TEST(Hash64, MixesBits) {
+  // Adjacent inputs should produce very different outputs.
+  int differing_bits = 0;
+  const std::uint64_t a = hash64(1);
+  const std::uint64_t b = hash64(2);
+  differing_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing_bits, 16);
+}
+
+}  // namespace
+}  // namespace cpkcore
