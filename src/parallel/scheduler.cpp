@@ -8,11 +8,6 @@ namespace cpkcore {
 namespace {
 thread_local int t_chunk_depth = 0;
 
-struct ChunkScope {
-  ChunkScope() { ++t_chunk_depth; }
-  ~ChunkScope() { --t_chunk_depth; }
-};
-
 std::size_t default_workers() {
   if (const char* env = std::getenv("CPKC_NUM_WORKERS")) {
     const long v = std::strtol(env, nullptr, 10);
@@ -24,6 +19,10 @@ std::size_t default_workers() {
 }  // namespace
 
 bool Scheduler::in_chunk() { return t_chunk_depth > 0; }
+
+Scheduler::ChunkScope::ChunkScope() { ++t_chunk_depth; }
+
+Scheduler::ChunkScope::~ChunkScope() { --t_chunk_depth; }
 
 Scheduler& Scheduler::instance() {
   static Scheduler sched(default_workers());

@@ -14,6 +14,7 @@
 //    every chunk has finished.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -52,7 +53,11 @@ class Scheduler {
     const std::size_t n = end > begin ? end - begin : 0;
     if (n == 0) return;
     // Serial fast paths: tiny loops, no workers, or nested inside a chunk.
+    // Every path that executes user code establishes a chunk scope, so
+    // in_chunk() is true inside any running loop body and nested
+    // parallel_for calls always collapse to serial.
     if (n == 1 || threads_.empty() || in_chunk()) {
+      ChunkScope scope;
       for (std::size_t i = begin; i < end; ++i) f(i);
       return;
     }
@@ -65,6 +70,7 @@ class Scheduler {
     }
     const std::size_t num_chunks = (n + g - 1) / g;
     if (num_chunks <= 1) {
+      ChunkScope scope;
       for (std::size_t i = begin; i < end; ++i) f(i);
       return;
     }
@@ -81,6 +87,17 @@ class Scheduler {
   static bool in_chunk();
 
  private:
+  /// RAII marker for "this thread is executing user loop code". Entered by
+  /// pool workers around each stolen chunk and by the serial fast paths in
+  /// parallel_for, so in_chunk() holds on every path that runs f(i).
+  class ChunkScope {
+   public:
+    ChunkScope();
+    ~ChunkScope();
+    ChunkScope(const ChunkScope&) = delete;
+    ChunkScope& operator=(const ChunkScope&) = delete;
+  };
+
   struct Job {
     std::function<void(std::size_t)> body;  // receives chunk index
     std::size_t num_chunks = 0;

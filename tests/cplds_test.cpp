@@ -360,7 +360,8 @@ TEST(Cplds, ReadModeHelpers) {
   EXPECT_EQ(parse_read_mode("cplds"), ReadMode::kCplds);
   EXPECT_EQ(parse_read_mode("sync"), ReadMode::kSyncReads);
   EXPECT_EQ(parse_read_mode("NonSync"), ReadMode::kNonSync);
-  EXPECT_THROW(parse_read_mode("bogus"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_read_mode("bogus")),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -54,6 +54,83 @@ TEST(Scheduler, NestedParallelForRunsSerially) {
   for (auto& h : hits) ASSERT_EQ(h.load(), 1);
 }
 
+TEST(Scheduler, InChunkOnPoollessFastPath) {
+  // One total worker means no pool threads: every parallel_for takes the
+  // threads_.empty() inline path, which must still mark the chunk scope.
+  Scheduler serial(1);
+  std::atomic<int> bad{0};
+  serial.parallel_for(0, 64, [&](std::size_t) {
+    if (!Scheduler::in_chunk()) bad.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(bad.load(), 0);
+
+  Scheduler zero(0);
+  bad = 0;
+  zero.parallel_for(0, 64, [&](std::size_t) {
+    if (!Scheduler::in_chunk()) bad.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Scheduler, InChunkOnSingletonAndSingleChunkFastPaths) {
+  Scheduler pooled(4);
+  // n == 1 inline path.
+  bool in = false;
+  pooled.parallel_for(0, 1, [&](std::size_t) { in = Scheduler::in_chunk(); });
+  EXPECT_TRUE(in);
+  // Grain >= n collapses to num_chunks <= 1, also executed inline.
+  std::atomic<int> bad{0};
+  pooled.parallel_for(
+      0, 128,
+      [&](std::size_t) {
+        if (!Scheduler::in_chunk()) bad.fetch_add(1, std::memory_order_relaxed);
+      },
+      1 << 20);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Scheduler, NestedLoopNeverLeavesCallingThread) {
+  // A loop body already inside a chunk must run nested parallel_for calls
+  // serially on the same thread — a nested call that enqueues a pool job
+  // would show foreign thread ids (and risks unbounded nesting).
+  Scheduler pooled(4);
+  std::atomic<int> escaped{0};
+  pooled.parallel_for(
+      0, 8,
+      [&](std::size_t) {
+        ASSERT_TRUE(Scheduler::in_chunk());
+        const auto outer_tid = std::this_thread::get_id();
+        pooled.parallel_for(0, 4096, [&](std::size_t) {
+          if (std::this_thread::get_id() != outer_tid) {
+            escaped.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      },
+      1);
+  EXPECT_EQ(escaped.load(), 0);
+}
+
+TEST(Scheduler, SingleChunkOuterCollapsesNestedLoop) {
+  // Seed bug: an outer loop taking the num_chunks <= 1 inline path ran its
+  // body at depth 0, so the nested loop spawned a parallel job instead of
+  // collapsing to serial. All inner iterations must stay on the caller.
+  Scheduler pooled(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> escaped{0};
+  pooled.parallel_for(
+      0, 16,
+      [&](std::size_t) {
+        EXPECT_TRUE(Scheduler::in_chunk());
+        pooled.parallel_for(0, 4096, [&](std::size_t) {
+          if (std::this_thread::get_id() != caller) {
+            escaped.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      },
+      64);
+  EXPECT_EQ(escaped.load(), 0);
+}
+
 TEST(Scheduler, ConcurrentSubmittersBothComplete) {
   std::atomic<std::uint64_t> sum_a{0};
   std::atomic<std::uint64_t> sum_b{0};
@@ -228,7 +305,9 @@ TEST(GroupBy, GroupsAreContiguousAndComplete) {
       ASSERT_EQ(items[i].key, key);
     }
     EXPECT_EQ(g.size(), key_count[key]);
-    if (!first) EXPECT_GT(key, prev_key);
+    if (!first) {
+      EXPECT_GT(key, prev_key);
+    }
     prev_key = key;
     first = false;
     covered += g.size();
