@@ -10,9 +10,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "harness/driver.hpp"
 #include "harness/report.hpp"
@@ -79,6 +84,58 @@ inline const char* kind_name(UpdateKind kind) {
 
 /// Number of trials per cell (CPKC_TRIALS, default 1; the paper uses 11).
 inline std::size_t num_trials() { return env_size("CPKC_TRIALS", 1); }
+
+/// One field of a machine-readable result record: string, integer, or
+/// floating-point value.
+using JsonValue = std::variant<std::string, std::int64_t, double>;
+using JsonField = std::pair<std::string, JsonValue>;
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Emits one result as a single JSON object line (JSON-lines format), so
+/// future PRs can diff perf trajectories without parsing text tables.
+/// Writes to stdout, or appends to the file named by CPKC_BENCH_JSON.
+inline void emit_json_line(const std::vector<JsonField>& fields) {
+  std::string line = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"" + json_escape(key) + "\":";
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      line += "\"" + json_escape(*s) + "\"";
+    } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      line += std::to_string(*i);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(value));
+      line += buf;
+    }
+  }
+  line += "}";
+  if (const char* path = std::getenv("CPKC_BENCH_JSON")) {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      std::fputs(line.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      return;
+    }
+  }
+  std::cout << line << "\n";
+}
 
 /// Runs `spec` num_trials() times with varied seeds and merges the results
 /// (latencies pooled, batch times concatenated, reads/edges summed).

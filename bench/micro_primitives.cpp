@@ -1,16 +1,27 @@
 // google-benchmark micro suite: the hot primitives under the CPLDS — read
 // path (quiescent and descriptor-marked), union-find operations, descriptor
-// words, latency histogram recording, and the parallel runtime.
+// words, latency histogram recording, and the parallel runtime (fork2 /
+// parallel_for overhead, nested vs flat loops, worker scaling).
+//
+// After the google-benchmark run, main() executes a scheduler-overhead
+// sweep and emits machine-readable JSON lines (see bench_common.hpp's
+// emit_json_line; CPKC_BENCH_JSON redirects them to a file) so future PRs
+// have a perf trajectory to diff against.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
+#include "bench_common.hpp"
 #include "concurrent/descriptor_table.hpp"
 #include "concurrent/union_find.hpp"
 #include "core/cplds.hpp"
 #include "graph/generators.hpp"
 #include "parallel/primitives.hpp"
+#include "parallel/scheduler.hpp"
 #include "parallel/sort.hpp"
 #include "util/latency_histogram.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -120,6 +131,70 @@ void BM_ParallelSort(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSort)->Arg(1 << 16)->Arg(1 << 20);
 
+void BM_Fork2Overhead(benchmark::State& state) {
+  // Cost of one fork/join pair with trivial branches — the unit overhead
+  // every split in parallel_for / the primitives pays.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  for (auto _ : state) {
+    fork2([&] { ++a; }, [&] { ++b; });
+  }
+  benchmark::DoNotOptimize(a + b);
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Fork2Overhead);
+
+void BM_ParallelForNested(benchmark::State& state) {
+  // Same total work as BM_ParallelFor but issued as 64 inner loops nested
+  // under an outer parallel_for. Under the chunk-queue scheduler the inner
+  // loops collapsed to serial; under work stealing they spread.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t outer = 64;
+  const std::size_t inner = n / outer;
+  std::vector<std::uint64_t> out(outer * inner);
+  for (auto _ : state) {
+    parallel_for(
+        0, outer,
+        [&](std::size_t i) {
+          parallel_for(0, inner, [&](std::size_t j) {
+            out[i * inner + j] = (i * inner + j) * 2654435761u;
+          });
+        },
+        /*grain=*/1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(outer * inner));
+}
+BENCHMARK(BM_ParallelForNested)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_NestedScalingWorkers(benchmark::State& state) {
+  // Nested throughput as a function of scheduler width; compare against
+  // the Arg to see whether nesting scales instead of flat-lining.
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  const std::size_t prev = num_workers();
+  Scheduler::instance().set_num_workers(workers);
+  constexpr std::size_t kOuter = 64;
+  constexpr std::size_t kInner = (1 << 21) / kOuter;
+  std::vector<std::uint64_t> out(kOuter * kInner);
+  for (auto _ : state) {
+    parallel_for(
+        0, kOuter,
+        [&](std::size_t i) {
+          parallel_for(0, kInner, [&](std::size_t j) {
+            out[i * kInner + j] = (i * kInner + j) * 0x9E3779B97F4A7C15ULL;
+          });
+        },
+        /*grain=*/1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(kOuter * kInner));
+  Scheduler::instance().set_num_workers(prev);
+}
+BENCHMARK(BM_NestedScalingWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
 void BM_InsertBatch(benchmark::State& state) {
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
   auto edges = gen::barabasi_albert(20000, 6, 6);
@@ -138,6 +213,83 @@ void BM_InsertBatch(benchmark::State& state) {
 BENCHMARK(BM_InsertBatch)->Arg(1 << 10)->Arg(1 << 14)->Unit(
     benchmark::kMillisecond);
 
+// Self-timed scheduler-overhead sweep, emitted as JSON lines: flat loop,
+// nested loop, and fork2 reduction tree at several scheduler widths.
+void run_scheduler_sweep() {
+  constexpr std::size_t kN = 1 << 22;
+  constexpr std::size_t kOuter = 64;
+  std::vector<std::uint64_t> out(kN);
+
+  auto flat = [&] {
+    parallel_for(0, kN, [&](std::size_t i) { out[i] = i * 2654435761u; });
+  };
+  auto nested = [&] {
+    parallel_for(
+        0, kOuter,
+        [&](std::size_t i) {
+          const std::size_t inner = kN / kOuter;
+          parallel_for(0, inner, [&](std::size_t j) {
+            out[i * inner + j] = (i * inner + j) * 2654435761u;
+          });
+        },
+        /*grain=*/1);
+  };
+  struct TreeSum {
+    std::vector<std::uint64_t>& out;
+    std::uint64_t operator()(std::size_t lo, std::size_t hi) const {
+      if (hi - lo <= 4096) {
+        std::uint64_t acc = 0;
+        for (std::size_t i = lo; i < hi; ++i) acc += out[i] = i * 31;
+        return acc;
+      }
+      const std::size_t mid = lo + (hi - lo) / 2;
+      std::uint64_t l = 0;
+      std::uint64_t r = 0;
+      fork2([&] { l = (*this)(lo, mid); }, [&] { r = (*this)(mid, hi); });
+      return l + r;
+    }
+  };
+  auto tree = [&] { benchmark::DoNotOptimize(TreeSum{out}(0, kN)); };
+
+  struct Shape {
+    const char* name;
+    std::function<void()> body;
+  };
+  const Shape shapes[] = {{"flat", flat}, {"nested", nested}, {"fork2_tree", tree}};
+
+  const std::size_t prev = num_workers();
+  std::vector<std::size_t> widths = {1, 2, 4, 8};
+  const std::size_t hc = std::thread::hardware_concurrency();
+  if (hc > 8) widths.push_back(hc);
+  for (const auto& shape : shapes) {
+    for (std::size_t w : widths) {
+      Scheduler::instance().set_num_workers(w);
+      shape.body();  // warm-up
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer t;
+        shape.body();
+        best = std::min(best, t.elapsed_s());
+      }
+      bench::emit_json_line(
+          {{"bench", std::string("sched_overhead")},
+           {"shape", std::string(shape.name)},
+           {"workers", static_cast<std::int64_t>(w)},
+           {"n", static_cast<std::int64_t>(kN)},
+           {"seconds", best},
+           {"mitems_per_s", static_cast<double>(kN) / best / 1e6}});
+    }
+  }
+  Scheduler::instance().set_num_workers(prev);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_scheduler_sweep();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/scheduler.hpp"
 #include "util/rng.hpp"
 
 namespace cpkcore {
@@ -12,6 +13,27 @@ void shuffle_edges(std::vector<Edge>& edges, std::uint64_t seed) {
   for (std::size_t i = edges.size(); i > 1; --i) {
     std::swap(edges[i - 1], edges[rng.next_below(i)]);
   }
+}
+
+/// Slices `edges` into batches of `batch_size` edges of the given kind.
+/// One slice copy per batch, grain 1, so the copies run as stealable tasks.
+std::vector<UpdateBatch> slice_stream(const std::vector<Edge>& edges,
+                                      std::size_t batch_size,
+                                      UpdateKind kind) {
+  const std::size_t nb = (edges.size() + batch_size - 1) / batch_size;
+  std::vector<UpdateBatch> out(nb);
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * batch_size;
+        const std::size_t hi = std::min(edges.size(), lo + batch_size);
+        out[b].kind = kind;
+        out[b].edges.assign(
+            edges.begin() + static_cast<std::ptrdiff_t>(lo),
+            edges.begin() + static_cast<std::ptrdiff_t>(hi));
+      },
+      /*grain=*/1);
+  return out;
 }
 }  // namespace
 
@@ -30,16 +52,7 @@ std::vector<UpdateBatch> insertion_stream(std::vector<Edge> edges,
                                           std::size_t batch_size,
                                           std::uint64_t seed) {
   shuffle_edges(edges, seed);
-  std::vector<UpdateBatch> out;
-  for (std::size_t i = 0; i < edges.size(); i += batch_size) {
-    UpdateBatch b;
-    b.kind = UpdateKind::kInsert;
-    const std::size_t end = std::min(edges.size(), i + batch_size);
-    b.edges.assign(edges.begin() + static_cast<std::ptrdiff_t>(i),
-                   edges.begin() + static_cast<std::ptrdiff_t>(end));
-    out.push_back(std::move(b));
-  }
-  return out;
+  return slice_stream(edges, batch_size, UpdateKind::kInsert);
 }
 
 std::vector<UpdateBatch> deletion_stream(std::vector<Edge> edges,
@@ -47,16 +60,7 @@ std::vector<UpdateBatch> deletion_stream(std::vector<Edge> edges,
                                          std::uint64_t seed) {
   shuffle_edges(edges, seed);
   std::reverse(edges.begin(), edges.end());
-  std::vector<UpdateBatch> out;
-  for (std::size_t i = 0; i < edges.size(); i += batch_size) {
-    UpdateBatch b;
-    b.kind = UpdateKind::kDelete;
-    const std::size_t end = std::min(edges.size(), i + batch_size);
-    b.edges.assign(edges.begin() + static_cast<std::ptrdiff_t>(i),
-                   edges.begin() + static_cast<std::ptrdiff_t>(end));
-    out.push_back(std::move(b));
-  }
-  return out;
+  return slice_stream(edges, batch_size, UpdateKind::kDelete);
 }
 
 std::vector<UpdateBatch> sliding_window_stream(std::vector<Edge> edges,

@@ -73,13 +73,18 @@ std::vector<Edge> DynamicGraph::insert_batch(std::vector<Edge> edges) {
     halves[2 * i + 1] = Half{applied[i].v, applied[i].u};
   });
   auto groups = group_by_key(halves, [](const Half& h) { return h.at; });
-  parallel_for(0, groups.size(), [&](std::size_t g) {
-    const vertex_t at = halves[groups[g].begin].at;
-    auto& list = adj_[at];
-    for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
-      sorted_insert(list, halves[i].other);
-    }
-  });
+  // Grain 1: group sizes follow the degree distribution; per-group tasks
+  // let the pool steal around hub vertices.
+  parallel_for(
+      0, groups.size(),
+      [&](std::size_t g) {
+        const vertex_t at = halves[groups[g].begin].at;
+        auto& list = adj_[at];
+        for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
+          sorted_insert(list, halves[i].other);
+        }
+      },
+      /*grain=*/1);
   num_edges_ += applied.size();
   return applied;
 }
@@ -96,13 +101,16 @@ std::vector<Edge> DynamicGraph::delete_batch(std::vector<Edge> edges) {
     halves[2 * i + 1] = Half{applied[i].v, applied[i].u};
   });
   auto groups = group_by_key(halves, [](const Half& h) { return h.at; });
-  parallel_for(0, groups.size(), [&](std::size_t g) {
-    const vertex_t at = halves[groups[g].begin].at;
-    auto& list = adj_[at];
-    for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
-      sorted_erase(list, halves[i].other);
-    }
-  });
+  parallel_for(
+      0, groups.size(),
+      [&](std::size_t g) {
+        const vertex_t at = halves[groups[g].begin].at;
+        auto& list = adj_[at];
+        for (std::size_t i = groups[g].begin; i < groups[g].end; ++i) {
+          sorted_erase(list, halves[i].other);
+        }
+      },
+      /*grain=*/1);
   num_edges_ -= applied.size();
   return applied;
 }

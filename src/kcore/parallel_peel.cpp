@@ -55,21 +55,26 @@ std::vector<vertex_t> parallel_exact_coreness(const CsrGraph& g) {
       // enqueued once ("2" marks enqueued-but-unpeeled, treated as peeled=0
       // for claiming purposes only here).
       std::atomic<std::size_t> next_size{0};
-      parallel_for(0, frontier.size(), [&](std::size_t i) {
-        for (vertex_t w : g.neighbors(frontier[i])) {
-          if (peeled[w].load(std::memory_order_relaxed) != 0) continue;
-          const std::int64_t old =
-              deg[w].fetch_sub(1, std::memory_order_relaxed);
-          if (old - 1 == static_cast<std::int64_t>(k)) {
-            // Exactly one decrementer observes the k crossing (fetch_sub
-            // hands out distinct descending old values), so w is enqueued
-            // exactly once.
-            const std::size_t pos =
-                next_size.fetch_add(1, std::memory_order_relaxed);
-            next[pos] = w;
-          }
-        }
-      });
+      // Grain 8: per-iteration work is the vertex degree, which is heavily
+      // skewed; small stealable leaves keep hubs from serializing a round.
+      parallel_for(
+          0, frontier.size(),
+          [&](std::size_t i) {
+            for (vertex_t w : g.neighbors(frontier[i])) {
+              if (peeled[w].load(std::memory_order_relaxed) != 0) continue;
+              const std::int64_t old =
+                  deg[w].fetch_sub(1, std::memory_order_relaxed);
+              if (old - 1 == static_cast<std::int64_t>(k)) {
+                // Exactly one decrementer observes the k crossing (fetch_sub
+                // hands out distinct descending old values), so w is
+                // enqueued exactly once.
+                const std::size_t pos =
+                    next_size.fetch_add(1, std::memory_order_relaxed);
+                next[pos] = w;
+              }
+            }
+          },
+          /*grain=*/8);
       const std::size_t sz = next_size.load(std::memory_order_relaxed);
       frontier.assign(next.begin(),
                       next.begin() + static_cast<std::ptrdiff_t>(sz));

@@ -1,26 +1,41 @@
-// Data-parallel building blocks on top of the scheduler: reduce, exclusive
-// scan, pack/filter, map, and counting utilities. All functions fall back to
-// tuned serial code below a size threshold.
+// Data-parallel building blocks on top of the fork-join scheduler: reduce,
+// exclusive scan, pack/filter, map, and counting utilities. Reduce, scan,
+// and pack are divide-and-conquer over fork2 — the recursion tree's subtasks
+// are stealable, so these primitives parallelize even when invoked from
+// inside another parallel loop. All functions fall back to tuned serial code
+// below serial_cutoff() (CPKC_GRAIN env override; see parallel/tuning.hpp).
+//
+// `init` passed to parallel_reduce must be an identity of `combine`: it
+// seeds every leaf of the reduction tree, not just the root.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <numeric>
 #include <vector>
 
 #include "parallel/scheduler.hpp"
+#include "parallel/tuning.hpp"
 
 namespace cpkcore {
 
-inline constexpr std::size_t kSerialCutoff = 2048;
-
 namespace detail {
+/// First index of block i when [0, n) is split into `blocks` near-equal
+/// ranges. Computed as i*(n/blocks) + min(i, n%blocks) — the naive
+/// (n * i) / blocks wraps std::size_t for very large n.
+inline std::size_t block_lo(std::size_t n, std::size_t blocks,
+                            std::size_t i) {
+  return i * (n / blocks) + std::min(i, n % blocks);
+}
+
 /// Splits [0, n) into `blocks` near-equal ranges; returns boundaries of size
 /// blocks + 1.
 inline std::vector<std::size_t> block_bounds(std::size_t n,
                                              std::size_t blocks) {
   std::vector<std::size_t> b(blocks + 1);
   for (std::size_t i = 0; i <= blocks; ++i) {
-    b[i] = (n * i) / blocks;
+    b[i] = block_lo(n, blocks, i);
   }
   return b;
 }
@@ -30,30 +45,142 @@ inline std::size_t default_blocks(std::size_t n) {
   const std::size_t blocks = std::min(n, w * 8);
   return blocks == 0 ? 1 : blocks;
 }
+
+/// Power-of-two leaf count for the scan/pack recursion trees (heap-indexed
+/// with 2 * blocks - 1 nodes).
+inline std::size_t tree_blocks(std::size_t n) {
+  return std::bit_ceil(default_blocks(n));
+}
+
+template <class T, class F, class Combine>
+T reduce_split(std::size_t lo, std::size_t hi, std::size_t grain,
+               const T& init, F& f, Combine& combine) {
+  if (hi - lo <= grain) {
+    T acc = init;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, f(i));
+    return acc;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  T left = init;
+  T right = init;
+  fork2([&] { left = reduce_split(lo, mid, grain, init, f, combine); },
+        [&] { right = reduce_split(mid, hi, grain, init, f, combine); });
+  return combine(left, right);
+}
+
+// Scan recursion tree: node `node` covers block range [b0, b1) (heap
+// layout, children 2*node+1 / 2*node+2). Pass 1 fills sums[node] with the
+// node's total; pass 2 descends with the running prefix.
+template <class T>
+void scan_sum_pass(std::vector<T>& values, std::size_t node, std::size_t b0,
+                   std::size_t b1, std::size_t n, std::size_t blocks,
+                   std::vector<T>& sums) {
+  if (b1 - b0 == 1) {
+    const std::size_t lo = block_lo(n, blocks, b0);
+    const std::size_t hi = block_lo(n, blocks, b0 + 1);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += values[i];
+    sums[node] = acc;
+    return;
+  }
+  const std::size_t bm = b0 + (b1 - b0) / 2;
+  fork2([&] { scan_sum_pass(values, 2 * node + 1, b0, bm, n, blocks, sums); },
+        [&] { scan_sum_pass(values, 2 * node + 2, bm, b1, n, blocks, sums); });
+  sums[node] = sums[2 * node + 1];
+  sums[node] += sums[2 * node + 2];
+}
+
+template <class T>
+void scan_prefix_pass(std::vector<T>& values, std::size_t node,
+                      std::size_t b0, std::size_t b1, std::size_t n,
+                      std::size_t blocks, const std::vector<T>& sums,
+                      T prefix) {
+  if (b1 - b0 == 1) {
+    const std::size_t lo = block_lo(n, blocks, b0);
+    const std::size_t hi = block_lo(n, blocks, b0 + 1);
+    T acc = std::move(prefix);
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+    return;
+  }
+  const std::size_t bm = b0 + (b1 - b0) / 2;
+  T right_prefix = prefix;
+  right_prefix += sums[2 * node + 1];
+  fork2(
+      [&] {
+        scan_prefix_pass(values, 2 * node + 1, b0, bm, n, blocks, sums,
+                         std::move(prefix));
+      },
+      [&] {
+        scan_prefix_pass(values, 2 * node + 2, bm, b1, n, blocks, sums,
+                         std::move(right_prefix));
+      });
+}
+
+// Pack recursion tree: pass 1 counts matches per node, pass 2 writes each
+// leaf's matches at its exclusive prefix offset.
+template <class Pred>
+void pack_count_pass(std::size_t node, std::size_t b0, std::size_t b1,
+                     std::size_t n, std::size_t blocks, Pred& pred,
+                     std::vector<std::size_t>& counts) {
+  if (b1 - b0 == 1) {
+    const std::size_t lo = block_lo(n, blocks, b0);
+    const std::size_t hi = block_lo(n, blocks, b0 + 1);
+    std::size_t c = 0;
+    for (std::size_t i = lo; i < hi; ++i) c += pred(i) ? 1 : 0;
+    counts[node] = c;
+    return;
+  }
+  const std::size_t bm = b0 + (b1 - b0) / 2;
+  fork2([&] { pack_count_pass(2 * node + 1, b0, bm, n, blocks, pred, counts); },
+        [&] {
+          pack_count_pass(2 * node + 2, bm, b1, n, blocks, pred, counts);
+        });
+  counts[node] = counts[2 * node + 1] + counts[2 * node + 2];
+}
+
+template <class T, class Pred, class Gen>
+void pack_fill_pass(std::size_t node, std::size_t b0, std::size_t b1,
+                    std::size_t n, std::size_t blocks, Pred& pred, Gen& gen,
+                    const std::vector<std::size_t>& counts,
+                    std::size_t prefix, std::vector<T>& out) {
+  if (b1 - b0 == 1) {
+    const std::size_t lo = block_lo(n, blocks, b0);
+    const std::size_t hi = block_lo(n, blocks, b0 + 1);
+    std::size_t pos = prefix;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(i)) out[pos++] = gen(i);
+    }
+    return;
+  }
+  const std::size_t bm = b0 + (b1 - b0) / 2;
+  fork2(
+      [&] {
+        pack_fill_pass(2 * node + 1, b0, bm, n, blocks, pred, gen, counts,
+                       prefix, out);
+      },
+      [&] {
+        pack_fill_pass(2 * node + 2, bm, b1, n, blocks, pred, gen, counts,
+                       prefix + counts[2 * node + 1], out);
+      });
+}
 }  // namespace detail
 
 /// Sum-type reduction: returns init + f(0) + f(1) + ... + f(n-1) where `+`
-/// is the provided associative combine.
+/// is the provided associative combine and init is its identity.
 template <class T, class F, class Combine>
 T parallel_reduce(std::size_t n, T init, F&& f, Combine&& combine) {
-  if (n < kSerialCutoff) {
+  if (n < serial_cutoff()) {
     T acc = init;
     for (std::size_t i = 0; i < n; ++i) acc = combine(acc, f(i));
     return acc;
   }
-  const std::size_t blocks = detail::default_blocks(n);
-  const auto bounds = detail::block_bounds(n, blocks);
-  std::vector<T> partial(blocks, init);
-  parallel_for(0, blocks, [&](std::size_t b) {
-    T acc = init;
-    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
-      acc = combine(acc, f(i));
-    }
-    partial[b] = acc;
-  });
-  T acc = init;
-  for (const T& p : partial) acc = combine(acc, p);
-  return acc;
+  const std::size_t grain =
+      std::max<std::size_t>(1, n / detail::default_blocks(n));
+  return detail::reduce_split(0, n, grain, init, f, combine);
 }
 
 /// Convenience: parallel sum of f(i).
@@ -67,7 +194,7 @@ T parallel_sum(std::size_t n, F&& f) {
 template <class T>
 T parallel_scan_exclusive(std::vector<T>& values) {
   const std::size_t n = values.size();
-  if (n < kSerialCutoff) {
+  if (n < serial_cutoff()) {
     T acc{};
     for (std::size_t i = 0; i < n; ++i) {
       T v = values[i];
@@ -76,60 +203,30 @@ T parallel_scan_exclusive(std::vector<T>& values) {
     }
     return acc;
   }
-  const std::size_t blocks = detail::default_blocks(n);
-  const auto bounds = detail::block_bounds(n, blocks);
-  std::vector<T> block_sum(blocks);
-  parallel_for(0, blocks, [&](std::size_t b) {
-    T acc{};
-    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) acc += values[i];
-    block_sum[b] = acc;
-  });
-  T total{};
-  for (std::size_t b = 0; b < blocks; ++b) {
-    T v = block_sum[b];
-    block_sum[b] = total;
-    total += v;
-  }
-  parallel_for(0, blocks, [&](std::size_t b) {
-    T acc = block_sum[b];
-    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
-      T v = values[i];
-      values[i] = acc;
-      acc += v;
-    }
-  });
+  const std::size_t blocks = detail::tree_blocks(n);
+  std::vector<T> sums(2 * blocks - 1);
+  detail::scan_sum_pass(values, 0, 0, blocks, n, blocks, sums);
+  T total = sums[0];
+  detail::scan_prefix_pass(values, 0, 0, blocks, n, blocks, sums, T{});
   return total;
 }
 
 /// Returns the elements produced by gen(i) for indices where pred(i) holds,
-/// preserving index order.
+/// preserving index order. pred is evaluated twice per index (count + fill).
 template <class T, class Pred, class Gen>
 std::vector<T> parallel_pack(std::size_t n, Pred&& pred, Gen&& gen) {
-  if (n < kSerialCutoff) {
+  if (n < serial_cutoff()) {
     std::vector<T> out;
     for (std::size_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(gen(i));
     }
     return out;
   }
-  const std::size_t blocks = detail::default_blocks(n);
-  const auto bounds = detail::block_bounds(n, blocks);
-  std::vector<std::size_t> counts(blocks);
-  parallel_for(0, blocks, [&](std::size_t b) {
-    std::size_t c = 0;
-    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
-      c += pred(i) ? 1 : 0;
-    }
-    counts[b] = c;
-  });
-  const std::size_t total = parallel_scan_exclusive(counts);
-  std::vector<T> out(total);
-  parallel_for(0, blocks, [&](std::size_t b) {
-    std::size_t pos = counts[b];
-    for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
-      if (pred(i)) out[pos++] = gen(i);
-    }
-  });
+  const std::size_t blocks = detail::tree_blocks(n);
+  std::vector<std::size_t> counts(2 * blocks - 1);
+  detail::pack_count_pass(0, 0, blocks, n, blocks, pred, counts);
+  std::vector<T> out(counts[0]);
+  detail::pack_fill_pass(0, 0, blocks, n, blocks, pred, gen, counts, 0, out);
   return out;
 }
 

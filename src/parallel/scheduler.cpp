@@ -1,12 +1,29 @@
 #include "parallel/scheduler.hpp"
 
-#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 namespace cpkcore {
 
 namespace {
-thread_local int t_chunk_depth = 0;
+
+// Deque capacity (power of two). Outstanding tasks per thread are bounded by
+// the fork recursion depth (~log2(n) per loop nesting level), so 4096 is far
+// above anything reachable; overflow degrades to inline execution anyway.
+constexpr std::size_t kDequeCapacity = 4096;
+
+// Extra slots for external (non-pool) submitting threads. Submitters beyond
+// this run their root call serially, which is correct but unaccelerated.
+constexpr std::size_t kExternalSlots = 16;
+
+// A thread joining a stolen task may steal and run other tasks while it
+// waits; this caps how deep those help-out frames nest so the stack stays
+// bounded even under adversarial steal patterns.
+constexpr int kMaxWaitStealDepth = 4;
+
+// Failed steal attempts before an idle worker naps on the condition
+// variable (with a timeout, so missed wakeups only cost latency).
+constexpr int kStealFailsBeforeSleep = 64;
 
 std::size_t default_workers() {
   if (const char* env = std::getenv("CPKC_NUM_WORKERS")) {
@@ -16,13 +33,96 @@ std::size_t default_workers() {
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 4 : hc;
 }
+
+std::uint64_t next_rand(std::uint64_t& state) {
+  // xorshift64*; only used for steal victim selection.
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
 }  // namespace
 
-bool Scheduler::in_chunk() { return t_chunk_depth > 0; }
+// Chase-Lev work-stealing deque (Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models"), strengthened to use seq_cst
+// operations on top/bottom instead of standalone fences so TSan understands
+// the synchronization. The owner pushes/pops at the bottom; thieves steal
+// from the top; the single-element race is arbitrated by a CAS on top.
+struct Scheduler::Slot {
+  std::atomic<std::int64_t> top{0};
+  std::atomic<std::int64_t> bottom{0};
+  std::unique_ptr<std::atomic<Task*>[]> buffer{
+      new std::atomic<Task*>[kDequeCapacity]};
+  std::atomic<bool> claimed{false};  // external-slot ownership
+  // Separate hot atomics from the next slot in the array.
+  char pad[64] = {};
 
-Scheduler::ChunkScope::ChunkScope() { ++t_chunk_depth; }
+  bool push(Task* task) {
+    const std::int64_t b = bottom.load(std::memory_order_relaxed);
+    const std::int64_t t = top.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kDequeCapacity)) return false;
+    buffer[static_cast<std::size_t>(b) & (kDequeCapacity - 1)].store(
+        task, std::memory_order_relaxed);
+    bottom.store(b + 1, std::memory_order_release);
+    return true;
+  }
 
-Scheduler::ChunkScope::~ChunkScope() { --t_chunk_depth; }
+  Task* pop() {
+    const std::int64_t b = bottom.load(std::memory_order_relaxed) - 1;
+    bottom.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty
+      bottom.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task* task = buffer[static_cast<std::size_t>(b) & (kDequeCapacity - 1)]
+                     .load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race with thieves for it.
+      if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        task = nullptr;  // a thief won
+      }
+      bottom.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  Task* steal() {
+    std::int64_t t = top.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Task* task = buffer[static_cast<std::size_t>(t) & (kDequeCapacity - 1)]
+                     .load(std::memory_order_relaxed);
+    if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return task;
+  }
+};
+
+thread_local Scheduler::Binding Scheduler::tl_binding_;
+thread_local int Scheduler::tl_task_depth_ = 0;
+
+bool Scheduler::in_task() { return tl_task_depth_ > 0; }
+
+Scheduler::TaskScope::TaskScope() { ++tl_task_depth_; }
+
+Scheduler::TaskScope::~TaskScope() { --tl_task_depth_; }
+
+Scheduler::ExternalScope::ExternalScope(Scheduler& sched)
+    : sched_(sched), prev_(tl_binding_) {
+  tl_binding_ = Binding{&sched, sched.claim_external_slot()};
+}
+
+Scheduler::ExternalScope::~ExternalScope() {
+  if (tl_binding_.slot != nullptr) {
+    sched_.release_external_slot(tl_binding_.slot);
+  }
+  tl_binding_ = prev_;
+}
 
 Scheduler& Scheduler::instance() {
   static Scheduler sched(default_workers());
@@ -39,82 +139,128 @@ void Scheduler::set_num_workers(std::size_t num_workers) {
 }
 
 void Scheduler::start(std::size_t num_workers) {
-  {
-    std::lock_guard lock(mu_);
-    shutdown_ = false;
-  }
-  // The submitting thread also works, so a pool of (num_workers - 1)
-  // threads yields num_workers-way parallelism.
-  const std::size_t extra = num_workers > 1 ? num_workers - 1 : 0;
-  threads_.reserve(extra);
-  for (std::size_t i = 0; i < extra; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+  num_workers_ = num_workers == 0 ? 1 : num_workers;
+  // The submitting thread also works, so (num_workers - 1) pool threads
+  // yield num_workers-way parallelism.
+  const std::size_t pool_threads = num_workers_ - 1;
+  num_slots_ = pool_threads + kExternalSlots;
+  slots_ = std::make_unique<Slot[]>(num_slots_);
+  shutdown_.store(false, std::memory_order_relaxed);
+  pool_.reserve(pool_threads);
+  for (std::size_t i = 0; i < pool_threads; ++i) {
+    pool_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 void Scheduler::stop() {
   {
     std::lock_guard lock(mu_);
-    shutdown_ = true;
+    shutdown_.store(true, std::memory_order_seq_cst);
   }
   cv_.notify_all();
-  for (auto& t : threads_) t.join();
-  threads_.clear();
-  queue_.clear();
+  for (auto& t : pool_) t.join();
+  pool_.clear();
+  slots_.reset();
+  num_slots_ = 0;
 }
 
-std::size_t Scheduler::work_on(Job& job) {
-  std::size_t executed = 0;
-  for (;;) {
-    const std::size_t chunk =
-        job.cursor.fetch_add(1, std::memory_order_relaxed);
-    if (chunk >= job.num_chunks) break;
-    {
-      ChunkScope scope;
-      job.body(chunk);
-    }
-    job.finished.fetch_add(1, std::memory_order_release);
-    ++executed;
+bool Scheduler::push_task(Task* task) {
+  Slot* slot = tl_binding_.slot;
+  if (slot == nullptr || !slot->push(task)) return false;
+  if (sleepers_.load(std::memory_order_relaxed) > 0) cv_.notify_one();
+  return true;
+}
+
+bool Scheduler::pop_task(Task* task) {
+  Slot* slot = tl_binding_.slot;
+  Task* popped = slot->pop();
+  if (popped == task) return true;
+  if (popped != nullptr) {
+    // `task` was pushed after `popped`, so finding `popped` at the bottom
+    // proves `task` was stolen. This interleaving arises from help-out
+    // stealing: a task run while waiting forks on this deque, its fork gets
+    // stolen, and its join lands on an ancestor frame's entry. Put the
+    // ancestor's task back (there is room — we just popped) for its own
+    // join to claim.
+    slot->push(popped);
   }
-  return executed;
+  return false;
 }
 
-void Scheduler::worker_loop() {
-  for (;;) {
-    std::shared_ptr<Job> job;
-    {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_) return;
-      job = queue_.front();
-      // Drop jobs whose chunks are all claimed; they finish on their own.
-      if (job->cursor.load(std::memory_order_relaxed) >= job->num_chunks) {
-        queue_.pop_front();
+void Scheduler::run_task(Task* task) {
+  TaskScope scope;
+  task->invoke(task);
+  task->done.store(true, std::memory_order_release);
+}
+
+Scheduler::Task* Scheduler::try_steal(const Slot* self,
+                                      std::uint64_t& rng_state) {
+  const std::size_t start =
+      static_cast<std::size_t>(next_rand(rng_state) % num_slots_);
+  for (std::size_t k = 0; k < num_slots_; ++k) {
+    Slot* victim = &slots_[(start + k) % num_slots_];
+    if (victim == self) continue;
+    if (Task* task = victim->steal()) return task;
+  }
+  return nullptr;
+}
+
+void Scheduler::wait_task(Task& task) {
+  std::uint64_t rng_state =
+      reinterpret_cast<std::uintptr_t>(&task) | 1;
+  int fails = 0;
+  while (!task.done.load(std::memory_order_acquire)) {
+    if (tl_binding_.wait_steal_depth < kMaxWaitStealDepth) {
+      if (Task* other = try_steal(tl_binding_.slot, rng_state)) {
+        ++tl_binding_.wait_steal_depth;
+        run_task(other);
+        --tl_binding_.wait_steal_depth;
+        fails = 0;
         continue;
       }
     }
-    work_on(*job);
+    if (++fails >= kStealFailsBeforeSleep) std::this_thread::yield();
   }
 }
 
-void Scheduler::run_job(std::size_t num_chunks,
-                        const std::function<void(std::size_t)>& body) {
-  auto job = std::make_shared<Job>();
-  job->body = body;
-  job->num_chunks = num_chunks;
-  {
-    std::lock_guard lock(mu_);
-    queue_.push_back(job);
+Scheduler::Slot* Scheduler::claim_external_slot() {
+  const std::size_t pool_threads = pool_.size();
+  for (std::size_t i = pool_threads; i < num_slots_; ++i) {
+    bool expected = false;
+    if (slots_[i].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acquire,
+            std::memory_order_relaxed)) {
+      return &slots_[i];
+    }
   }
-  cv_.notify_all();
-  work_on(*job);
-  // Wait for stragglers still running claimed chunks.
-  while (job->finished.load(std::memory_order_acquire) < num_chunks) {
-    std::this_thread::yield();
+  return nullptr;
+}
+
+void Scheduler::release_external_slot(Slot* slot) {
+  slot->claimed.store(false, std::memory_order_release);
+}
+
+void Scheduler::worker_loop(std::size_t slot_index) {
+  tl_binding_ = Binding{this, &slots_[slot_index]};
+  std::uint64_t rng_state = (slot_index + 1) * 0x9E3779B97F4A7C15ULL;
+  int fails = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (Task* task = try_steal(tl_binding_.slot, rng_state)) {
+      run_task(task);
+      fails = 0;
+      continue;
+    }
+    if (++fails < kStealFailsBeforeSleep) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock lock(mu_);
+    if (shutdown_.load(std::memory_order_relaxed)) break;
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait_for(lock, std::chrono::microseconds(500));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    fails = 0;
   }
-  // Remove the (exhausted) job from the queue if still present.
-  std::lock_guard lock(mu_);
-  std::erase(queue_, job);
 }
 
 }  // namespace cpkcore

@@ -1,28 +1,35 @@
-// Shared-memory data-parallel scheduler: a fixed pool of workers executing
-// chunked loop jobs (dynamic chunk stealing via an atomic cursor). This is
-// the cpkcore stand-in for the ParlayLib/GBBS work-stealing scheduler: the
-// algorithms in this repo only need flat fork-join data parallelism
-// (parallel_for / reduce / scan / sort over batches), so a chunk-queue design
-// is simpler and performs comparably for those shapes.
+// Work-stealing fork-join scheduler: a fixed pool of workers, each owning a
+// Chase-Lev deque of fork-join tasks. This is the cpkcore equivalent of the
+// ParlayLib/GBBS scheduler: `fork2` spawns a pair of tasks (the right child
+// is pushed onto the forking thread's deque where idle workers steal it),
+// and `parallel_for` is built on top as eager binary splitting down to a
+// grain-sized serial leaf. Nested parallelism is genuine: a worker executing
+// a stolen task can fork subtasks that other workers steal, so an inner
+// `parallel_for` spreads across the pool instead of collapsing to serial as
+// the old chunk-queue design did.
 //
 // Concurrency contract:
-//  * Any thread (pool worker or external) may submit jobs; submissions from
-//    different threads run concurrently.
-//  * parallel_for calls nested inside a running chunk execute sequentially
-//    (no deadlock, bounded stack).
-//  * The submitting thread participates in its own job and returns only when
-//    every chunk has finished.
+//  * Any thread (pool worker or external) may call parallel_for / fork2;
+//    concurrent submissions from different threads proceed in parallel.
+//    External threads temporarily claim one of a small set of extra deque
+//    slots; if all are taken, the call degrades to serial execution.
+//  * The calling thread participates in its own work and returns only when
+//    every forked task has finished.
+//  * Joins never block the thread outright: a thread waiting on a stolen
+//    task steals other work (bounded depth, so the stack stays bounded),
+//    then spins/yields.
+//  * With no pool threads (num_workers <= 1), everything runs serially on
+//    the calling thread — the serial fallback the tests pin down.
 #pragma once
 
-#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace cpkcore {
@@ -39,87 +46,184 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  [[nodiscard]] std::size_t num_workers() const { return threads_.size(); }
+  /// Total parallelism: pool threads + the participating submitter.
+  [[nodiscard]] std::size_t num_workers() const { return num_workers_; }
 
   /// Stops and restarts the pool with a new worker count. Must not be called
   /// concurrently with job submission.
   void set_num_workers(std::size_t num_workers);
 
-  /// Runs f(i) for i in [begin, end) in parallel. `grain` is the minimum
-  /// number of iterations per chunk (0 = heuristic).
+  /// Runs f(i) for i in [begin, end) in parallel via binary splitting.
+  /// `grain` is the target number of iterations per serial leaf (0 = aim
+  /// for ~8 leaves per worker). Leaves become stealable tasks, so loops
+  /// with irregular per-iteration work balance across the pool.
   template <class F>
   void parallel_for(std::size_t begin, std::size_t end, F&& f,
                     std::size_t grain = 0) {
     const std::size_t n = end > begin ? end - begin : 0;
     if (n == 0) return;
-    // Serial fast paths: tiny loops, no workers, or nested inside a chunk.
-    // Every path that executes user code establishes a chunk scope, so
-    // in_chunk() is true inside any running loop body and nested
-    // parallel_for calls always collapse to serial.
-    if (n == 1 || threads_.empty() || in_chunk()) {
-      ChunkScope scope;
-      for (std::size_t i = begin; i < end; ++i) f(i);
-      return;
-    }
     std::size_t g = grain;
     if (g == 0) {
-      // Aim for ~8 chunks per worker, at least 1 iteration each.
-      const std::size_t target = (threads_.size() + 1) * 8;
+      const std::size_t target = num_workers_ * 8;
       g = (n + target - 1) / target;
       if (g == 0) g = 1;
     }
-    const std::size_t num_chunks = (n + g - 1) / g;
-    if (num_chunks <= 1) {
-      ChunkScope scope;
+    if (n <= g || !has_pool()) {
+      TaskScope scope;
       for (std::size_t i = begin; i < end; ++i) f(i);
       return;
     }
-    auto body = [begin, end, g, &f](std::size_t chunk) {
-      const std::size_t lo = begin + chunk * g;
-      const std::size_t hi = std::min(end, lo + g);
-      for (std::size_t i = lo; i < hi; ++i) f(i);
-    };
-    run_job(num_chunks, body);
+    run_root([&] { for_split(begin, end, f, g); });
   }
 
-  /// True when the calling thread is currently executing a chunk (nested
-  /// parallelism collapses to serial).
-  static bool in_chunk();
+  /// Runs fa() and fb(), potentially in parallel (fb is made stealable
+  /// while the calling thread runs fa), and returns when both are done.
+  /// This is the one fork-join primitive; everything else is sugar.
+  template <class Fa, class Fb>
+  void fork2(Fa&& fa, Fb&& fb) {
+    if (!has_pool()) {
+      TaskScope scope;
+      fa();
+      fb();
+      return;
+    }
+    run_root([&] { fork2_impl(fa, fb); });
+  }
+
+  /// True when the calling thread is executing inside scheduler-run code
+  /// (a loop body, a fork2 branch, or a stolen task).
+  static bool in_task();
+
+  /// Legacy name from the chunk-queue scheduler; same meaning as in_task().
+  static bool in_chunk() { return in_task(); }
 
  private:
-  /// RAII marker for "this thread is executing user loop code". Entered by
-  /// pool workers around each stolen chunk and by the serial fast paths in
-  /// parallel_for, so in_chunk() holds on every path that runs f(i).
-  class ChunkScope {
+  /// A fork-join task. Lives on the forking thread's stack; `done` is set
+  /// (release) by whoever executes it, and the forker joins on that flag.
+  struct Task {
+    void (*invoke)(Task*) = nullptr;
+    std::atomic<bool> done{false};
+  };
+
+  template <class F>
+  struct ClosureTask final : Task {
+    F* fn;
+    explicit ClosureTask(F& f) : fn(&f) {
+      invoke = [](Task* t) { (*static_cast<ClosureTask*>(t)->fn)(); };
+    }
+  };
+
+  /// RAII marker for "this thread is executing scheduler-run user code".
+  class TaskScope {
    public:
-    ChunkScope();
-    ~ChunkScope();
-    ChunkScope(const ChunkScope&) = delete;
-    ChunkScope& operator=(const ChunkScope&) = delete;
+    TaskScope();
+    ~TaskScope();
+    TaskScope(const TaskScope&) = delete;
+    TaskScope& operator=(const TaskScope&) = delete;
   };
 
-  struct Job {
-    std::function<void(std::size_t)> body;  // receives chunk index
-    std::size_t num_chunks = 0;
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<std::size_t> finished{0};
+  struct Slot;  // Chase-Lev deque + ownership flag (defined in the .cpp)
+
+  /// Which scheduler/deque the current thread works for, if any.
+  struct Binding {
+    Scheduler* sched = nullptr;
+    Slot* slot = nullptr;  // null: bound but slotless -> forks run serial
+    int wait_steal_depth = 0;
   };
 
-  void run_job(std::size_t num_chunks,
-               const std::function<void(std::size_t)>& body);
+  /// Binds an external (non-worker) thread to this scheduler for the
+  /// duration of a root call, claiming an external deque slot when one is
+  /// free. Also enters a TaskScope so in_task() holds under the root.
+  class ExternalScope {
+   public:
+    explicit ExternalScope(Scheduler& sched);
+    ~ExternalScope();
+    ExternalScope(const ExternalScope&) = delete;
+    ExternalScope& operator=(const ExternalScope&) = delete;
 
-  /// Executes available chunks of `job`; returns number executed.
-  static std::size_t work_on(Job& job);
+   private:
+    Scheduler& sched_;
+    Binding prev_;
+    TaskScope task_scope_;
+  };
 
-  void worker_loop();
+  template <class F>
+  void run_root(F&& f) {
+    if (tl_binding_.sched == this) {
+      // Already inside this scheduler (nested call from a task): fork on
+      // the current slot directly.
+      f();
+      return;
+    }
+    ExternalScope scope(*this);
+    f();
+  }
+
+  template <class Fa, class Fb>
+  void fork2_impl(Fa&& fa, Fb&& fb) {
+    ClosureTask<std::remove_reference_t<Fb>> task(fb);
+    if (!push_task(&task)) {  // slotless binding or deque full
+      fa();
+      fb();
+      return;
+    }
+    fa();
+    if (pop_task(&task)) {
+      fb();  // nobody stole it; run inline
+    } else {
+      wait_task(task);  // stolen: steal other work until it completes
+    }
+  }
+
+  template <class F>
+  void for_split(std::size_t lo, std::size_t hi, F& f, std::size_t g) {
+    if (hi - lo <= g) {
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+      return;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    fork2_impl([this, lo, mid, &f, g] { for_split(lo, mid, f, g); },
+               [this, mid, hi, &f, g] { for_split(mid, hi, f, g); });
+  }
+
+  [[nodiscard]] bool has_pool() const { return !pool_.empty(); }
+
+  /// Pushes onto the calling thread's deque; false if the thread has no
+  /// slot or the deque is full (callers then run the task inline).
+  bool push_task(Task* task);
+
+  /// Pops the calling thread's deque bottom. True iff `task` came back
+  /// (i.e. it was not stolen).
+  bool pop_task(Task* task);
+
+  /// Waits for a stolen task, stealing and running other tasks meanwhile
+  /// (bounded recursion depth), then spinning/yielding.
+  void wait_task(Task& task);
+
+  /// Executes a stolen task inside a TaskScope and publishes `done`.
+  void run_task(Task* task);
+
+  /// One steal attempt across all slots, starting at a rng-chosen victim.
+  Task* try_steal(const Slot* self, std::uint64_t& rng_state);
+
+  Slot* claim_external_slot();
+  void release_external_slot(Slot* slot);
+
+  void worker_loop(std::size_t slot_index);
   void start(std::size_t num_workers);
   void stop();
 
-  std::vector<std::thread> threads_;
+  static thread_local Binding tl_binding_;
+  static thread_local int tl_task_depth_;
+
+  std::size_t num_workers_ = 1;
+  std::size_t num_slots_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::vector<std::thread> pool_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::shared_ptr<Job>> queue_;
-  bool shutdown_ = false;
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> shutdown_{false};
 };
 
 /// Convenience wrappers over the global scheduler.
@@ -127,6 +231,11 @@ template <class F>
 void parallel_for(std::size_t begin, std::size_t end, F&& f,
                   std::size_t grain = 0) {
   Scheduler::instance().parallel_for(begin, end, std::forward<F>(f), grain);
+}
+
+template <class Fa, class Fb>
+void fork2(Fa&& fa, Fb&& fb) {
+  Scheduler::instance().fork2(std::forward<Fa>(fa), std::forward<Fb>(fb));
 }
 
 inline std::size_t num_workers() { return Scheduler::instance().num_workers(); }

@@ -4,6 +4,11 @@
 // scatter into bucket-contiguous positions, sort buckets in parallel. This
 // is the standard shared-memory formulation (e.g., ParlayLib's sample_sort)
 // without in-place transposition — we trade one temporary array for clarity.
+//
+// Bucket sorting exploits the fork-join runtime's nested parallelism: each
+// bucket is a stealable task (grain 1), and a bucket larger than the serial
+// cutoff recursively forks a three-way-partition quicksort, so one skewed
+// bucket cannot serialize the tail of the sort.
 #pragma once
 
 #include <algorithm>
@@ -13,14 +18,45 @@
 
 #include "parallel/primitives.hpp"
 #include "parallel/scheduler.hpp"
+#include "parallel/tuning.hpp"
 #include "util/rng.hpp"
 
 namespace cpkcore {
 
+namespace detail {
+/// Fork-join three-way quicksort for oversized buckets. `depth` bounds the
+/// recursion against adversarial pivots; at 0 (or below the cutoff) it
+/// finishes with std::sort.
+template <class It, class Less>
+void sort_subtask(It lo, It hi, Less& less, int depth) {
+  const std::size_t n = static_cast<std::size_t>(hi - lo);
+  if (n <= sort_serial_cutoff() || depth == 0) {
+    std::sort(lo, hi, less);
+    return;
+  }
+  // Median-of-three pivot.
+  auto mid = lo + static_cast<std::ptrdiff_t>(n / 2);
+  auto med3 = [&](It a, It b, It c) {
+    if (less(*b, *a)) std::swap(a, b);
+    if (less(*c, *b)) {
+      b = c;
+      if (less(*b, *a)) b = a;
+    }
+    return b;
+  };
+  const auto pivot = *med3(lo, mid, hi - 1);
+  It m1 = std::partition(lo, hi, [&](const auto& x) { return less(x, pivot); });
+  It m2 =
+      std::partition(m1, hi, [&](const auto& x) { return !less(pivot, x); });
+  fork2([&] { sort_subtask(lo, m1, less, depth - 1); },
+        [&] { sort_subtask(m2, hi, less, depth - 1); });
+}
+}  // namespace detail
+
 template <class T, class Less = std::less<T>>
 void parallel_sort(std::vector<T>& data, Less less = Less{}) {
   const std::size_t n = data.size();
-  if (n < 1u << 14) {
+  if (n < sort_serial_cutoff()) {
     std::sort(data.begin(), data.end(), less);
     return;
   }
@@ -81,12 +117,17 @@ void parallel_sort(std::vector<T>& data, Less less = Less{}) {
     }
   });
 
-  // 5. Sort each bucket.
-  parallel_for(0, num_buckets, [&](std::size_t k) {
-    std::sort(out.begin() + static_cast<std::ptrdiff_t>(bucket_start[k]),
-              out.begin() + static_cast<std::ptrdiff_t>(bucket_start[k + 1]),
-              less);
-  });
+  // 5. Sort each bucket. Grain 1 makes every bucket its own stealable task,
+  // and oversized buckets fork further inside sort_subtask.
+  parallel_for(
+      0, num_buckets,
+      [&](std::size_t k) {
+        detail::sort_subtask(
+            out.begin() + static_cast<std::ptrdiff_t>(bucket_start[k]),
+            out.begin() + static_cast<std::ptrdiff_t>(bucket_start[k + 1]),
+            less, /*depth=*/48);
+      },
+      /*grain=*/1);
 
   data = std::move(out);
 }

@@ -1,0 +1,56 @@
+#include "parallel/tuning.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace cpkcore {
+
+namespace {
+
+std::size_t env_cutoff(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long long v = std::strtoll(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+// 0 means "not yet resolved"; resolved values are always >= 1.
+std::atomic<std::size_t> g_serial_cutoff{0};
+std::atomic<std::size_t> g_sort_cutoff{0};
+
+}  // namespace
+
+std::size_t serial_cutoff() {
+  std::size_t v = g_serial_cutoff.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = env_cutoff("CPKC_GRAIN", 2048);
+    if (v == 0) v = 1;
+    g_serial_cutoff.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+std::size_t sort_serial_cutoff() {
+  std::size_t v = g_sort_cutoff.load(std::memory_order_relaxed);
+  if (v == 0) {
+    // CPKC_SORT_GRAIN wins; otherwise scale with CPKC_GRAIN when that is
+    // set (so one knob shrinks every cutoff), else the historical 1 << 14.
+    std::size_t fallback = std::size_t{1} << 14;
+    if (std::getenv("CPKC_GRAIN") != nullptr) fallback = 8 * serial_cutoff();
+    v = env_cutoff("CPKC_SORT_GRAIN", fallback);
+    if (v == 0) v = 1;
+    g_sort_cutoff.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_serial_cutoff(std::size_t cutoff) {
+  g_serial_cutoff.store(cutoff, std::memory_order_relaxed);
+}
+
+void set_sort_serial_cutoff(std::size_t cutoff) {
+  g_sort_cutoff.store(cutoff, std::memory_order_relaxed);
+}
+
+}  // namespace cpkcore

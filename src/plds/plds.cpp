@@ -49,6 +49,8 @@ std::vector<vertex_t> PLDS::apply_adjacency(const std::vector<Edge>& edges,
   });
   auto groups = group_by_key(halves, [](const Half& h) { return h.at; });
   std::vector<vertex_t> endpoints(groups.size());
+  // Grain 1: group sizes follow the degree distribution, so a hub vertex's
+  // group dominates; per-group tasks let the pool steal around it.
   parallel_for(0, groups.size(), [&](std::size_t g) {
     const vertex_t at = halves[groups[g].begin].at;
     endpoints[g] = at;
@@ -61,7 +63,8 @@ std::vector<vertex_t> PLDS::apply_adjacency(const std::vector<Edge>& edges,
         buckets_[at].erase_neighbor(other, level_relaxed(other), at_level);
       }
     }
-  });
+  },
+  /*grain=*/1);
   return endpoints;
 }
 
@@ -159,6 +162,8 @@ void PLDS::insertion_rebalance(std::vector<vertex_t> dirty) {
 
     // Restructure each mover's own buckets and emit fix-ups for non-moving
     // neighbors at levels >= lmin + 1. Uses pre-move levels throughout.
+    // Grain 1: the bucket scans are degree-proportional, so per-mover tasks
+    // keep a high-degree mover from serializing its leaf.
     std::vector<std::vector<NeighborMove>> emitted(movers.size());
     parallel_for(0, movers.size(), [&](std::size_t i) {
       const vertex_t v = movers[i];
@@ -173,7 +178,8 @@ void PLDS::insertion_rebalance(std::vector<vertex_t> dirty) {
       buckets_[v].on_my_level_up(lmin, [&](vertex_t w) {
         return moving_stamp_[w] != step && level_relaxed(w) == lmin;
       });
-    });
+    },
+    /*grain=*/1);
 
     // Publish the new levels.
     parallel_for(0, movers.size(), [&](std::size_t i) {
@@ -195,6 +201,7 @@ void PLDS::insertion_rebalance(std::vector<vertex_t> dirty) {
       return m.at;
     });
     std::vector<std::uint8_t> grew(groups.size(), 0);
+    // Grain 1: fix-up group sizes are skewed toward hub vertices.
     parallel_for(0, groups.size(), [&](std::size_t g) {
       const vertex_t at = moves[groups[g].begin].at;
       const level_t at_level = level_relaxed(at);
@@ -205,7 +212,8 @@ void PLDS::insertion_rebalance(std::vector<vertex_t> dirty) {
       // Neighbors rose to lmin+1; `at`'s up-degree grew iff it sits exactly
       // at lmin+1 (they joined its `up` bucket).
       grew[g] = (at_level == lmin + 1) ? 1 : 0;
-    });
+    },
+    /*grain=*/1);
 
     // Next dirty set: untouched higher-level dirt, movers (recheck at
     // lmin+1), and vertices whose up-degree grew.
@@ -273,7 +281,7 @@ void PLDS::deletion_rebalance(std::vector<vertex_t> dirty) {
 
     // Emit fix-ups for non-moving neighbors above the target level, using
     // pre-move state: v's old level and bucket indices identify where v sat
-    // in each neighbor's structure.
+    // in each neighbor's structure. Grain 1 for the degree-skewed scans.
     std::vector<std::vector<NeighborMove>> emitted(movers.size());
     parallel_for(0, movers.size(), [&](std::size_t i) {
       const vertex_t v = movers[i];
@@ -289,7 +297,8 @@ void PLDS::deletion_rebalance(std::vector<vertex_t> dirty) {
       });
       // Own restructure: down[target..old_level) merges into `up`.
       buckets_[v].on_my_level_down(old_level, target);
-    });
+    },
+    /*grain=*/1);
 
     parallel_for(0, movers.size(), [&](std::size_t i) {
       level_[movers[i]].store(target, std::memory_order_seq_cst);
@@ -324,7 +333,8 @@ void PLDS::deletion_rebalance(std::vector<vertex_t> dirty) {
         }
       }
       affected[g] = touched ? 1 : 0;
-    });
+    },
+    /*grain=*/1);
 
     // Movers now satisfy Invariant 2 at their desire level by construction.
     parallel_for(0, movers.size(), [&](std::size_t i) {

@@ -1,21 +1,40 @@
-// Tests for the parallel runtime: scheduler semantics (coverage, nesting,
-// concurrent submitters), primitives (reduce/scan/pack), sample sort, and
+// Tests for the parallel runtime: work-stealing scheduler semantics
+// (coverage, fork2, genuine nested parallelism, concurrent submitters,
+// serial fallbacks), primitives (reduce/scan/pack), sample sort, and
 // group_by.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "parallel/primitives.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/sort.hpp"
+#include "parallel/tuning.hpp"
 #include "util/rng.hpp"
 
 namespace cpkcore {
 namespace {
+
+/// Restores the global scheduler width and the tuning cutoffs on scope exit.
+class RuntimeConfigGuard {
+ public:
+  RuntimeConfigGuard() : workers_(Scheduler::instance().num_workers()) {}
+  ~RuntimeConfigGuard() {
+    Scheduler::instance().set_num_workers(workers_);
+    set_serial_cutoff(0);
+    set_sort_serial_cutoff(0);
+  }
+
+ private:
+  std::size_t workers_;
+};
 
 TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
   constexpr std::size_t kN = 100000;
@@ -40,27 +59,84 @@ TEST(Scheduler, EmptyAndSingletonRanges) {
   EXPECT_EQ(count, 1);
 }
 
-TEST(Scheduler, NestedParallelForRunsSerially) {
+TEST(Scheduler, NestedParallelForMatchesSerial) {
+  // Nested loops now execute in parallel (inner leaves are stealable
+  // tasks); every (i, j) pair must still run exactly once.
+  Scheduler pooled(4);
   constexpr std::size_t kOuter = 64;
-  constexpr std::size_t kInner = 64;
+  constexpr std::size_t kInner = 256;
   std::vector<std::atomic<int>> hits(kOuter * kInner);
   for (auto& h : hits) h.store(0, std::memory_order_relaxed);
-  parallel_for(0, kOuter, [&](std::size_t i) {
-    EXPECT_FALSE(!Scheduler::in_chunk());
-    parallel_for(0, kInner, [&](std::size_t j) {
-      hits[i * kInner + j].fetch_add(1, std::memory_order_relaxed);
-    });
-  });
+  pooled.parallel_for(
+      0, kOuter,
+      [&](std::size_t i) {
+        EXPECT_TRUE(Scheduler::in_task());
+        pooled.parallel_for(0, kInner, [&](std::size_t j) {
+          hits[i * kInner + j].fetch_add(1, std::memory_order_relaxed);
+        });
+      },
+      /*grain=*/1);
   for (auto& h : hits) ASSERT_EQ(h.load(), 1);
 }
 
-TEST(Scheduler, InChunkOnPoollessFastPath) {
+TEST(Scheduler, NestedParallelForUsesMultipleWorkers) {
+  // The acceptance test for the work-stealing refactor: inner loop bodies
+  // must be observed on more than one thread. Retries make this robust on
+  // heavily loaded or single-core hosts, where steals wait on preemption.
+  Scheduler pooled(4);
+  std::mutex mu;
+  std::set<std::thread::id> inner_tids;
+  std::atomic<std::uint64_t> sink{0};
+  for (int attempt = 0; attempt < 50 && inner_tids.size() < 2; ++attempt) {
+    pooled.parallel_for(
+        0, 16,
+        [&](std::size_t) {
+          pooled.parallel_for(0, 1 << 15, [&](std::size_t j) {
+            if (j % 2048 == 0) {
+              std::lock_guard lock(mu);
+              inner_tids.insert(std::this_thread::get_id());
+            }
+            std::uint64_t acc = j;
+            for (int s = 0; s < 8; ++s) {
+              acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+            }
+            sink.fetch_add(acc & 1, std::memory_order_relaxed);
+          });
+        },
+        /*grain=*/1);
+  }
+  EXPECT_GE(inner_tids.size(), 2u)
+      << "no steals observed in nested loops across 50 attempts";
+}
+
+TEST(Scheduler, OneWorkerNestedStaysOnCallingThread) {
+  // With no pool threads the serial fallback keeps everything — including
+  // nested loops — on the calling thread, the 1-worker contract CI pins
+  // with CPKC_NUM_WORKERS=1.
+  Scheduler solo(1);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> escaped{0};
+  solo.parallel_for(
+      0, 8,
+      [&](std::size_t) {
+        ASSERT_TRUE(Scheduler::in_task());
+        solo.parallel_for(0, 4096, [&](std::size_t) {
+          if (std::this_thread::get_id() != caller) {
+            escaped.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      },
+      1);
+  EXPECT_EQ(escaped.load(), 0);
+}
+
+TEST(Scheduler, InTaskOnPoollessFastPath) {
   // One total worker means no pool threads: every parallel_for takes the
-  // threads_.empty() inline path, which must still mark the chunk scope.
+  // serial inline path, which must still mark the task scope.
   Scheduler serial(1);
   std::atomic<int> bad{0};
   serial.parallel_for(0, 64, [&](std::size_t) {
-    if (!Scheduler::in_chunk()) bad.fetch_add(1, std::memory_order_relaxed);
+    if (!Scheduler::in_task()) bad.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(bad.load(), 0);
 
@@ -72,63 +148,105 @@ TEST(Scheduler, InChunkOnPoollessFastPath) {
   EXPECT_EQ(bad.load(), 0);
 }
 
-TEST(Scheduler, InChunkOnSingletonAndSingleChunkFastPaths) {
+TEST(Scheduler, InTaskOnSingletonAndLargeGrainFastPaths) {
   Scheduler pooled(4);
   // n == 1 inline path.
   bool in = false;
-  pooled.parallel_for(0, 1, [&](std::size_t) { in = Scheduler::in_chunk(); });
+  pooled.parallel_for(0, 1, [&](std::size_t) { in = Scheduler::in_task(); });
   EXPECT_TRUE(in);
-  // Grain >= n collapses to num_chunks <= 1, also executed inline.
+  // Grain >= n collapses to one serial leaf, also executed inline.
   std::atomic<int> bad{0};
   pooled.parallel_for(
       0, 128,
       [&](std::size_t) {
-        if (!Scheduler::in_chunk()) bad.fetch_add(1, std::memory_order_relaxed);
+        if (!Scheduler::in_task()) bad.fetch_add(1, std::memory_order_relaxed);
       },
       1 << 20);
   EXPECT_EQ(bad.load(), 0);
 }
 
-TEST(Scheduler, NestedLoopNeverLeavesCallingThread) {
-  // A loop body already inside a chunk must run nested parallel_for calls
-  // serially on the same thread — a nested call that enqueues a pool job
-  // would show foreign thread ids (and risks unbounded nesting).
-  Scheduler pooled(4);
-  std::atomic<int> escaped{0};
-  pooled.parallel_for(
-      0, 8,
-      [&](std::size_t) {
-        ASSERT_TRUE(Scheduler::in_chunk());
-        const auto outer_tid = std::this_thread::get_id();
-        pooled.parallel_for(0, 4096, [&](std::size_t) {
-          if (std::this_thread::get_id() != outer_tid) {
-            escaped.fetch_add(1, std::memory_order_relaxed);
-          }
-        });
+TEST(Scheduler, Fork2ComputesBothBranches) {
+  // External-thread fork2 (the test thread is not a pool worker).
+  int a = 0;
+  int b = 0;
+  bool a_in_task = false;
+  fork2(
+      [&] {
+        a = 41;
+        a_in_task = Scheduler::in_task();
       },
-      1);
-  EXPECT_EQ(escaped.load(), 0);
+      [&] { b = 1; });
+  EXPECT_EQ(a + b, 42);
+  EXPECT_TRUE(a_in_task);
 }
 
-TEST(Scheduler, SingleChunkOuterCollapsesNestedLoop) {
-  // Seed bug: an outer loop taking the num_chunks <= 1 inline path ran its
-  // body at depth 0, so the nested loop spawned a parallel job instead of
-  // collapsing to serial. All inner iterations must stay on the caller.
+TEST(Scheduler, Fork2RecursiveTreeSum) {
+  // Divide-and-conquer sum over fork2 down to single elements exercises
+  // deep fork nesting and join ordering.
   Scheduler pooled(4);
-  const auto caller = std::this_thread::get_id();
-  std::atomic<int> escaped{0};
+  constexpr std::uint64_t kN = 1 << 12;
+  struct Summer {
+    Scheduler& sched;
+    std::uint64_t operator()(std::uint64_t lo, std::uint64_t hi) {
+      if (hi - lo == 1) return lo;
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      std::uint64_t left = 0;
+      std::uint64_t right = 0;
+      sched.fork2([&] { left = (*this)(lo, mid); },
+                  [&] { right = (*this)(mid, hi); });
+      return left + right;
+    }
+  };
+  Summer summer{pooled};
+  EXPECT_EQ(summer(0, kN), kN * (kN - 1) / 2);
+}
+
+TEST(Scheduler, Fork2InsideParallelForBodies) {
+  Scheduler pooled(4);
+  constexpr std::size_t kN = 512;
+  std::vector<std::uint64_t> out(kN, 0);
   pooled.parallel_for(
-      0, 16,
-      [&](std::size_t) {
-        EXPECT_TRUE(Scheduler::in_chunk());
-        pooled.parallel_for(0, 4096, [&](std::size_t) {
-          if (std::this_thread::get_id() != caller) {
-            escaped.fetch_add(1, std::memory_order_relaxed);
-          }
-        });
+      0, kN,
+      [&](std::size_t i) {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        pooled.fork2([&] { lo = i * i; }, [&] { hi = 3 * i; });
+        out[i] = lo + hi;
       },
-      64);
-  EXPECT_EQ(escaped.load(), 0);
+      /*grain=*/1);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(out[i], static_cast<std::uint64_t>(i) * i + 3 * i) << i;
+  }
+}
+
+TEST(Scheduler, NestedPrimitivesStressMatchesSerial) {
+  // Three-layer nesting: parallel_for over rows, each row running a
+  // parallel_reduce whose leaves fork again. Checked against a serial
+  // reference at several scheduler widths (1 = pure serial fallback).
+  RuntimeConfigGuard guard;
+  set_serial_cutoff(64);  // force the primitives onto their parallel paths
+  constexpr std::size_t kRows = 48;
+  constexpr std::size_t kCols = 3000;
+  auto cell = [](std::size_t r, std::size_t c) {
+    return static_cast<std::uint64_t>(r * 37 + c * 11 + (r * c) % 101);
+  };
+  std::vector<std::uint64_t> expect(kRows, 0);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t c = 0; c < kCols; ++c) expect[r] += cell(r, c);
+  }
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    Scheduler::instance().set_num_workers(workers);
+    std::vector<std::uint64_t> rows(kRows, 0);
+    parallel_for(
+        0, kRows,
+        [&](std::size_t r) {
+          ASSERT_TRUE(Scheduler::in_task());
+          rows[r] = parallel_sum<std::uint64_t>(
+              kCols, [&](std::size_t c) { return cell(r, c); });
+        },
+        /*grain=*/1);
+    EXPECT_EQ(rows, expect) << "workers=" << workers;
+  }
 }
 
 TEST(Scheduler, ConcurrentSubmittersBothComplete) {
@@ -151,11 +269,61 @@ TEST(Scheduler, ConcurrentSubmittersBothComplete) {
   EXPECT_EQ(sum_b.load(), expect);
 }
 
+TEST(Scheduler, MoreSubmittersThanExternalSlots) {
+  // External threads beyond the scheduler's spare deque slots fall back to
+  // serial execution; results must be identical either way.
+  constexpr std::size_t kThreads = 24;
+  constexpr std::size_t kN = 20000;
+  std::vector<std::uint64_t> sums(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::atomic<std::uint64_t> acc{0};
+      parallel_for(0, kN, [&](std::size_t i) {
+        acc.fetch_add(i, std::memory_order_relaxed);
+      });
+      sums[t] = acc.load();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::uint64_t expect = static_cast<std::uint64_t>(kN) * (kN - 1) / 2;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(sums[t], expect) << t;
+  }
+}
+
 TEST(Scheduler, GrainControlsChunking) {
   std::atomic<std::size_t> count{0};
   parallel_for(
       0, 1000, [&](std::size_t) { count.fetch_add(1); }, 100);
   EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(Primitives, BlockBoundsNoOverflowForHugeN) {
+  // The old (n * i) / blocks formula wraps std::size_t once n * blocks
+  // exceeds 2^64; the quotient/remainder form must not.
+  const std::size_t n = std::numeric_limits<std::size_t>::max() - 5;
+  const std::size_t blocks = 7;
+  const auto b = detail::block_bounds(n, blocks);
+  ASSERT_EQ(b.size(), blocks + 1);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), n);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    ASSERT_LE(b[i], b[i + 1]) << i;
+    // Near-equal split: block sizes differ by at most one.
+    const std::size_t sz = b[i + 1] - b[i];
+    EXPECT_GE(sz, n / blocks);
+    EXPECT_LE(sz, n / blocks + 1);
+  }
+}
+
+TEST(Primitives, BlockBoundsSmallCases) {
+  EXPECT_EQ(detail::block_bounds(10, 3),
+            (std::vector<std::size_t>{0, 4, 7, 10}));
+  EXPECT_EQ(detail::block_bounds(0, 2), (std::vector<std::size_t>{0, 0, 0}));
+  EXPECT_EQ(detail::block_bounds(5, 5),
+            (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
 }
 
 TEST(Primitives, ReduceMatchesSerialSum) {
@@ -233,6 +401,47 @@ TEST(Primitives, TabulateAndCount) {
   EXPECT_EQ(odd, 25000u);
 }
 
+TEST(Primitives, CutoffOverrideExercisesParallelPathsOnSmallInputs) {
+  // CPKC_GRAIN-style overrides: with tiny cutoffs even a few hundred
+  // elements take the fork-join paths; results must match serial.
+  RuntimeConfigGuard guard;
+  Scheduler::instance().set_num_workers(4);
+  set_serial_cutoff(8);
+  set_sort_serial_cutoff(32);
+
+  constexpr std::size_t kN = 700;
+  Xoshiro256 rng(99);
+  std::vector<std::uint64_t> vals(kN);
+  for (auto& v : vals) v = rng.next_below(1000);
+
+  std::uint64_t expect_sum = 0;
+  for (auto v : vals) expect_sum += v;
+  EXPECT_EQ(parallel_sum<std::uint64_t>(
+                kN, [&](std::size_t i) { return vals[i]; }),
+            expect_sum);
+
+  auto scanned = vals;
+  EXPECT_EQ(parallel_scan_exclusive(scanned), expect_sum);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(scanned[i], acc) << i;
+    acc += vals[i];
+  }
+
+  auto big = parallel_filter(vals, [](std::uint64_t v) { return v >= 500; });
+  std::vector<std::uint64_t> expect_big;
+  for (auto v : vals) {
+    if (v >= 500) expect_big.push_back(v);
+  }
+  EXPECT_EQ(big, expect_big);
+
+  auto sorted = vals;
+  parallel_sort(sorted);
+  auto expect_sorted = vals;
+  std::sort(expect_sorted.begin(), expect_sorted.end());
+  EXPECT_EQ(sorted, expect_sorted);
+}
+
 TEST(Sort, RandomInput) {
   Xoshiro256 rng(77);
   std::vector<std::uint64_t> data(200000);
@@ -278,6 +487,23 @@ TEST(Sort, SmallInputsUseSerialPath) {
   std::vector<int> data = {5, 3, 8, 1};
   parallel_sort(data);
   EXPECT_EQ(data, (std::vector<int>{1, 3, 5, 8}));
+}
+
+TEST(Sort, SkewedBucketsWithTinyCutoff) {
+  // Tiny sort cutoff + one dominant value: the oversized bucket exercises
+  // the nested fork-join quicksort path.
+  RuntimeConfigGuard guard;
+  Scheduler::instance().set_num_workers(4);
+  set_sort_serial_cutoff(64);
+  Xoshiro256 rng(21);
+  std::vector<std::uint32_t> data(50000);
+  for (auto& d : data) {
+    d = rng.next_below(10) == 0 ? static_cast<std::uint32_t>(rng.next()) : 7u;
+  }
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(data);
+  EXPECT_EQ(data, expect);
 }
 
 TEST(GroupBy, GroupsAreContiguousAndComplete) {
@@ -328,10 +554,12 @@ TEST(Scheduler, SetNumWorkersReconfigures) {
   auto& sched = Scheduler::instance();
   const std::size_t original = sched.num_workers();
   sched.set_num_workers(2);
+  EXPECT_EQ(sched.num_workers(), 2u);
   std::atomic<std::size_t> count{0};
   parallel_for(0, 10000, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 10000u);
   sched.set_num_workers(original);
+  EXPECT_EQ(sched.num_workers(), original);
   count = 0;
   parallel_for(0, 10000, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 10000u);
