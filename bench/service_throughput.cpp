@@ -1,0 +1,102 @@
+// Serving-layer throughput: sweeps client (submitter) thread counts and
+// reports acked submit throughput and submit->ack latency percentiles, with
+// CPKC_READERS reader threads running linearizable reads alongside. One
+// JSON line per cell via emit_json_line, so the perf trajectory of the
+// ingest -> coalesce -> WAL -> apply path is diffable across PRs.
+//
+// Environment (on top of bench_common's knobs):
+//   CPKC_SERVICE_OPS   ops per client thread      (default 50000)
+//   CPKC_SERVICE_WAL   1 = log to a WAL in /tmp   (default 1)
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "harness/service_workload.hpp"
+#include "service/kcore_service.hpp"
+
+namespace {
+
+using namespace cpkcore;
+
+std::size_t ops_per_client() {
+  return bench::env_size("CPKC_SERVICE_OPS", 50000);
+}
+
+// Not env_size: that helper ignores non-positive values, and 0 is exactly
+// how this knob is turned off.
+bool wal_enabled() {
+  if (const char* v = std::getenv("CPKC_SERVICE_WAL")) {
+    return std::strtol(v, nullptr, 10) != 0;
+  }
+  return true;
+}
+
+void run_cell(std::size_t clients) {
+  const auto n = static_cast<vertex_t>(
+      100000 * bench::env_size("CPKC_SCALE", 1));
+  const std::string wal_path = "/tmp/cpkc_service_throughput.wal";
+  std::filesystem::remove(wal_path);
+
+  service::ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.levels_per_group_cap = bench::opt_cap();
+  if (wal_enabled()) cfg.wal_path = wal_path;
+  service::KCoreService svc(cfg);
+
+  // Preload half the edges so updates hit a nontrivial structure, then
+  // zero the stats so the reported percentiles cover only the measured
+  // workload, not ~2n single-threaded preload acks.
+  for (const Edge& e : gen::barabasi_albert(n / 2, 4, 7)) {
+    svc.submit_insert(e.u, e.v);
+  }
+  svc.drain();
+  svc.reset_stats();
+
+  harness::ServiceWorkloadConfig wl;
+  wl.submitter_threads = clients;
+  wl.reader_threads = bench::reader_threads();
+  wl.ops_per_thread = ops_per_client();
+  wl.delete_fraction = 0.2;
+  wl.seed = 7;
+  const auto result = harness::run_service_workload(svc, wl);
+  const auto stats = svc.stats();
+  svc.shutdown();
+  std::filesystem::remove(wal_path);
+
+  bench::emit_json_line({
+      {"bench", std::string("service_throughput")},
+      {"clients", static_cast<std::int64_t>(clients)},
+      {"readers", static_cast<std::int64_t>(wl.reader_threads)},
+      {"wal", static_cast<std::int64_t>(wal_enabled() ? 1 : 0)},
+      {"ops", static_cast<std::int64_t>(result.ops_submitted)},
+      {"wall_s", result.wall_seconds},
+      {"submit_ops_per_s", result.submit_throughput()},
+      {"ack_p50_ns", static_cast<std::int64_t>(stats.ack_latency.p50_ns())},
+      {"ack_p99_ns", static_cast<std::int64_t>(stats.ack_latency.p99_ns())},
+      {"ack_mean_ns", stats.ack_latency.mean_ns()},
+      {"read_p50_ns",
+       static_cast<std::int64_t>(result.read_latency.p50_ns())},
+      {"read_p99_ns",
+       static_cast<std::int64_t>(result.read_latency.p99_ns())},
+      {"reads", static_cast<std::int64_t>(result.total_reads)},
+      {"cycles", static_cast<std::int64_t>(stats.cycles)},
+      {"batches", static_cast<std::int64_t>(stats.batches)},
+      {"final_batch_budget", static_cast<std::int64_t>(stats.batch_budget)},
+  });
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t max_clients = bench::writer_workers();
+  std::vector<std::size_t> sweep;
+  for (std::size_t c = 1; c <= max_clients; c *= 2) sweep.push_back(c);
+  if (sweep.empty() || sweep.back() != max_clients) {
+    sweep.push_back(max_clients);
+  }
+  for (std::size_t clients : sweep) run_cell(clients);
+  return 0;
+}

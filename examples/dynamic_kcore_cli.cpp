@@ -11,6 +11,15 @@
 //           stats
 //           quit" | ./example_dynamic_kcore_cli -
 //
+// Warm restart end to end (the serving layer's snapshot path):
+//   --snapshot-load <path>   restore the graph from a snapshot at startup
+//   --snapshot-save <path>   save a snapshot of the final graph on exit
+//
+//   $ echo "gen ba 1000 4 7
+//           quit" | ./example_dynamic_kcore_cli --snapshot-save g.snap -
+//   $ echo "stats
+//           quit" | ./example_dynamic_kcore_cli --snapshot-load g.snap -
+//
 // Commands:
 //   gen ba <n> <edges_per_vertex> <seed>   generate Barabasi-Albert
 //   gen er <n> <m> <seed>                  generate Erdos-Renyi
@@ -30,6 +39,7 @@
 #include <string>
 
 #include "core/cplds.hpp"
+#include "core/snapshot.hpp"
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -49,6 +59,20 @@ struct Session {
     auto applied = ds->insert_batch(edges);
     mirror->insert_batch(applied);
     std::printf("graph ready: n=%u m=%zu\n", n, ds->num_edges());
+  }
+
+  /// Warm restart: adopt a CPLDS restored from a snapshot, rebuilding the
+  /// exact-oracle mirror from its adjacency.
+  void adopt(std::unique_ptr<CPLDS> restored) {
+    ds = std::move(restored);
+    mirror = std::make_unique<DynamicGraph>(ds->num_vertices());
+    for (vertex_t v = 0; v < ds->num_vertices(); ++v) {
+      for (vertex_t w : ds->plds().neighbors(v)) {
+        if (w > v) mirror->insert_edge({v, w});
+      }
+    }
+    std::printf("snapshot loaded: n=%u m=%zu\n", ds->num_vertices(),
+                ds->num_edges());
   }
 
   bool ready() const { return ds != nullptr; }
@@ -178,8 +202,7 @@ bool handle(Session& s, const std::string& line) {
   return true;
 }
 
-int run_demo() {
-  Session s;
+int run_demo(Session& s) {
   const char* script[] = {
       "gen ba 5000 4 7",   "query 17",        "insert 17 42",
       "query 17",          "exact 17",        "batch insert 1 2 2 3 3 1",
@@ -195,11 +218,58 @@ int run_demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return run_demo();
+  std::string snapshot_load;
+  std::string snapshot_save;
+  bool interactive = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--snapshot-load" && i + 1 < argc) {
+      snapshot_load = argv[++i];
+    } else if (arg == "--snapshot-save" && i + 1 < argc) {
+      snapshot_save = argv[++i];
+    } else if (arg == "-") {
+      interactive = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--snapshot-load <path>] "
+                   "[--snapshot-save <path>] [-]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   Session s;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (!handle(s, line)) break;
+  if (!snapshot_load.empty()) {
+    try {
+      s.adopt(load_snapshot(snapshot_load));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error loading snapshot: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (argc < 2) {
+    run_demo(s);
+  } else if (interactive || !snapshot_load.empty() || !snapshot_save.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!handle(s, line)) break;
+    }
+  }
+
+  if (!snapshot_save.empty()) {
+    if (!s.ready()) {
+      std::fprintf(stderr, "no graph to save\n");
+      return 1;
+    }
+    try {
+      save_snapshot(*s.ds, snapshot_save);
+      std::printf("snapshot saved: %s (n=%u m=%zu)\n", snapshot_save.c_str(),
+                  s.ds->num_vertices(), s.ds->num_edges());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error saving snapshot: %s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

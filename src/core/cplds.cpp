@@ -53,10 +53,7 @@ std::vector<Edge> CPLDS::delete_vertices(
 std::vector<Edge> CPLDS::insert_batch(std::vector<Edge> edges) {
   // Pre-normalize so the batch adjacency (used by the marked-batch-neighbor
   // rule) covers exactly the edges that will be applied.
-  for (auto& e : edges) e = e.canonical();
-  std::erase_if(edges, [](const Edge& e) { return e.is_self_loop(); });
-  parallel_sort(edges);
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  normalize_edges(edges);
   edges = parallel_filter(
       edges, [&](const Edge& e) { return !plds_.has_edge(e.u, e.v); });
 
@@ -67,10 +64,7 @@ std::vector<Edge> CPLDS::insert_batch(std::vector<Edge> edges) {
 }
 
 std::vector<Edge> CPLDS::delete_batch(std::vector<Edge> edges) {
-  for (auto& e : edges) e = e.canonical();
-  std::erase_if(edges, [](const Edge& e) { return e.is_self_loop(); });
-  parallel_sort(edges);
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  normalize_edges(edges);
   edges = parallel_filter(
       edges, [&](const Edge& e) { return plds_.has_edge(e.u, e.v); });
 

@@ -30,10 +30,8 @@ void save_snapshot(const CPLDS& ds, const std::string& path) {
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
-std::unique_ptr<CPLDS> load_snapshot(const std::string& path, double delta,
-                                     double lambda,
-                                     int levels_per_group_cap,
-                                     CPLDS::Options options) {
+std::unique_ptr<CPLDS> load_snapshot(const std::string& path,
+                                     const SnapshotLoadOptions& options) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open snapshot: " + path);
   std::string magic;
@@ -54,7 +52,10 @@ std::unique_ptr<CPLDS> load_snapshot(const std::string& path, double delta,
     edges.push_back({u, v});
   }
   auto ds = std::make_unique<CPLDS>(
-      n, LDSParams::create(n, delta, lambda, levels_per_group_cap), options);
+      n,
+      LDSParams::create(n, options.delta, options.lambda,
+                        options.levels_per_group_cap),
+      options.cplds);
   ds->insert_batch(std::move(edges));
   return ds;
 }

@@ -16,13 +16,21 @@ namespace cpkcore {
 /// Quiescent use only. Throws std::runtime_error on IO failure.
 void save_snapshot(const CPLDS& ds, const std::string& path);
 
+/// Parameters of the CPLDS rebuilt by load_snapshot. One struct instead of a
+/// loose argument list so call sites (tests, the serving layer's
+/// WAL-compaction path) can set one field without repeating the others.
+struct SnapshotLoadOptions {
+  double delta = kDefaultDelta;
+  double lambda = kDefaultLambda;
+  int levels_per_group_cap = kDefaultLevelsPerGroupCap;
+  CPLDS::Options cplds{};
+};
+
 /// Rebuilds a CPLDS from a snapshot written by save_snapshot, applying all
 /// edges as one insertion batch under the given options.
 /// Throws std::runtime_error on IO/format errors.
-std::unique_ptr<CPLDS> load_snapshot(const std::string& path,
-                                     double delta = 0.2,
-                                     double lambda = 9.0,
-                                     int levels_per_group_cap = 0,
-                                     CPLDS::Options options = CPLDS::Options{});
+std::unique_ptr<CPLDS> load_snapshot(
+    const std::string& path,
+    const SnapshotLoadOptions& options = SnapshotLoadOptions{});
 
 }  // namespace cpkcore

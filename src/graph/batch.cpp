@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "parallel/scheduler.hpp"
+#include "parallel/sort.hpp"
 #include "util/rng.hpp"
 
 namespace cpkcore {
@@ -46,6 +47,13 @@ std::vector<UpdateBatch> split_batches(const std::vector<Update>& updates) {
     out.back().edges.push_back(u.edge);
   }
   return out;
+}
+
+void normalize_edges(std::vector<Edge>& edges) {
+  for (Edge& e : edges) e = e.canonical();
+  std::erase_if(edges, [](const Edge& e) { return e.is_self_loop(); });
+  parallel_sort(edges);
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 }
 
 std::vector<UpdateBatch> insertion_stream(std::vector<Edge> edges,

@@ -22,6 +22,11 @@ struct UpdateBatch {
 /// the same kind form one sub-batch).
 std::vector<UpdateBatch> split_batches(const std::vector<Update>& updates);
 
+/// In-place normalization of one homogeneous batch's edge list, shared by
+/// the CPLDS update path and the serving layer's coalescer/WAL: endpoints
+/// canonicalized, self-loops dropped, sorted, deduplicated.
+void normalize_edges(std::vector<Edge>& edges);
+
 /// Shuffles `edges` deterministically and slices them into insertion batches
 /// of `batch_size` (the last batch may be smaller).
 std::vector<UpdateBatch> insertion_stream(std::vector<Edge> edges,

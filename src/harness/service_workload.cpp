@@ -1,0 +1,76 @@
+#include "harness/service_workload.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace cpkcore::harness {
+
+ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
+                                           const ServiceWorkloadConfig& cfg) {
+  const vertex_t n = svc.num_vertices();
+  ServiceWorkloadResult result;
+
+  std::atomic<bool> stop{false};
+  std::vector<LatencyHistogram> hists(cfg.reader_threads);
+  std::vector<std::uint64_t> counts(cfg.reader_threads, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(cfg.reader_threads);
+  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + t + 1);
+      std::uint64_t issued = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<vertex_t>(rng.next_below(n));
+        const std::uint64_t t0 = now_ns();
+        (void)svc.read_coreness(v, cfg.mode);
+        hists[t].record(now_ns() - t0);
+        ++issued;
+      }
+      counts[t] = issued;
+    });
+  }
+
+  Timer wall;
+  std::vector<std::thread> submitters;
+  submitters.reserve(cfg.submitter_threads);
+  for (std::size_t t = 0; t < cfg.submitter_threads; ++t) {
+    submitters.emplace_back([&, t] {
+      Xoshiro256 rng(cfg.seed * 0xD1B54A32D192ED03ULL + t + 1);
+      std::vector<Edge> inserted;
+      for (std::size_t i = 0; i < cfg.ops_per_thread; ++i) {
+        const bool del = !inserted.empty() &&
+                         rng.next_double() < cfg.delete_fraction;
+        if (del) {
+          const std::size_t j = rng.next_below(inserted.size());
+          svc.submit({inserted[j], UpdateKind::kDelete});
+          inserted[j] = inserted.back();
+          inserted.pop_back();
+        } else {
+          const Edge e{static_cast<vertex_t>(rng.next_below(n)),
+                       static_cast<vertex_t>(rng.next_below(n))};
+          svc.submit({e, UpdateKind::kInsert});
+          if (!e.is_self_loop()) inserted.push_back(e.canonical());
+        }
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  svc.drain();
+  result.wall_seconds = wall.elapsed_s();
+  result.ops_submitted =
+      static_cast<std::uint64_t>(cfg.submitter_threads) * cfg.ops_per_thread;
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
+    result.read_latency.merge(hists[t]);
+    result.total_reads += counts[t];
+  }
+  return result;
+}
+
+}  // namespace cpkcore::harness

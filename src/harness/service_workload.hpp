@@ -1,0 +1,48 @@
+// Concurrent workload runner for the serving layer: many client threads
+// submit individual edge ops to a KCoreService (open loop, acknowledgment
+// awaited at the end) while reader threads issue uniform-random coreness
+// reads through a chosen ReadMode. The service-side counterpart of
+// harness/workload.hpp, used by tests and bench/service_throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "core/read_modes.hpp"
+#include "service/kcore_service.hpp"
+#include "util/latency_histogram.hpp"
+
+namespace cpkcore::harness {
+
+struct ServiceWorkloadConfig {
+  std::size_t submitter_threads = 4;
+  std::size_t reader_threads = 0;
+  ReadMode mode = ReadMode::kCplds;
+  /// Ops submitted by each client thread.
+  std::size_t ops_per_thread = 10000;
+  /// Fraction of ops that delete a previously submitted edge (per thread);
+  /// the rest insert random edges.
+  double delete_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct ServiceWorkloadResult {
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t total_reads = 0;
+  /// First submit to last acknowledgment (includes the final drain).
+  double wall_seconds = 0.0;
+  LatencyHistogram read_latency;
+
+  /// Acked client ops per second of wall time.
+  [[nodiscard]] double submit_throughput() const {
+    return wall_seconds > 0
+               ? static_cast<double>(ops_submitted) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Runs the workload against `svc`. Returns once every submitted op is
+/// acknowledged and the readers have stopped.
+ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
+                                           const ServiceWorkloadConfig& cfg);
+
+}  // namespace cpkcore::harness

@@ -18,6 +18,13 @@
 
 namespace cpkcore {
 
+/// Canonical parameter defaults (the paper's delta=0.2, lambda=9). Defined
+/// once so every config struct that restates them (snapshot loading, the
+/// serving layer) cannot drift from LDSParams::create.
+inline constexpr double kDefaultDelta = 0.2;
+inline constexpr double kDefaultLambda = 9.0;
+inline constexpr int kDefaultLevelsPerGroupCap = 0;
+
 class LDSParams {
  public:
   /// Constructs parameters for an n-vertex graph.
@@ -25,8 +32,9 @@ class LDSParams {
   /// levels per group; a positive value caps it (our rendering of the PLDS
   /// "-opt" optimization: fewer levels per group speeds up updates but
   /// degrades the approximation factor).
-  static LDSParams create(vertex_t n, double delta = 0.2, double lambda = 9.0,
-                          int levels_per_group_cap = 0);
+  static LDSParams create(vertex_t n, double delta = kDefaultDelta,
+                          double lambda = kDefaultLambda,
+                          int levels_per_group_cap = kDefaultLevelsPerGroupCap);
 
   [[nodiscard]] double delta() const { return delta_; }
   [[nodiscard]] double lambda() const { return lambda_; }

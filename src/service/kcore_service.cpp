@@ -1,0 +1,330 @@
+#include "service/kcore_service.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace cpkcore::service {
+
+KCoreService::KCoreService(ServiceConfig config)
+    : config_(std::move(config)),
+      sizer_(config_.min_ops_per_cycle, config_.max_ops_per_cycle,
+             config_.target_apply_ns) {
+  namespace fs = std::filesystem;
+  const bool warm = !config_.snapshot_path.empty() &&
+                    fs::exists(config_.snapshot_path);
+  if (warm) {
+    SnapshotLoadOptions opts;
+    opts.delta = config_.delta;
+    opts.lambda = config_.lambda;
+    opts.levels_per_group_cap = config_.levels_per_group_cap;
+    opts.cplds = config_.cplds;
+    ds_ = load_snapshot(config_.snapshot_path, opts);
+  } else {
+    if (config_.num_vertices < 2) {
+      throw std::invalid_argument(
+          "ServiceConfig::num_vertices must be >= 2 (no snapshot to restart "
+          "from)");
+    }
+    ds_ = std::make_unique<CPLDS>(
+        config_.num_vertices,
+        LDSParams::create(config_.num_vertices, config_.delta,
+                          config_.lambda, config_.levels_per_group_cap),
+        config_.cplds);
+  }
+  if (!config_.wal_path.empty()) {
+    // Warm restart part 2: re-apply the committed WAL suffix. Replay runs on
+    // this thread before the apply thread exists, satisfying the CPLDS
+    // single-driver contract.
+    stats_.replayed_batches = wal_.open(
+        config_.wal_path, ds_->num_vertices(),
+        [&](const UpdateBatch& batch) { ds_->apply(batch); });
+  }
+  num_shards_ = std::max<std::size_t>(1, config_.num_shards);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  stats_.batch_budget = sizer_.budget();
+  apply_thread_ = std::thread([this] { apply_loop(); });
+}
+
+KCoreService::~KCoreService() { stop(/*drain_first=*/true); }
+
+std::size_t KCoreService::shard_of(const Edge& e) const {
+  return hash64(e.canonical().key()) % num_shards_;
+}
+
+Ticket KCoreService::submit(Update op) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    throw std::runtime_error("KCoreService: submit after shutdown");
+  }
+  const vertex_t n = ds_->num_vertices();
+  if (op.edge.u >= n || op.edge.v >= n) {
+    throw std::out_of_range("KCoreService: vertex id out of range");
+  }
+  const std::size_t s = shard_of(op.edge);
+  Shard& shard = shards_[s];
+  const std::uint64_t t0 = now_ns();
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(shard.mu);
+    seq = ++shard.submitted;
+    shard.pending.push_back(PendingOp{op, t0});
+    // Inside shard.mu so a drain (which takes the same mutex) can never
+    // observe the op before its count: pending_ops_ stays >= the ops
+    // actually sitting in the shards, and run_cycle's fetch_sub cannot
+    // underflow.
+    pending_ops_.fetch_add(1, std::memory_order_seq_cst);
+    // Recheck after the op is published: if the stop flag was set first,
+    // the apply loop's final drain may already have passed this shard, so
+    // undo and throw rather than hand back a ticket that silently never
+    // acks. (Seq-cst total order: if this load is false, the increment
+    // above precedes the stop flag, and the final pending_ops_ check -
+    // which happens after the flag is set - sees the op and drains it.)
+    if (stopped_.load(std::memory_order_seq_cst)) {
+      shard.pending.pop_back();
+      --shard.submitted;
+      pending_ops_.fetch_sub(1, std::memory_order_seq_cst);
+      throw std::runtime_error("KCoreService: submit after shutdown");
+    }
+    // Counted while the op is still unpublishable (shard.mu held), so an
+    // op can never appear in acked_ops before submitted_ops.
+    submitted_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Dekker pairing with apply_loop: the seq_cst increment above and the
+  // seq_cst sleep-flag store/read guarantee at least one side sees the
+  // other, so the apply thread never parks with this op unseen.
+  if (apply_sleeping_.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(ingest_mu_);
+    ingest_cv_.notify_one();
+  }
+  return Ticket{static_cast<std::uint32_t>(s), seq};
+}
+
+bool KCoreService::wait(const Ticket& ticket) {
+  Shard& shard = shards_[ticket.shard];
+  if (shard.applied.load(std::memory_order_acquire) >= ticket.seq) {
+    return true;
+  }
+  std::unique_lock lock(shard.mu);
+  shard.ack_cv.wait(lock, [&] {
+    return shard.applied.load(std::memory_order_relaxed) >= ticket.seq ||
+           dead_.load(std::memory_order_relaxed);
+  });
+  return shard.applied.load(std::memory_order_relaxed) >= ticket.seq;
+}
+
+bool KCoreService::is_applied(const Ticket& ticket) const {
+  return shards_[ticket.shard].applied.load(std::memory_order_acquire) >=
+         ticket.seq;
+}
+
+void KCoreService::drain() {
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::uint64_t target = 0;
+    {
+      std::lock_guard lock(shard.mu);
+      target = shard.submitted;
+    }
+    if (target > 0) wait(Ticket{static_cast<std::uint32_t>(s), target});
+  }
+}
+
+void KCoreService::apply_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(ingest_mu_);
+      apply_sleeping_.store(true, std::memory_order_seq_cst);
+      ingest_cv_.wait(lock, [&] {
+        return stop_requested_ ||
+               pending_ops_.load(std::memory_order_seq_cst) > 0;
+      });
+      apply_sleeping_.store(false, std::memory_order_seq_cst);
+      if (crash_requested_) break;
+      if (stop_requested_ &&
+          pending_ops_.load(std::memory_order_seq_cst) == 0) {
+        break;
+      }
+    }
+    try {
+      run_cycle();
+    } catch (const std::exception& e) {
+      // A throwing cycle (WAL I/O failure, allocation failure) must not
+      // escape the thread - that would std::terminate the process. Fail
+      // the service instead: stop accepting, release waiters (their
+      // wait() returns false), record the error, and keep reads serving.
+      {
+        std::lock_guard lock(stats_mu_);
+        stats_.apply_error = e.what();
+      }
+      std::fprintf(stderr, "KCoreService: apply thread failed: %s\n",
+                   e.what());
+      {
+        std::lock_guard lock(ingest_mu_);
+        stopped_.store(true, std::memory_order_seq_cst);
+        stop_requested_ = true;
+      }
+      dead_.store(true, std::memory_order_relaxed);
+      for (std::size_t s = 0; s < num_shards_; ++s) {
+        std::lock_guard lock(shards_[s].mu);
+        shards_[s].ack_cv.notify_all();
+      }
+      return;
+    }
+  }
+}
+
+std::size_t KCoreService::run_cycle() {
+  std::lock_guard apply_lock(apply_mu_);
+
+  // Drain: take up to the adaptive budget, preserving per-shard FIFO (and
+  // therefore per-edge order, since an edge's ops always share a shard).
+  struct Drained {
+    std::size_t shard = 0;
+    std::uint64_t upto = 0;
+  };
+  std::vector<PendingOp> ops;
+  std::vector<Drained> drains;
+  std::size_t budget = sizer_.budget();
+  // Rotate the starting shard so a budget-exhausting backlog on low-index
+  // shards cannot starve high-index shards (and their waiters) forever.
+  const std::size_t start = drain_start_;
+  drain_start_ = (drain_start_ + 1) % num_shards_;
+  for (std::size_t i = 0; i < num_shards_ && budget > 0; ++i) {
+    const std::size_t s = (start + i) % num_shards_;
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mu);
+    const std::size_t take = std::min(shard.pending.size(), budget);
+    if (take == 0) continue;
+    ops.insert(ops.end(), shard.pending.begin(),
+               shard.pending.begin() + static_cast<std::ptrdiff_t>(take));
+    shard.pending.erase(
+        shard.pending.begin(),
+        shard.pending.begin() + static_cast<std::ptrdiff_t>(take));
+    shard.drained += take;
+    drains.push_back(Drained{s, shard.drained});
+    budget -= take;
+  }
+  if (ops.empty()) return 0;
+  pending_ops_.fetch_sub(ops.size(), std::memory_order_seq_cst);
+
+  // Coalesce into homogeneous batches — canonical + deduplicated only when
+  // they are about to be logged (the CPLDS re-normalizes on apply anyway).
+  std::vector<Update> stream;
+  stream.reserve(ops.size());
+  for (const PendingOp& p : ops) stream.push_back(p.op);
+  std::vector<UpdateBatch> batches =
+      coalesce_updates(std::move(stream), /*normalize=*/wal_.is_open());
+
+  // Group commit: log every batch of the cycle, one flush.
+  if (wal_.is_open()) {
+    for (const UpdateBatch& batch : batches) wal_.append(batch);
+    wal_.flush();
+  }
+
+  // Apply.
+  std::uint64_t cycle_apply_ns = 0;
+  std::size_t cycle_applied_edges = 0;
+  std::vector<std::uint64_t> batch_ns;
+  batch_ns.reserve(batches.size());
+  for (const UpdateBatch& batch : batches) {
+    Timer timer;
+    cycle_applied_edges += ds_->apply(batch).size();
+    const std::uint64_t ns = timer.elapsed_ns();
+    cycle_apply_ns += ns;
+    batch_ns.push_back(ns);
+  }
+  sizer_.observe(ops.size(), cycle_apply_ns);
+
+  // Stats first, acks second: a client that returns from wait()/drain()
+  // and immediately reads stats() must already see this cycle counted.
+  const std::uint64_t acked_at = now_ns();
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.acked_ops += ops.size();
+    stats_.applied_edges += cycle_applied_edges;
+    stats_.batches += batches.size();
+    stats_.cycles += 1;
+    stats_.apply_seconds += static_cast<double>(cycle_apply_ns) * 1e-9;
+    stats_.batch_budget = sizer_.budget();
+    for (std::uint64_t ns : batch_ns) stats_.apply_latency.record(ns);
+    for (const PendingOp& p : ops) {
+      stats_.ack_latency.record(acked_at - p.submit_ns);
+    }
+  }
+
+  // Acknowledge: per-shard acks are monotone in submission order.
+  for (const Drained& d : drains) {
+    Shard& shard = shards_[d.shard];
+    {
+      std::lock_guard lock(shard.mu);
+      shard.applied.store(d.upto, std::memory_order_release);
+    }
+    shard.ack_cv.notify_all();
+  }
+  return ops.size();
+}
+
+void KCoreService::checkpoint() {
+  if (config_.snapshot_path.empty()) {
+    throw std::logic_error(
+        "KCoreService::checkpoint requires ServiceConfig::snapshot_path");
+  }
+  // Excludes drain cycles, so the CPLDS is update-quiescent; readers are
+  // unaffected. Pending ops simply land in the fresh WAL afterwards.
+  std::lock_guard lock(apply_mu_);
+  // Temp-file + rename so a crash mid-save cannot destroy the previous
+  // snapshot — until the atomic rename, the old snapshot + full WAL still
+  // reconstruct every acked op.
+  const std::string tmp = config_.snapshot_path + ".tmp";
+  save_snapshot(*ds_, tmp);
+  std::filesystem::rename(tmp, config_.snapshot_path);
+  if (wal_.is_open()) wal_.reset();
+}
+
+void KCoreService::shutdown() { stop(/*drain_first=*/true); }
+
+void KCoreService::simulate_crash() { stop(/*drain_first=*/false); }
+
+void KCoreService::stop(bool drain_first) {
+  {
+    std::lock_guard lock(ingest_mu_);
+    // stopped_ flips before the apply loop can make its final "pending ==
+    // 0" exit check (that check runs under ingest_mu_), which is what the
+    // submit() recheck relies on.
+    stopped_.store(true, std::memory_order_seq_cst);
+    stop_requested_ = true;
+    if (!drain_first) crash_requested_ = true;
+  }
+  ingest_cv_.notify_all();
+  if (apply_thread_.joinable()) apply_thread_.join();
+  dead_.store(true, std::memory_order_relaxed);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    shards_[s].ack_cv.notify_all();
+  }
+  // Under apply_mu_: a concurrent checkpoint() holds it while touching the
+  // WAL stream (reset), and std::ofstream is not thread-safe.
+  std::lock_guard lock(apply_mu_);
+  wal_.close();
+}
+
+ServiceStats KCoreService::stats() const {
+  std::lock_guard lock(stats_mu_);
+  ServiceStats out = stats_;
+  out.submitted_ops = submitted_ops_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void KCoreService::reset_stats() {
+  std::lock_guard lock(stats_mu_);
+  const std::size_t budget = stats_.batch_budget;
+  stats_ = ServiceStats{};
+  stats_.batch_budget = budget;
+  submitted_ops_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cpkcore::service

@@ -1,0 +1,236 @@
+// KCoreService — the ingest-and-query serving layer over the CPLDS.
+//
+// The CPLDS threading contract allows one driver thread to feed batches
+// while any number of readers query. This facade turns that into a service:
+//
+//   clients ──submit──▶ sharded ingest buffers ──drain──▶ coalescer
+//                                                            │
+//   clients ◀─ticket ack─ apply thread ◀─apply batches─ WAL (group commit)
+//
+//  * Ingest: any number of client threads submit individual insert/delete
+//    edge ops; each op lands in a shard chosen by its edge key (so all ops
+//    on one edge share a shard and keep their submission order) and returns
+//    a Ticket that can be waited on for "applied" acknowledgment.
+//  * Coalescing: a single background apply thread drains the shards —
+//    bounded by an adaptive op budget targeting a configured apply latency —
+//    and canonicalizes the stream into deduplicated homogeneous batches.
+//  * Durability: with a WAL configured, batches are appended and group-
+//    committed (one flush per drain cycle) before they are applied; on
+//    construction the service warm-restarts from the snapshot (if present)
+//    plus the committed WAL suffix. checkpoint() compacts: snapshot the
+//    live edge set, then truncate the WAL.
+//  * Acknowledgment: a ticket is acked once its drain cycle has been
+//    logged and applied; ops that coalesce into no-ops (duplicates,
+//    self-loops, already-present edges) ack like any other. Per-shard acks
+//    are monotone in submission order.
+//  * Reads: any thread, at any time, through all three ReadModes.
+//
+// Durability is one-way: acked ops always survive restart. An un-acked op
+// usually does not (never logged), but one caught between the group commit
+// and its ack IS replayed on restart even though wait() reported failure —
+// so treat wait() == false as "outcome unknown", as with any durable
+// system's in-doubt window, not as "safe to blindly resubmit".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/read_modes.hpp"
+#include "core/snapshot.hpp"
+#include "service/coalescer.hpp"
+#include "service/wal.hpp"
+#include "util/cacheline.hpp"
+#include "util/latency_histogram.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore::service {
+
+struct ServiceConfig {
+  /// Vertex-id space. Ignored (the snapshot's count wins) when warm-
+  /// restarting from an existing snapshot file.
+  vertex_t num_vertices = 0;
+
+  /// CPLDS parameters (also used to rebuild from snapshot/WAL).
+  double delta = kDefaultDelta;
+  double lambda = kDefaultLambda;
+  int levels_per_group_cap = kDefaultLevelsPerGroupCap;
+  CPLDS::Options cplds{};
+
+  /// Ingest shards. More shards = less submit contention.
+  std::size_t num_shards = 8;
+
+  /// Durability. Empty path = feature off.
+  std::string wal_path;
+  std::string snapshot_path;
+
+  /// Adaptive drain budget: per-cycle op count is steered so one cycle's
+  /// apply time lands near the target, within [min_ops, max_ops].
+  std::uint64_t target_apply_ns = 5'000'000;  // 5 ms
+  std::size_t min_ops_per_cycle = 64;
+  std::size_t max_ops_per_cycle = 1u << 20;
+};
+
+/// Handle for one submitted op: shard + 1-based per-shard sequence number.
+struct Ticket {
+  std::uint32_t shard = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Counters and latency histograms, snapshot via KCoreService::stats().
+struct ServiceStats {
+  std::uint64_t submitted_ops = 0;   ///< ops accepted by submit()
+  std::uint64_t acked_ops = 0;       ///< ops acknowledged (logged + applied)
+  std::uint64_t applied_edges = 0;   ///< edges the CPLDS actually applied
+  std::uint64_t batches = 0;         ///< homogeneous batches applied
+  std::uint64_t cycles = 0;          ///< drain cycles (= group commits)
+  std::uint64_t replayed_batches = 0;  ///< WAL batches replayed at startup
+  double apply_seconds = 0.0;        ///< total time inside CPLDS::apply
+  std::size_t batch_budget = 0;      ///< current adaptive per-cycle budget
+  LatencyHistogram ack_latency;      ///< submit() -> acknowledgment, ns
+  LatencyHistogram apply_latency;    ///< per-batch CPLDS::apply, ns
+  /// Non-empty iff the apply thread died on an error (e.g. WAL I/O
+  /// failure): the service is stopped, un-acked waiters were released with
+  /// wait() == false, and new submissions throw.
+  std::string apply_error;
+};
+
+class KCoreService {
+ public:
+  /// Builds the structure (cold start, or warm restart from
+  /// config.snapshot_path + committed config.wal_path suffix) and starts
+  /// the background apply thread. Throws std::runtime_error on IO errors,
+  /// std::invalid_argument on a missing vertex count.
+  explicit KCoreService(ServiceConfig config);
+  ~KCoreService();
+
+  KCoreService(const KCoreService&) = delete;
+  KCoreService& operator=(const KCoreService&) = delete;
+
+  // ---------------- ingest ----------------
+
+  /// Thread-safe. Throws std::out_of_range for invalid vertex ids and
+  /// std::runtime_error once the service has stopped.
+  Ticket submit(Update op);
+  Ticket submit_insert(vertex_t u, vertex_t v) {
+    return submit({{u, v}, UpdateKind::kInsert});
+  }
+  Ticket submit_delete(vertex_t u, vertex_t v) {
+    return submit({{u, v}, UpdateKind::kDelete});
+  }
+
+  /// Blocks until the ticket's op is acknowledged. Returns false iff the
+  /// service stopped (crash) before the op was acknowledged — in which case
+  /// the op's outcome is unknown: usually dropped, but replayed on restart
+  /// if the crash landed between its group commit and its ack.
+  bool wait(const Ticket& ticket);
+
+  [[nodiscard]] bool is_applied(const Ticket& ticket) const;
+
+  /// Blocks until every op submitted before the call is acknowledged.
+  void drain();
+
+  // ---------------- reads ----------------
+
+  [[nodiscard]] double read_coreness(vertex_t v,
+                                     ReadMode mode = ReadMode::kCplds) const {
+    return read_with_mode(*ds_, v, mode);
+  }
+  [[nodiscard]] level_t read_level(vertex_t v,
+                                   ReadMode mode = ReadMode::kCplds) const {
+    return read_level_with_mode(*ds_, v, mode);
+  }
+
+  // ---------------- lifecycle ----------------
+
+  /// Compaction: blocks updates, snapshots the live edge set to
+  /// config.snapshot_path, truncates the WAL. Readers are unaffected.
+  /// Throws std::logic_error when no snapshot path is configured.
+  void checkpoint();
+
+  /// Graceful shutdown: drains every pending op (logging + applying +
+  /// acking it), then stops the apply thread. Idempotent.
+  void shutdown();
+
+  /// Test hook simulating a crash: stops the apply thread without draining.
+  /// Pending (never-logged) ops are dropped; their wait() returns false.
+  void simulate_crash();
+
+  // ---------------- inspection ----------------
+
+  [[nodiscard]] vertex_t num_vertices() const { return ds_->num_vertices(); }
+  [[nodiscard]] std::size_t num_edges() const { return ds_->num_edges(); }
+  [[nodiscard]] std::size_t pending_ops() const {
+    return pending_ops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Zeroes every counter and histogram (replayed_batches included), e.g.
+  /// to measure a workload phase without a preload phase polluting the
+  /// latency percentiles. Call at a quiescent point (after drain()).
+  void reset_stats();
+
+  /// Quiescent-only access (tests, validation).
+  [[nodiscard]] const CPLDS& cplds() const { return *ds_; }
+
+ private:
+  struct PendingOp {
+    Update op;
+    std::uint64_t submit_ns = 0;
+  };
+
+  struct alignas(kCacheLine) Shard {
+    std::mutex mu;
+    std::condition_variable ack_cv;
+    // Deque, not vector: drains erase a prefix each cycle, which must stay
+    // O(taken) under backlog, not O(backlog).
+    std::deque<PendingOp> pending;      // ops not yet drained (under mu)
+    std::uint64_t submitted = 0;        // last issued seq (under mu)
+    std::uint64_t drained = 0;          // last seq taken by the apply thread
+    std::atomic<std::uint64_t> applied{0};  // last acked seq
+  };
+
+  [[nodiscard]] std::size_t shard_of(const Edge& e) const;
+
+  void apply_loop();
+  /// One drain-coalesce-log-apply-ack cycle; returns ops processed.
+  std::size_t run_cycle();
+  void stop(bool drain_first);
+
+  ServiceConfig config_;
+  std::unique_ptr<CPLDS> ds_;
+  WriteAheadLog wal_;
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t num_shards_ = 0;
+
+  // Ingest -> apply-thread signaling (Dekker-style sleep flag so submit()
+  // skips the mutex unless the apply thread is actually parked).
+  std::mutex ingest_mu_;
+  std::condition_variable ingest_cv_;
+  std::atomic<std::size_t> pending_ops_{0};
+  std::atomic<bool> apply_sleeping_{false};
+  bool stop_requested_ = false;   // under ingest_mu_
+  bool crash_requested_ = false;  // under ingest_mu_
+  std::atomic<bool> stopped_{false};  ///< accepting no more submissions
+  std::atomic<bool> dead_{false};     ///< apply thread exited
+
+  // Serializes drain cycles against checkpoint().
+  std::mutex apply_mu_;
+
+  AdaptiveBatchSizer sizer_;
+  std::size_t drain_start_ = 0;  ///< rotating drain fairness (apply thread)
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;  // guarded by stats_mu_ (submitted_ops kept atomic)
+  std::atomic<std::uint64_t> submitted_ops_{0};
+
+  std::thread apply_thread_;
+};
+
+}  // namespace cpkcore::service

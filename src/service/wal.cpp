@@ -1,0 +1,124 @@
+#include "service/wal.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace cpkcore::service {
+
+namespace {
+constexpr char kMagic[] = "cpkcore-wal-v1";
+}
+
+std::size_t WriteAheadLog::open(
+    const std::string& path, vertex_t num_vertices,
+    const std::function<void(const UpdateBatch&)>& on_batch) {
+  close();
+  path_ = path;
+  num_vertices_ = num_vertices;
+
+  namespace fs = std::filesystem;
+  std::size_t replayed = 0;
+  // A crash inside open()/reset()'s truncate-then-write-header window
+  // leaves an existing zero-byte file; treat it as fresh rather than
+  // bricking every subsequent restart. A *non-empty* file with a bad
+  // header still throws — that is corruption (or the wrong file), and
+  // silently overwriting it would destroy evidence.
+  if (fs::exists(path) && fs::file_size(path) > 0) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open WAL: " + path);
+    std::string magic;
+    if (!std::getline(in, magic) || magic != kMagic) {
+      throw std::runtime_error("bad WAL header in " + path);
+    }
+    vertex_t file_n = 0;
+    if (!(in >> file_n)) {
+      throw std::runtime_error("bad WAL vertex count in " + path);
+    }
+    if (file_n != num_vertices) {
+      throw std::runtime_error("WAL vertex count mismatch in " + path);
+    }
+    // Parse committed batches; the first malformed / unterminated record
+    // marks the uncommitted tail and stops the replay.
+    std::streampos committed_end = in.tellg();
+    for (;;) {
+      char tag = 0;
+      if (!(in >> tag) || tag != 'B') break;
+      char kind = 0;
+      std::size_t count = 0;
+      if (!(in >> kind >> count) || (kind != 'I' && kind != 'D')) break;
+      UpdateBatch batch;
+      batch.kind = kind == 'I' ? UpdateKind::kInsert : UpdateKind::kDelete;
+      batch.edges.reserve(count);
+      bool ok = true;
+      for (std::size_t i = 0; i < count; ++i) {
+        vertex_t u = 0;
+        vertex_t v = 0;
+        if (!(in >> u >> v) || u >= num_vertices || v >= num_vertices) {
+          ok = false;
+          break;
+        }
+        batch.edges.push_back({u, v});
+      }
+      if (!ok) break;
+      char marker = 0;
+      std::size_t marker_count = 0;
+      if (!(in >> marker >> marker_count) || marker != 'C' ||
+          marker_count != count) {
+        break;
+      }
+      if (on_batch) on_batch(batch);
+      ++replayed;
+      committed_end = in.tellg();
+    }
+    in.close();
+    if (committed_end >= 0 &&
+        static_cast<std::uintmax_t>(committed_end) < fs::file_size(path)) {
+      fs::resize_file(path, static_cast<std::uintmax_t>(committed_end));
+    }
+    out_.open(path, std::ios::app);
+    if (!out_) throw std::runtime_error("cannot append to WAL: " + path);
+    // The committed prefix may end mid-line (tellg stops before the
+    // newline); records are whitespace-delimited, so one separator keeps
+    // the stream parseable.
+    out_ << '\n';
+  } else {
+    out_.open(path, std::ios::trunc);
+    if (!out_) throw std::runtime_error("cannot create WAL: " + path);
+    write_header();
+    flush();
+  }
+  return replayed;
+}
+
+void WriteAheadLog::write_header() {
+  out_ << kMagic << '\n' << num_vertices_ << '\n';
+}
+
+void WriteAheadLog::append(const UpdateBatch& batch) {
+  out_ << "B " << (batch.kind == UpdateKind::kInsert ? 'I' : 'D') << ' '
+       << batch.edges.size() << '\n';
+  for (const Edge& e : batch.edges) out_ << e.u << ' ' << e.v << '\n';
+  out_ << "C " << batch.edges.size() << '\n';
+}
+
+void WriteAheadLog::flush() {
+  out_.flush();
+  if (!out_) throw std::runtime_error("WAL flush failed: " + path_);
+}
+
+void WriteAheadLog::reset() {
+  out_.close();
+  out_.open(path_, std::ios::trunc);
+  if (!out_) throw std::runtime_error("cannot reset WAL: " + path_);
+  write_header();
+  flush();
+}
+
+void WriteAheadLog::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+}  // namespace cpkcore::service

@@ -1,0 +1,75 @@
+// Write-ahead log for the serving layer: every coalesced batch is appended
+// (records + a per-batch commit marker) and the whole drain cycle is flushed
+// once — group commit — *before* the batch is applied to the CPLDS, so a
+// restart can replay exactly the committed prefix of accepted work.
+//
+// Format (text, line-oriented, mirrors the snapshot format):
+//   cpkcore-wal-v1
+//   <num_vertices>
+//   B I <count>      one record per batch: kind I(nsert)/D(elete) + size
+//   <u> <v>          ... count edge lines ...
+//   C <count>        commit marker (redundant count, cross-checked)
+//
+// A batch is durable iff its full record *including the commit marker*
+// parses on replay; a truncated or marker-less tail (crash between append
+// and group commit) is discarded and the file is truncated back to the last
+// committed byte before appending resumes.
+//
+// Durability is to the OS page cache (stream flush, no fsync): the log
+// protects against process crashes, which is what the tests simulate.
+// fsync levels for power-failure durability are a ROADMAP item.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "graph/batch.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore::service {
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog() { close(); }
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens the log at `path` for an n-vertex structure. If the file exists,
+  /// replays every committed batch through `on_batch` (in append order),
+  /// truncates any uncommitted tail, and positions for appending; otherwise
+  /// creates the file with a fresh header. Returns the number of batches
+  /// replayed. Throws std::runtime_error on IO errors or a vertex-count /
+  /// magic mismatch.
+  std::size_t open(const std::string& path, vertex_t num_vertices,
+                   const std::function<void(const UpdateBatch&)>& on_batch);
+
+  /// Appends one batch record (buffered — not committed until flush()).
+  /// Edges are logged as given; callers pass canonical deduplicated batches.
+  void append(const UpdateBatch& batch);
+
+  /// Group commit: pushes every appended record to the OS in one flush.
+  /// Throws std::runtime_error if the stream failed.
+  void flush();
+
+  /// Compaction: truncates the log to an empty header. Called after the
+  /// logical state has been persisted elsewhere (core/snapshot).
+  void reset();
+
+  void close();
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void write_header();
+
+  std::string path_;
+  vertex_t num_vertices_ = 0;
+  std::ofstream out_;
+};
+
+}  // namespace cpkcore::service

@@ -1,0 +1,459 @@
+// Serving-layer tests: concurrent multi-client submission, ticket
+// acknowledgment ordering, WAL group-commit replay after simulated crashes
+// (both sides of the commit marker), snapshot compaction equivalence, and
+// concurrent readers through all three ReadModes while submitters run.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "harness/service_workload.hpp"
+#include "kcore/peel.hpp"
+#include "service/kcore_service.hpp"
+#include "service/wal.hpp"
+
+namespace cpkcore {
+namespace {
+
+using service::KCoreService;
+using service::ServiceConfig;
+using service::Ticket;
+using service::WriteAheadLog;
+
+/// Unique temp path per test *and* per process (two build trees' suites
+/// running concurrently must not clobber each other); removed by the guard.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_("/tmp/cpkc_service_" + std::to_string(::getpid()) + "_" +
+              name) {
+    std::filesystem::remove(path_);
+  }
+  ~TempPath() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::set<std::uint64_t> edge_keys(const KCoreService& svc) {
+  std::set<std::uint64_t> keys;
+  const PLDS& plds = svc.cplds().plds();
+  for (vertex_t v = 0; v < svc.num_vertices(); ++v) {
+    for (vertex_t w : plds.neighbors(v)) {
+      if (w > v) keys.insert(Edge{v, w}.key());
+    }
+  }
+  return keys;
+}
+
+TEST(Service, SingleClientInsertAndRead) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 300;
+  KCoreService svc(cfg);
+  auto edges = gen::barabasi_albert(300, 4, 11);
+  std::vector<Ticket> tickets;
+  tickets.reserve(edges.size());
+  for (const Edge& e : edges) tickets.push_back(svc.submit_insert(e.u, e.v));
+  for (const Ticket& t : tickets) EXPECT_TRUE(svc.wait(t));
+
+  CPLDS reference(300, LDSParams::create(300));
+  reference.insert_batch(edges);
+  EXPECT_EQ(svc.num_edges(), reference.num_edges());
+  for (vertex_t v = 0; v < 300; ++v) {
+    for (vertex_t w : reference.plds().neighbors(v)) {
+      EXPECT_TRUE(svc.cplds().plds().has_edge(v, w));
+    }
+  }
+  svc.shutdown();
+}
+
+TEST(Service, ConcurrentSubmissionAppliesUnion) {
+  constexpr vertex_t kN = 1000;
+  constexpr std::size_t kClients = 4;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  KCoreService svc(cfg);
+
+  // Disjoint vertex ranges per client so the expected union is exact even
+  // though submission order across clients is unconstrained.
+  std::vector<std::vector<Edge>> per_client(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    const auto base = static_cast<vertex_t>(c * (kN / kClients));
+    for (vertex_t i = 0; i + 1 < kN / kClients; ++i) {
+      per_client[c].push_back({base + i, base + i + 1});
+      if (i + 2 < kN / kClients) {
+        per_client[c].push_back({base + i, base + i + 2});
+      }
+    }
+  }
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<Ticket> tickets;
+      tickets.reserve(per_client[c].size());
+      for (const Edge& e : per_client[c]) {
+        tickets.push_back(svc.submit_insert(e.u, e.v));
+      }
+      for (const Ticket& t : tickets) EXPECT_TRUE(svc.wait(t));
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  std::size_t expected = 0;
+  for (const auto& edges : per_client) {
+    expected += edges.size();
+    for (const Edge& e : edges) {
+      EXPECT_TRUE(svc.cplds().plds().has_edge(e.u, e.v));
+    }
+  }
+  EXPECT_EQ(svc.num_edges(), expected);
+  std::string why;
+  EXPECT_TRUE(svc.cplds().plds().validate(&why)) << why;
+  svc.shutdown();
+}
+
+TEST(Service, TicketAcknowledgmentOrderIsMonotonePerShard) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 500;
+  cfg.num_shards = 1;  // one shard -> all tickets totally ordered
+  cfg.min_ops_per_cycle = 4;
+  cfg.max_ops_per_cycle = 16;  // force many small drain cycles
+  KCoreService svc(cfg);
+
+  auto edges = gen::erdos_renyi(500, 2000, 3);
+  std::vector<Ticket> tickets;
+  tickets.reserve(edges.size());
+  for (const Edge& e : edges) {
+    tickets.push_back(svc.submit_insert(e.u, e.v));
+    ASSERT_EQ(tickets.back().shard, 0u);
+    ASSERT_EQ(tickets.back().seq, tickets.size());
+  }
+  // Acks are monotone: whenever a ticket is applied, so is every earlier
+  // one. Probe at several points while batches are still in flight.
+  for (std::size_t probe : {std::size_t{10}, edges.size() / 2,
+                            edges.size() - 1}) {
+    ASSERT_TRUE(svc.wait(tickets[probe]));
+    for (std::size_t j = 0; j <= probe; ++j) {
+      EXPECT_TRUE(svc.is_applied(tickets[j])) << j;
+    }
+  }
+  svc.shutdown();
+}
+
+TEST(Service, MixedInsertDeleteMatchesSequentialMirror) {
+  constexpr vertex_t kN = 400;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.min_ops_per_cycle = 8;
+  cfg.max_ops_per_cycle = 64;
+  KCoreService svc(cfg);
+
+  // Single client: per-edge order equals submission order, so a sequential
+  // mirror predicts the final state exactly.
+  Xoshiro256 rng(99);
+  DynamicGraph mirror(kN);
+  std::vector<Edge> present;
+  Ticket last{};
+  for (int i = 0; i < 4000; ++i) {
+    if (present.empty() || rng.next_below(3) != 0) {
+      const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                   static_cast<vertex_t>(rng.next_below(kN))};
+      last = svc.submit({e, UpdateKind::kInsert});
+      if (mirror.insert_edge(e)) present.push_back(e.canonical());
+    } else {
+      const std::size_t j = rng.next_below(present.size());
+      last = svc.submit({present[j], UpdateKind::kDelete});
+      mirror.delete_edge(present[j]);
+      present[j] = present.back();
+      present.pop_back();
+    }
+  }
+  svc.drain();
+  EXPECT_TRUE(svc.is_applied(last));
+  EXPECT_EQ(svc.num_edges(), mirror.num_edges());
+  for (vertex_t v = 0; v < kN; ++v) {
+    for (vertex_t w : mirror.neighbors(v)) {
+      EXPECT_TRUE(svc.cplds().plds().has_edge(v, w)) << v << "," << w;
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(svc.cplds().plds().validate(&why)) << why;
+  svc.shutdown();
+}
+
+TEST(Service, WalReplayAfterCrashRestoresAckedOps) {
+  TempPath wal("crash.wal");
+  constexpr vertex_t kN = 400;
+  auto edges = gen::social(kN, 4, 3, 30, 0.9, 21);
+  std::set<std::uint64_t> before;
+  {
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    KCoreService svc(cfg);
+    std::vector<Ticket> tickets;
+    for (const Edge& e : edges) tickets.push_back(svc.submit_insert(e.u, e.v));
+    for (const Ticket& t : tickets) ASSERT_TRUE(svc.wait(t));
+    before = edge_keys(svc);
+    // Crash after every op was acked (kill *after* group commit): the WAL
+    // must reproduce the acked edge set exactly.
+    svc.simulate_crash();
+  }
+  {
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    KCoreService svc(cfg);
+    EXPECT_GT(svc.stats().replayed_batches, 0u);
+    EXPECT_EQ(edge_keys(svc), before);
+    std::string why;
+    EXPECT_TRUE(svc.cplds().plds().validate(&why)) << why;
+    svc.shutdown();
+  }
+}
+
+TEST(Service, CrashDropsPendingUnackedOps) {
+  TempPath wal("pending.wal");
+  constexpr vertex_t kN = 100;
+  Ticket pending_ticket{};
+  {
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    KCoreService svc(cfg);
+    auto t1 = svc.submit_insert(1, 2);
+    ASSERT_TRUE(svc.wait(t1));
+    svc.simulate_crash();
+    // Submissions after the crash are rejected.
+    EXPECT_THROW(svc.submit_insert(2, 3), std::runtime_error);
+    // A ticket the crash left behind reports failure instead of hanging.
+    pending_ticket = Ticket{0, ~std::uint64_t{0}};
+    EXPECT_FALSE(svc.wait(pending_ticket));
+  }
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.wal_path = wal.str();
+  KCoreService svc(cfg);
+  EXPECT_EQ(svc.num_edges(), 1u);
+  EXPECT_TRUE(svc.cplds().plds().has_edge(1, 2));
+  svc.shutdown();
+}
+
+TEST(Service, WalDiscardsUncommittedTail) {
+  // Kill *before* group commit: hand-craft a log whose last batch lacks its
+  // commit marker; replay must keep the committed prefix only, and the log
+  // must stay appendable afterwards.
+  TempPath wal("tail.wal");
+  {
+    std::ofstream out(wal.str());
+    out << "cpkcore-wal-v1\n100\n";
+    out << "B I 2\n1 2\n2 3\nC 2\n";
+    out << "B I 3\n3 4\n4 5\n";  // crash: no "C 3"
+  }
+  std::vector<UpdateBatch> replayed;
+  WriteAheadLog log;
+  const std::size_t n_replayed = log.open(
+      wal.str(), 100, [&](const UpdateBatch& b) { replayed.push_back(b); });
+  EXPECT_EQ(n_replayed, 1u);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].edges,
+            (std::vector<Edge>{{1, 2}, {2, 3}}));
+
+  // Append a committed batch past the truncation point and re-open.
+  log.append(UpdateBatch{UpdateKind::kDelete, {{1, 2}}});
+  log.flush();
+  log.close();
+  replayed.clear();
+  WriteAheadLog reopened;
+  EXPECT_EQ(reopened.open(wal.str(), 100,
+                          [&](const UpdateBatch& b) {
+                            replayed.push_back(b);
+                          }),
+            2u);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[1].kind, UpdateKind::kDelete);
+  EXPECT_EQ(replayed[1].edges, (std::vector<Edge>{{1, 2}}));
+}
+
+TEST(Service, WalRejectsMismatchedVertexCount) {
+  TempPath wal("mismatch.wal");
+  {
+    std::ofstream out(wal.str());
+    out << "cpkcore-wal-v1\n100\n";
+  }
+  WriteAheadLog log;
+  EXPECT_THROW(log.open(wal.str(), 200, nullptr), std::runtime_error);
+}
+
+TEST(Service, WalTreatsEmptyFileAsFresh) {
+  // A crash inside reset()'s truncate-then-header window leaves a zero-byte
+  // file; restart must not be bricked by it.
+  TempPath wal("empty.wal");
+  { std::ofstream out(wal.str()); }  // create empty
+  WriteAheadLog log;
+  std::size_t replayed = ~std::size_t{0};
+  ASSERT_NO_THROW(replayed = log.open(wal.str(), 50, nullptr));
+  EXPECT_EQ(replayed, 0u);
+  log.append(UpdateBatch{UpdateKind::kInsert, {{1, 2}}});
+  log.flush();
+  log.close();
+  std::size_t count = 0;
+  WriteAheadLog reopened;
+  EXPECT_EQ(reopened.open(wal.str(), 50,
+                          [&](const UpdateBatch&) { ++count; }),
+            1u);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Service, TinyBudgetManyShardsDrainsFairly) {
+  // Budget smaller than the shard count: the rotating drain start must
+  // still reach every shard, so every ticket acks.
+  ServiceConfig cfg;
+  cfg.num_vertices = 200;
+  cfg.num_shards = 8;
+  cfg.min_ops_per_cycle = 2;
+  cfg.max_ops_per_cycle = 2;
+  KCoreService svc(cfg);
+  std::vector<Ticket> tickets;
+  for (vertex_t i = 0; i + 1 < 120; ++i) {
+    tickets.push_back(svc.submit_insert(i, i + 1));
+  }
+  for (const Ticket& t : tickets) EXPECT_TRUE(svc.wait(t));
+  EXPECT_EQ(svc.num_edges(), 119u);
+  svc.shutdown();
+}
+
+TEST(Service, SnapshotCompactionEquivalence) {
+  TempPath wal("compact.wal");
+  TempPath snap("compact.snap");
+  constexpr vertex_t kN = 300;
+  auto phase_a = gen::barabasi_albert(kN, 5, 31);
+  auto phase_b = gen::erdos_renyi(kN, 800, 32);
+  std::set<std::uint64_t> before;
+  {
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    cfg.snapshot_path = snap.str();
+    KCoreService svc(cfg);
+    for (const Edge& e : phase_a) svc.submit_insert(e.u, e.v);
+    svc.drain();
+    // A stale temp file from a crashed earlier checkpoint must not matter.
+    { std::ofstream garbage(snap.str() + ".tmp"); garbage << "torn"; }
+    svc.checkpoint();  // snapshot phase A (atomic rename), truncate the WAL
+    EXPECT_FALSE(std::filesystem::exists(snap.str() + ".tmp"));
+    for (const Edge& e : phase_b) svc.submit_insert(e.u, e.v);
+    svc.drain();
+    before = edge_keys(svc);
+    svc.simulate_crash();
+  }
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.wal_path = wal.str();
+  cfg.snapshot_path = snap.str();
+  KCoreService svc(cfg);
+  // Warm restart = snapshot (phase A) + WAL suffix (phase B only).
+  EXPECT_EQ(edge_keys(svc), before);
+
+  // Coreness estimates after restart stay within the paper's bound.
+  DynamicGraph mirror(kN);
+  const PLDS& plds = svc.cplds().plds();
+  for (vertex_t v = 0; v < kN; ++v) {
+    for (vertex_t w : plds.neighbors(v)) {
+      if (w > v) mirror.insert_edge({v, w});
+    }
+  }
+  const auto exact = exact_coreness(mirror);
+  const double bound = (2.0 + 3.0 / 9.0) * 1.44;
+  for (vertex_t v = 0; v < kN; ++v) {
+    const double est = svc.read_coreness(v);
+    const double truth = std::max<double>(1.0, exact[v]);
+    EXPECT_LE(std::max(est / truth, truth / est), bound) << v;
+  }
+  svc.shutdown();
+}
+
+TEST(Service, ConcurrentSubmittersAndReadersAllModes) {
+  // The acceptance demo: >= 4 submitter threads and >= 4 reader threads,
+  // every ReadMode exercised, TSan-clean (this suite runs in the TSan CI
+  // leg). Correctness: structure validates and reads stay in range.
+  constexpr vertex_t kN = 2000;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.min_ops_per_cycle = 32;
+  cfg.max_ops_per_cycle = 4096;
+  KCoreService svc(cfg);
+  // Preload so readers see a nontrivial structure from the start.
+  for (const Edge& e : gen::barabasi_albert(kN, 3, 41)) {
+    svc.submit_insert(e.u, e.v);
+  }
+  svc.drain();
+
+  harness::ServiceWorkloadConfig wl;
+  wl.submitter_threads = 4;
+  wl.reader_threads = 4;
+  wl.ops_per_thread = 3000;
+  wl.delete_fraction = 0.25;
+  wl.seed = 5;
+  // One run per read mode; all three against the same live service.
+  for (ReadMode mode :
+       {ReadMode::kCplds, ReadMode::kNonSync, ReadMode::kSyncReads}) {
+    wl.mode = mode;
+    auto result = harness::run_service_workload(svc, wl);
+    EXPECT_EQ(result.ops_submitted, 4u * 3000u);
+    EXPECT_GT(result.total_reads, 0u);
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.acked_ops, stats.submitted_ops);
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_GT(stats.ack_latency.count(), 0u);
+  svc.shutdown();
+  std::string why;
+  EXPECT_TRUE(svc.cplds().plds().validate(&why)) << why;
+}
+
+TEST(Service, AdaptiveBatchSizerTracksTarget) {
+  service::AdaptiveBatchSizer sizer(16, 8192, /*target_apply_ns=*/1000000);
+  // 1 us per op -> ideal budget 1000; growth capped at 2x per observation.
+  std::size_t prev = sizer.budget();
+  for (int i = 0; i < 10; ++i) {
+    sizer.observe(prev, prev * 1000);
+    EXPECT_LE(sizer.budget(), std::max(prev * 2, std::size_t{16}));
+    prev = sizer.budget();
+  }
+  EXPECT_NEAR(static_cast<double>(sizer.budget()), 1000.0, 200.0);
+  // Ops suddenly 100x slower -> budget shrinks toward 10.
+  for (int i = 0; i < 20; ++i) sizer.observe(sizer.budget(), sizer.budget() * 100000);
+  EXPECT_LE(sizer.budget(), 64u);
+  EXPECT_GE(sizer.budget(), 16u);  // floor respected
+}
+
+TEST(Service, CoalescerSplitsDedupsAndCanonicalizes) {
+  std::vector<Update> ops = {
+      {{5, 1}, UpdateKind::kInsert}, {{1, 5}, UpdateKind::kInsert},
+      {{2, 2}, UpdateKind::kInsert},  // self-loop: dropped
+      {{3, 4}, UpdateKind::kInsert}, {{1, 5}, UpdateKind::kDelete},
+      {{4, 3}, UpdateKind::kDelete}, {{6, 7}, UpdateKind::kInsert},
+  };
+  const auto batches = service::coalesce_updates(std::move(ops));
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(batches[0].edges, (std::vector<Edge>{{1, 5}, {3, 4}}));
+  EXPECT_EQ(batches[1].kind, UpdateKind::kDelete);
+  EXPECT_EQ(batches[1].edges, (std::vector<Edge>{{1, 5}, {3, 4}}));
+  EXPECT_EQ(batches[2].kind, UpdateKind::kInsert);
+  EXPECT_EQ(batches[2].edges, (std::vector<Edge>{{6, 7}}));
+}
+
+}  // namespace
+}  // namespace cpkcore

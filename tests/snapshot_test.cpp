@@ -60,6 +60,26 @@ TEST(Snapshot, RestoredEstimatesSatisfyBound) {
   }
 }
 
+TEST(Snapshot, LoadOptionsSelectParameters) {
+  const std::string path = "/tmp/cpkc_snapshot_opts.snap";
+  constexpr vertex_t kN = 200;
+  CPLDS ds(kN, LDSParams::create(kN));
+  ds.insert_batch(gen::barabasi_albert(kN, 3, 4));
+  save_snapshot(ds, path);
+
+  SnapshotLoadOptions opts;
+  opts.delta = 0.4;
+  opts.lambda = 3.0;
+  opts.levels_per_group_cap = 10;
+  opts.cplds.track_dependencies = false;
+  auto restored = load_snapshot(path, opts);
+  std::filesystem::remove(path);
+  EXPECT_EQ(restored->num_edges(), ds.num_edges());
+  EXPECT_DOUBLE_EQ(restored->params().delta(), 0.4);
+  EXPECT_DOUBLE_EQ(restored->params().lambda(), 3.0);
+  EXPECT_EQ(restored->params().levels_per_group(), 10);
+}
+
 TEST(Snapshot, RejectsCorruptFiles) {
   const std::string path = "/tmp/cpkc_snapshot_bad.snap";
   {
