@@ -4,15 +4,27 @@
 // JSON line per cell via emit_json_line, so the perf trajectory of the
 // ingest -> coalesce -> WAL -> apply path is diffable across PRs.
 //
+// With --replicas N (or CPKC_SERVICE_REPLICAS=N) the bench instead sweeps
+// the *cluster* layer: 0..N read replicas behind the session-aware router,
+// reporting routed read throughput vs replica count (the read-scaling
+// curve of the replication subsystem), one JSON line per replica count.
+//
 // Environment (on top of bench_common's knobs):
-//   CPKC_SERVICE_OPS   ops per client thread      (default 50000)
-//   CPKC_SERVICE_WAL   1 = log to a WAL in /tmp   (default 1)
+//   CPKC_SERVICE_OPS       ops per client thread        (default 50000)
+//   CPKC_SERVICE_WAL       1 = log to a WAL in /tmp     (default 1)
+//   CPKC_SERVICE_REPLICAS  max replica count to sweep   (default 0 = off)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cluster/log_ship.hpp"
+#include "cluster/replica.hpp"
+#include "cluster/router.hpp"
 #include "graph/generators.hpp"
 #include "harness/service_workload.hpp"
 #include "service/kcore_service.hpp"
@@ -88,9 +100,93 @@ void run_cell(std::size_t clients) {
   });
 }
 
+void run_replicated_cell(std::size_t replicas) {
+  const auto n = static_cast<vertex_t>(
+      100000 * bench::env_size("CPKC_SCALE", 1));
+  const std::string wal_path = "/tmp/cpkc_service_throughput.wal";
+  std::filesystem::remove(wal_path);
+
+  service::ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.levels_per_group_cap = bench::opt_cap();
+  if (wal_enabled()) cfg.wal_path = wal_path;
+  service::KCoreService svc(cfg);
+  // All replicas subscribe before the preload and none joins later, so a
+  // small retention ring suffices (no unbounded growth across the sweep).
+  cluster::LogShipper::Options ship_opts;
+  ship_opts.retain_records = 1024;
+  cluster::LogShipper shipper(svc, ship_opts);
+  std::vector<std::unique_ptr<cluster::Replica>> replica_store;
+  std::vector<cluster::Replica*> replica_ptrs;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    replica_store.push_back(std::make_unique<cluster::Replica>(cfg));
+    replica_store.back()->start(shipper);
+    replica_ptrs.push_back(replica_store.back().get());
+  }
+  cluster::Router router(svc, replica_ptrs);
+
+  // Preload half the edges (replicas follow along through the shipper),
+  // then wait for every replica to catch up so the measured phase starts
+  // from identical backends.
+  for (const Edge& e : gen::barabasi_albert(n / 2, 4, 7)) {
+    svc.submit_insert(e.u, e.v);
+  }
+  svc.drain();
+  for (cluster::Replica* r : replica_ptrs) r->wait_for_lsn(svc.commit_lsn());
+  svc.reset_stats();
+
+  harness::ClusterWorkloadConfig wl;
+  wl.writer_threads = bench::env_size("CPKC_CLUSTER_WRITERS", 2);
+  wl.reader_threads = bench::reader_threads();
+  wl.ops_per_thread = ops_per_client() / 10;  // writes are closed-loop here
+  wl.delete_fraction = 0.2;
+  wl.seed = 7;
+  const auto result = harness::run_cluster_workload(router, wl);
+  const auto rstats = router.stats();
+  for (auto& r : replica_store) r->stop();
+  svc.shutdown();
+  std::filesystem::remove(wal_path);
+
+  bench::emit_json_line({
+      {"bench", std::string("cluster_read_throughput")},
+      {"replicas", static_cast<std::int64_t>(replicas)},
+      {"writers", static_cast<std::int64_t>(wl.writer_threads)},
+      {"readers", static_cast<std::int64_t>(wl.reader_threads)},
+      {"wal", static_cast<std::int64_t>(wal_enabled() ? 1 : 0)},
+      {"writes", static_cast<std::int64_t>(result.ops_written)},
+      {"wall_s", result.wall_seconds},
+      {"reads_per_s", result.read_throughput()},
+      {"writes_per_s", result.write_throughput()},
+      {"reads", static_cast<std::int64_t>(result.total_reads)},
+      {"primary_reads", static_cast<std::int64_t>(result.primary_reads)},
+      {"replica_reads", static_cast<std::int64_t>(result.replica_reads)},
+      {"read_p50_ns",
+       static_cast<std::int64_t>(result.read_latency.p50_ns())},
+      {"read_p99_ns",
+       static_cast<std::int64_t>(result.read_latency.p99_ns())},
+      {"router_writes", static_cast<std::int64_t>(rstats.writes)},
+  });
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t max_replicas = bench::env_size("CPKC_SERVICE_REPLICAS", 0);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      max_replicas = static_cast<std::size_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--replicas N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (max_replicas > 0) {
+    // Replicated read-throughput sweep: 0 (router straight to primary)
+    // up to N replicas.
+    for (std::size_t r = 0; r <= max_replicas; ++r) run_replicated_cell(r);
+    return 0;
+  }
   const std::size_t max_clients = bench::writer_workers();
   std::vector<std::size_t> sweep;
   for (std::size_t c = 1; c <= max_clients; c *= 2) sweep.push_back(c);

@@ -15,6 +15,20 @@
 //   --snapshot-load <path>   restore the graph from a snapshot at startup
 //   --snapshot-save <path>   save a snapshot of the final graph on exit
 //
+// Replication end to end (the cluster layer): --replicas <n> runs the
+// session's graph behind a KCoreService primary, n exact read replicas fed
+// by WAL shipping, and the session-aware router. insert/delete become
+// routed writes (printing the acked LSN), query becomes a routed read
+// (printing which backend served it and at what LSN), and stats shows each
+// backend's replication cursor. delv is not available in this mode (the
+// serving layer ingests edge ops).
+//
+//   $ echo "gen ba 2000 4 7
+//           insert 17 42
+//           query 17
+//           stats
+//           quit" | ./example_dynamic_kcore_cli --replicas 2 -
+//
 //   $ echo "gen ba 1000 4 7
 //           quit" | ./example_dynamic_kcore_cli --snapshot-save g.snap -
 //   $ echo "stats
@@ -33,17 +47,25 @@
 //   stats                                  n, m, batch number, max estimate
 //   quit
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "cluster/log_ship.hpp"
+#include "cluster/replica.hpp"
+#include "cluster/router.hpp"
 #include "core/cplds.hpp"
 #include "core/snapshot.hpp"
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "kcore/peel.hpp"
+#include "service/kcore_service.hpp"
 
 namespace {
 
@@ -78,12 +100,80 @@ struct Session {
   bool ready() const { return ds != nullptr; }
 };
 
-bool handle(Session& s, const std::string& line) {
-  std::istringstream in(line);
-  std::string cmd;
-  if (!(in >> cmd) || cmd[0] == '#') return true;
-  if (cmd == "quit" || cmd == "exit") return false;
+/// --replicas mode: the same commands, served by a primary + replicas +
+/// router cluster instead of a bare CPLDS. Heap-held (Router::Session is
+/// not movable).
+struct Cluster {
+  std::size_t num_replicas;
+  std::unique_ptr<service::KCoreService> primary;
+  std::unique_ptr<cluster::LogShipper> shipper;
+  std::vector<std::unique_ptr<cluster::Replica>> replicas;
+  std::unique_ptr<cluster::Router> router;
+  std::unique_ptr<cluster::Router::Session> session;
+  std::unique_ptr<DynamicGraph> mirror;  // for the exact oracle
 
+  explicit Cluster(std::size_t n_replicas) : num_replicas(n_replicas) {}
+
+  ~Cluster() { teardown(); }
+
+  void teardown() {
+    // Order matters: replicas unsubscribe, the shipper detaches, and only
+    // then may the primary go down.
+    for (auto& r : replicas) r->stop();
+    if (shipper) shipper->detach();
+    if (primary) primary->shutdown();
+    router.reset();
+    replicas.clear();
+    shipper.reset();
+    primary.reset();
+  }
+
+  void reset(vertex_t n, const std::vector<Edge>& edges) {
+    teardown();
+    service::ServiceConfig cfg;
+    cfg.num_vertices = n;
+    primary = std::make_unique<service::KCoreService>(cfg);
+    // Every replica subscribes right here, before any write, and no one
+    // joins later — so the retention ring can stay small instead of
+    // holding every batch ever committed for the session's lifetime.
+    cluster::LogShipper::Options ship_opts;
+    ship_opts.retain_records = 1024;
+    shipper = std::make_unique<cluster::LogShipper>(*primary, ship_opts);
+    std::vector<cluster::Replica*> ptrs;
+    for (std::size_t r = 0; r < num_replicas; ++r) {
+      replicas.push_back(std::make_unique<cluster::Replica>(cfg));
+      replicas.back()->start(*shipper);
+      ptrs.push_back(replicas.back().get());
+    }
+    router = std::make_unique<cluster::Router>(*primary, ptrs);
+    session = std::make_unique<cluster::Router::Session>();
+    mirror = std::make_unique<DynamicGraph>(n);
+    for (const Edge& e : edges) {
+      primary->submit({e, UpdateKind::kInsert});
+      mirror->insert_edge(e);
+    }
+    primary->drain();
+    for (auto& r : replicas) r->wait_for_lsn(primary->commit_lsn());
+    std::printf("cluster ready: n=%u m=%zu replicas=%zu lsn=%llu\n", n,
+                primary->num_edges(), num_replicas,
+                static_cast<unsigned long long>(primary->commit_lsn()));
+  }
+
+  bool ready() const { return primary != nullptr; }
+};
+
+const char* backend_name(int backend, std::string& scratch) {
+  if (backend == cluster::Router::kPrimary) return "primary";
+  scratch = "replica " + std::to_string(backend);
+  return scratch.c_str();
+}
+
+/// Shared by both modes: parses the rest of a "gen ..."/"load ..." line
+/// into a graph source. Prints its own diagnostics; returns nothing on a
+/// malformed line (the caller just moves on, matching the other commands'
+/// silent-on-parse-failure behavior).
+std::optional<std::pair<vertex_t, std::vector<Edge>>> parse_graph_source(
+    const std::string& cmd, std::istringstream& in) {
   if (cmd == "gen") {
     std::string family;
     in >> family;
@@ -92,30 +182,162 @@ bool handle(Session& s, const std::string& line) {
       std::size_t epv;
       std::uint64_t seed;
       if (in >> n >> epv >> seed) {
-        s.reset(n, gen::barabasi_albert(n, epv, seed));
+        return {{n, gen::barabasi_albert(n, epv, seed)}};
       }
     } else if (family == "er") {
       vertex_t n;
       std::size_t m;
       std::uint64_t seed;
-      if (in >> n >> m >> seed) s.reset(n, gen::erdos_renyi(n, m, seed));
+      if (in >> n >> m >> seed) return {{n, gen::erdos_renyi(n, m, seed)}};
     } else if (family == "grid") {
       vertex_t side;
-      if (in >> side) s.reset(side * side, gen::grid_2d(side, side, true));
+      if (in >> side) {
+        return {{static_cast<vertex_t>(side * side),
+                 gen::grid_2d(side, side, true)}};
+      }
     } else {
       std::printf("unknown family '%s' (ba|er|grid)\n", family.c_str());
     }
+    return std::nullopt;
+  }
+  std::string path;  // cmd == "load"
+  if (in >> path) {
+    try {
+      auto file = read_edge_list(path);
+      return {{file.num_vertices, std::move(file.edges)}};
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+bool handle_cluster(Cluster& c, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd) || cmd[0] == '#') return true;
+  if (cmd == "quit" || cmd == "exit") return false;
+
+  if (cmd == "gen" || cmd == "load") {
+    if (auto graph = parse_graph_source(cmd, in)) {
+      c.reset(graph->first, graph->second);
+    }
     return true;
   }
-  if (cmd == "load") {
-    std::string path;
-    if (in >> path) {
+  if (!c.ready()) {
+    std::printf("no graph loaded; use gen/load first\n");
+    return true;
+  }
+
+  if (cmd == "insert" || cmd == "delete") {
+    vertex_t u, v;
+    if (in >> u >> v) {
+      const Update op{{u, v},
+                      cmd == "insert" ? UpdateKind::kInsert
+                                      : UpdateKind::kDelete};
       try {
-        auto file = read_edge_list(path);
-        s.reset(file.num_vertices, std::move(file.edges));
+        const std::uint64_t lsn = c.router->write(*c.session, op);
+        if (op.kind == UpdateKind::kInsert) {
+          c.mirror->insert_edge(op.edge);
+        } else {
+          c.mirror->delete_edge(op.edge);
+        }
+        std::printf("%s (%u,%u): acked at lsn %llu; m=%zu\n", cmd.c_str(),
+                    u, v, static_cast<unsigned long long>(lsn),
+                    c.primary->num_edges());
       } catch (const std::exception& e) {
         std::printf("error: %s\n", e.what());
       }
+    }
+    return true;
+  }
+  if (cmd == "batch") {
+    std::string kind;
+    in >> kind;
+    const UpdateKind k =
+        kind == "delete" ? UpdateKind::kDelete : UpdateKind::kInsert;
+    vertex_t u, v;
+    std::size_t count = 0;
+    std::uint64_t lsn = 0;
+    try {
+      while (in >> u >> v) {
+        lsn = c.router->write(*c.session, {{u, v}, k});
+        if (k == UpdateKind::kInsert) {
+          c.mirror->insert_edge({u, v});
+        } else {
+          c.mirror->delete_edge({u, v});
+        }
+        ++count;
+      }
+    } catch (const std::exception& e) {
+      std::printf("error after %zu writes: %s\n", count, e.what());
+      return true;
+    }
+    std::printf("batch %s: %zu routed writes, last lsn %llu; m=%zu\n",
+                kind.c_str(), count, static_cast<unsigned long long>(lsn),
+                c.primary->num_edges());
+    return true;
+  }
+  if (cmd == "delv") {
+    std::printf("delv is not available with --replicas (edge-op ingest)\n");
+    return true;
+  }
+  if (cmd == "query") {
+    vertex_t v;
+    if (in >> v && v < c.primary->num_vertices()) {
+      const auto read = c.router->read_coreness(*c.session, v);
+      std::string scratch;
+      std::printf(
+          "coreness_estimate(%u) = %.3f  (served by %s at lsn %llu, "
+          "session lsn %llu)\n",
+          v, read.value, backend_name(read.backend, scratch),
+          static_cast<unsigned long long>(read.served_lsn),
+          static_cast<unsigned long long>(c.session->last_lsn()));
+    }
+    return true;
+  }
+  if (cmd == "exact") {
+    vertex_t v;
+    if (in >> v && v < c.primary->num_vertices()) {
+      const auto coreness = exact_coreness(*c.mirror);
+      const auto read = c.router->read_coreness(*c.session, v);
+      std::printf("exact_coreness(%u) = %u  (estimate %.3f)\n", v,
+                  coreness[v], read.value);
+    }
+    return true;
+  }
+  if (cmd == "stats") {
+    const auto rstats = c.router->stats();
+    std::printf(
+        "n=%u m=%zu commit_lsn=%llu session_lsn=%llu writes=%llu "
+        "reads=%llu primary_reads=%llu\n",
+        c.primary->num_vertices(), c.primary->num_edges(),
+        static_cast<unsigned long long>(c.primary->commit_lsn()),
+        static_cast<unsigned long long>(c.session->last_lsn()),
+        static_cast<unsigned long long>(rstats.writes),
+        static_cast<unsigned long long>(rstats.reads),
+        static_cast<unsigned long long>(rstats.primary_reads));
+    for (std::size_t r = 0; r < c.replicas.size(); ++r) {
+      std::printf("  replica %zu: applied_lsn=%llu reads=%llu\n", r,
+                  static_cast<unsigned long long>(
+                      c.replicas[r]->applied_lsn()),
+                  static_cast<unsigned long long>(rstats.replica_reads[r]));
+    }
+    return true;
+  }
+  std::printf("unknown command '%s'\n", cmd.c_str());
+  return true;
+}
+
+bool handle(Session& s, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd) || cmd[0] == '#') return true;
+  if (cmd == "quit" || cmd == "exit") return false;
+
+  if (cmd == "gen" || cmd == "load") {
+    if (auto graph = parse_graph_source(cmd, in)) {
+      s.reset(graph->first, std::move(graph->second));
     }
     return true;
   }
@@ -215,27 +437,60 @@ int run_demo(Session& s) {
   return 0;
 }
 
+int run_cluster_demo(Cluster& c) {
+  const char* script[] = {
+      "gen ba 2000 4 7", "query 17",  "insert 17 42", "query 17",
+      "exact 17",        "stats",     "delete 17 42", "stats",
+  };
+  for (const char* line : script) {
+    std::printf("> %s\n", line);
+    handle_cluster(c, line);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string snapshot_load;
   std::string snapshot_save;
   bool interactive = false;
+  std::size_t replicas = 0;
+  bool cluster_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--snapshot-load" && i + 1 < argc) {
       snapshot_load = argv[++i];
     } else if (arg == "--snapshot-save" && i + 1 < argc) {
       snapshot_save = argv[++i];
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      replicas = std::strtoul(argv[++i], nullptr, 10);
+      cluster_mode = true;
     } else if (arg == "-") {
       interactive = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--snapshot-load <path>] "
-                   "[--snapshot-save <path>] [-]\n",
+                   "[--snapshot-save <path>] [--replicas <n>] [-]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (cluster_mode) {
+    if (!snapshot_load.empty() || !snapshot_save.empty()) {
+      std::fprintf(stderr,
+                   "--replicas and --snapshot-load/--snapshot-save are "
+                   "mutually exclusive\n");
+      return 2;
+    }
+    Cluster c(replicas);
+    if (!interactive) return run_cluster_demo(c);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!handle_cluster(c, line)) break;
+    }
+    return 0;
   }
 
   Session s;

@@ -1,0 +1,112 @@
+#include "cluster/router.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cpkcore::cluster {
+
+Router::Router(service::KCoreService& primary, std::vector<Replica*> replicas)
+    : primary_(primary), replicas_(std::move(replicas)) {
+  if (!replicas_.empty()) {
+    replica_reads_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(replicas_.size());
+    for (std::size_t i = 0; i < replicas_.size(); ++i) replica_reads_[i] = 0;
+  }
+}
+
+std::uint64_t Router::write(Session& session, Update op) {
+  const service::Ticket ticket = primary_.submit(op);
+  std::uint64_t lsn = 0;
+  if (!primary_.wait(ticket, &lsn)) {
+    throw std::runtime_error(
+        "Router: primary stopped before acknowledging the write");
+  }
+  session.advance(lsn);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return lsn;
+}
+
+int Router::pick_backend(std::uint64_t min_lsn,
+                         std::uint64_t* served_lsn) const {
+  const std::size_t n = replicas_.size();
+  if (n > 0) {
+    const std::uint64_t start =
+        round_robin_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = (start + i) % n;
+      // Sampled before the read: applied LSNs only grow, so the state the
+      // read observes is at least this fresh.
+      const std::uint64_t lsn = replicas_[r]->applied_lsn();
+      if (lsn >= min_lsn) {
+        *served_lsn = lsn;
+        return static_cast<int>(r);
+      }
+    }
+  }
+  // Primary fallback. Every acked write was applied before its ack became
+  // observable, so the primary's applied LSN satisfies any session cursor
+  // derived from acks against it.
+  *served_lsn = primary_.applied_lsn();
+  return kPrimary;
+}
+
+template <typename V, typename ReplicaRead, typename PrimaryRead>
+Router::Result<V> Router::route_read(std::uint64_t min_lsn,
+                                     ReplicaRead on_replica,
+                                     PrimaryRead on_primary) const {
+  Result<V> result;
+  result.backend = pick_backend(min_lsn, &result.served_lsn);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  if (result.backend == kPrimary) {
+    primary_reads_.fetch_add(1, std::memory_order_relaxed);
+    result.value = on_primary();
+  } else {
+    replica_reads_[static_cast<std::size_t>(result.backend)].fetch_add(
+        1, std::memory_order_relaxed);
+    result.value = on_replica(*replicas_[static_cast<std::size_t>(
+        result.backend)]);
+  }
+  return result;
+}
+
+Router::ReadResult Router::read_coreness(const Session& session, vertex_t v,
+                                         ReadMode mode) const {
+  return route_read<double>(
+      session.last_lsn(),
+      [&](const Replica& r) { return r.read_coreness(v, mode); },
+      [&] { return primary_.read_coreness(v, mode); });
+}
+
+Router::LevelResult Router::read_level(const Session& session, vertex_t v,
+                                       ReadMode mode) const {
+  return route_read<level_t>(
+      session.last_lsn(),
+      [&](const Replica& r) { return r.read_level(v, mode); },
+      [&] { return primary_.read_level(v, mode); });
+}
+
+Router::ReadResult Router::read_coreness(vertex_t v, ReadMode mode) const {
+  return route_read<double>(
+      0, [&](const Replica& r) { return r.read_coreness(v, mode); },
+      [&] { return primary_.read_coreness(v, mode); });
+}
+
+Router::LevelResult Router::read_level(vertex_t v, ReadMode mode) const {
+  return route_read<level_t>(
+      0, [&](const Replica& r) { return r.read_level(v, mode); },
+      [&] { return primary_.read_level(v, mode); });
+}
+
+Router::Stats Router::stats() const {
+  Stats out;
+  out.writes = writes_.load(std::memory_order_relaxed);
+  out.reads = reads_.load(std::memory_order_relaxed);
+  out.primary_reads = primary_reads_.load(std::memory_order_relaxed);
+  out.replica_reads.resize(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    out.replica_reads[i] = replica_reads_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace cpkcore::cluster

@@ -1,0 +1,143 @@
+// Router — the cluster's front end: writes go to the primary, reads are
+// load-balanced across replicas, and sessions get read-your-writes.
+//
+//   client session ──write──▶ Router ──▶ primary KCoreService
+//        │                      │             │ ack(lsn)
+//        │◀── session.last_lsn ─┘◀────────────┘
+//        │
+//        └──read(session)──▶ Router ──▶ replica with applied_lsn >= session
+//                               │         (round-robin among eligible)
+//                               └──else─▶ primary (always >= any acked LSN)
+//
+// The session token carries the LSN of the session's last acked write. A
+// read is only routed to a replica whose applied LSN has reached that
+// cursor; when no replica qualifies, the read falls back to the primary,
+// which applied the write before acking it — so a session can never observe
+// state older than its own last acked write, while sessions that tolerate
+// any freshness (cursor 0) spread across all replicas.
+//
+// Thread-safety: the router is fully thread-safe. A Session may be shared
+// by the threads of one logical client (e.g. a writer and a reader); its
+// cursor only advances.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/replica.hpp"
+#include "core/read_modes.hpp"
+#include "service/kcore_service.hpp"
+
+namespace cpkcore::cluster {
+
+class Router {
+ public:
+  /// Backend index for "served by the primary" in results/stats.
+  static constexpr int kPrimary = -1;
+
+  /// Read-your-writes session token: carries the LSN of the session's last
+  /// acked write (0 = fresh session, any backend qualifies). Create one per
+  /// logical client; shareable across that client's threads.
+  class Session {
+   public:
+    [[nodiscard]] std::uint64_t last_lsn() const {
+      return lsn_.load(std::memory_order_acquire);
+    }
+
+   private:
+    friend class Router;
+    /// Monotone advance (concurrent writers on one session race benignly).
+    void advance(std::uint64_t lsn) {
+      std::uint64_t cur = lsn_.load(std::memory_order_relaxed);
+      while (cur < lsn && !lsn_.compare_exchange_weak(
+                              cur, lsn, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+      }
+    }
+    std::atomic<std::uint64_t> lsn_{0};
+  };
+
+  template <typename V>
+  struct Result {
+    V value{};
+    /// The serving backend's applied LSN sampled before the read — a lower
+    /// bound on the freshness of the state read; always >= the session's
+    /// cursor at routing time.
+    std::uint64_t served_lsn = 0;
+    int backend = kPrimary;  ///< replica index, or kPrimary
+  };
+  using ReadResult = Result<double>;
+  using LevelResult = Result<level_t>;
+
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t primary_reads = 0;  ///< fallbacks (no replica caught up)
+    std::vector<std::uint64_t> replica_reads;
+  };
+
+  /// Replicas may be empty (every read falls back to the primary). The
+  /// router holds references; primary and replicas must outlive it.
+  Router(service::KCoreService& primary, std::vector<Replica*> replicas);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // ---------------- writes ----------------
+
+  /// Submits to the primary, waits for the ack, and advances the session
+  /// to the acked LSN, which is returned. Throws std::runtime_error when
+  /// the primary stopped before acknowledging (outcome unknown — the
+  /// session cursor is not advanced).
+  std::uint64_t write(Session& session, Update op);
+  std::uint64_t write_insert(Session& session, vertex_t u, vertex_t v) {
+    return write(session, {{u, v}, UpdateKind::kInsert});
+  }
+  std::uint64_t write_delete(Session& session, vertex_t u, vertex_t v) {
+    return write(session, {{u, v}, UpdateKind::kDelete});
+  }
+
+  // ---------------- reads ----------------
+
+  [[nodiscard]] ReadResult read_coreness(
+      const Session& session, vertex_t v,
+      ReadMode mode = ReadMode::kCplds) const;
+  [[nodiscard]] LevelResult read_level(
+      const Session& session, vertex_t v,
+      ReadMode mode = ReadMode::kCplds) const;
+
+  /// Session-less reads: no freshness floor, any backend qualifies.
+  [[nodiscard]] ReadResult read_coreness(
+      vertex_t v, ReadMode mode = ReadMode::kCplds) const;
+  [[nodiscard]] LevelResult read_level(
+      vertex_t v, ReadMode mode = ReadMode::kCplds) const;
+
+  // ---------------- inspection ----------------
+
+  [[nodiscard]] std::size_t num_replicas() const { return replicas_.size(); }
+  [[nodiscard]] service::KCoreService& primary() { return primary_; }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// Picks a backend whose applied LSN is >= min_lsn: round-robin over the
+  /// eligible replicas, primary fallback. Writes the sampled LSN (the
+  /// freshness lower bound) to *served_lsn.
+  int pick_backend(std::uint64_t min_lsn, std::uint64_t* served_lsn) const;
+
+  template <typename V, typename ReplicaRead, typename PrimaryRead>
+  Result<V> route_read(std::uint64_t min_lsn, ReplicaRead on_replica,
+                       PrimaryRead on_primary) const;
+
+  service::KCoreService& primary_;
+  std::vector<Replica*> replicas_;
+
+  mutable std::atomic<std::uint64_t> round_robin_{0};
+  mutable std::atomic<std::uint64_t> writes_{0};
+  mutable std::atomic<std::uint64_t> reads_{0};
+  mutable std::atomic<std::uint64_t> primary_reads_{0};
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> replica_reads_;
+};
+
+}  // namespace cpkcore::cluster

@@ -73,4 +73,86 @@ ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
   return result;
 }
 
+ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
+                                           const ClusterWorkloadConfig& cfg) {
+  const vertex_t n = router.primary().num_vertices();
+  ClusterWorkloadResult result;
+
+  // One read-your-writes session per writer; readers share them so every
+  // read carries a live freshness cursor. The extra session backs readers
+  // when there are no writers.
+  std::vector<cluster::Router::Session> sessions(
+      std::max<std::size_t>(1, cfg.writer_threads));
+
+  std::atomic<bool> stop{false};
+  std::vector<LatencyHistogram> hists(cfg.reader_threads);
+  std::vector<std::uint64_t> counts(cfg.reader_threads, 0);
+  std::vector<std::uint64_t> primary_counts(cfg.reader_threads, 0);
+  // Wall clock covers the readers' whole run (they start immediately, not
+  // when the writers do), so total_reads / wall_seconds stays honest even
+  // with zero writers.
+  Timer wall;
+  std::vector<std::thread> readers;
+  readers.reserve(cfg.reader_threads);
+  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      cluster::Router::Session& session =
+          sessions[cfg.writer_threads > 0 ? t % cfg.writer_threads : 0];
+      Xoshiro256 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + t + 1);
+      std::uint64_t issued = 0;
+      std::uint64_t primary = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<vertex_t>(rng.next_below(n));
+        const std::uint64_t t0 = now_ns();
+        const auto read = router.read_coreness(session, v, cfg.mode);
+        hists[t].record(now_ns() - t0);
+        ++issued;
+        if (read.backend == cluster::Router::kPrimary) ++primary;
+      }
+      counts[t] = issued;
+      primary_counts[t] = primary;
+    });
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(cfg.writer_threads);
+  for (std::size_t t = 0; t < cfg.writer_threads; ++t) {
+    writers.emplace_back([&, t] {
+      cluster::Router::Session& session = sessions[t];
+      Xoshiro256 rng(cfg.seed * 0xD1B54A32D192ED03ULL + t + 1);
+      std::vector<Edge> inserted;
+      for (std::size_t i = 0; i < cfg.ops_per_thread; ++i) {
+        const bool del = !inserted.empty() &&
+                         rng.next_double() < cfg.delete_fraction;
+        if (del) {
+          const std::size_t j = rng.next_below(inserted.size());
+          router.write(session, {inserted[j], UpdateKind::kDelete});
+          inserted[j] = inserted.back();
+          inserted.pop_back();
+        } else {
+          const Edge e{static_cast<vertex_t>(rng.next_below(n)),
+                       static_cast<vertex_t>(rng.next_below(n))};
+          router.write(session, {e, UpdateKind::kInsert});
+          if (!e.is_self_loop()) inserted.push_back(e.canonical());
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  result.wall_seconds = wall.elapsed_s();
+  result.ops_written =
+      static_cast<std::uint64_t>(cfg.writer_threads) * cfg.ops_per_thread;
+  std::uint64_t primary_total = 0;
+  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
+    result.read_latency.merge(hists[t]);
+    result.total_reads += counts[t];
+    primary_total += primary_counts[t];
+  }
+  result.primary_reads = primary_total;
+  result.replica_reads = result.total_reads - primary_total;
+  return result;
+}
+
 }  // namespace cpkcore::harness

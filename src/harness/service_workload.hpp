@@ -1,12 +1,15 @@
-// Concurrent workload runner for the serving layer: many client threads
+// Concurrent workload runners for the serving layer: many client threads
 // submit individual edge ops to a KCoreService (open loop, acknowledgment
 // awaited at the end) while reader threads issue uniform-random coreness
 // reads through a chosen ReadMode. The service-side counterpart of
 // harness/workload.hpp, used by tests and bench/service_throughput.
+// run_cluster_workload is the replicated variant: writers and readers go
+// through a cluster::Router with per-writer read-your-writes sessions.
 #pragma once
 
 #include <cstdint>
 
+#include "cluster/router.hpp"
 #include "core/read_modes.hpp"
 #include "service/kcore_service.hpp"
 #include "util/latency_histogram.hpp"
@@ -44,5 +47,47 @@ struct ServiceWorkloadResult {
 /// acknowledged and the readers have stopped.
 ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
                                            const ServiceWorkloadConfig& cfg);
+
+struct ClusterWorkloadConfig {
+  std::size_t writer_threads = 4;
+  std::size_t reader_threads = 4;
+  ReadMode mode = ReadMode::kCplds;
+  /// Acked writes issued by each writer thread (closed loop: write = submit
+  /// + ack through the router).
+  std::size_t ops_per_thread = 10000;
+  /// Fraction of ops that delete a previously written edge (per thread);
+  /// the rest insert random edges.
+  double delete_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct ClusterWorkloadResult {
+  std::uint64_t ops_written = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t primary_reads = 0;   ///< reads the router fell back with
+  std::uint64_t replica_reads = 0;   ///< reads served by some replica
+  /// First write to last reader stopping (writers and readers overlap for
+  /// the whole writer phase).
+  double wall_seconds = 0.0;
+  LatencyHistogram read_latency;
+
+  [[nodiscard]] double read_throughput() const {
+    return wall_seconds > 0 ? static_cast<double>(total_reads) / wall_seconds
+                            : 0.0;
+  }
+  [[nodiscard]] double write_throughput() const {
+    return wall_seconds > 0 ? static_cast<double>(ops_written) / wall_seconds
+                            : 0.0;
+  }
+};
+
+/// Runs writers and readers through the router. Each reader shares the
+/// session of writer (reader_index % writer_threads), so reads carry a live
+/// read-your-writes cursor; with zero writers, readers use a fresh session
+/// (no freshness floor). Returns once writers finished and readers stopped;
+/// replicas may still be catching up on the tail (check applied LSNs before
+/// quiescent validation).
+ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
+                                           const ClusterWorkloadConfig& cfg);
 
 }  // namespace cpkcore::harness

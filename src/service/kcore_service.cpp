@@ -40,9 +40,16 @@ KCoreService::KCoreService(ServiceConfig config)
     // Warm restart part 2: re-apply the committed WAL suffix. Replay runs on
     // this thread before the apply thread exists, satisfying the CPLDS
     // single-driver contract.
-    stats_.replayed_batches = wal_.open(
+    const WalOpenInfo info = wal_.open(
         config_.wal_path, ds_->num_vertices(),
-        [&](const UpdateBatch& batch) { ds_->apply(batch); });
+        [&](std::uint64_t, const UpdateBatch& batch) { ds_->apply(batch); },
+        WalOptions{config_.wal_durability});
+    stats_.replayed_batches = info.replayed;
+    // Resume LSN numbering where the committed log ends; the replayed
+    // prefix is both committed and applied.
+    next_lsn_ = info.last_lsn;
+    commit_lsn_.store(info.last_lsn, std::memory_order_relaxed);
+    applied_lsn_.store(info.last_lsn, std::memory_order_relaxed);
   }
   num_shards_ = std::max<std::size_t>(1, config_.num_shards);
   shards_ = std::make_unique<Shard[]>(num_shards_);
@@ -69,7 +76,22 @@ Ticket KCoreService::submit(Update op) {
   const std::uint64_t t0 = now_ns();
   std::uint64_t seq = 0;
   {
-    std::lock_guard lock(shard.mu);
+    std::unique_lock lock(shard.mu);
+    if (const std::size_t bound = config_.max_pending_per_shard;
+        bound > 0 && shard.pending.size() >= bound) {
+      if (config_.admission == AdmissionPolicy::kReject) {
+        rejected_ops_.fetch_add(1, std::memory_order_relaxed);
+        throw QueueFullError("KCoreService: ingest shard full");
+      }
+      blocked_submits_.fetch_add(1, std::memory_order_relaxed);
+      shard.space_cv.wait(lock, [&] {
+        return shard.pending.size() < bound ||
+               stopped_.load(std::memory_order_seq_cst);
+      });
+      if (stopped_.load(std::memory_order_seq_cst)) {
+        throw std::runtime_error("KCoreService: submit after shutdown");
+      }
+    }
     seq = ++shard.submitted;
     shard.pending.push_back(PendingOp{op, t0});
     // Inside shard.mu so a drain (which takes the same mutex) can never
@@ -103,9 +125,12 @@ Ticket KCoreService::submit(Update op) {
   return Ticket{static_cast<std::uint32_t>(s), seq};
 }
 
-bool KCoreService::wait(const Ticket& ticket) {
+bool KCoreService::wait(const Ticket& ticket, std::uint64_t* acked_lsn) {
   Shard& shard = shards_[ticket.shard];
   if (shard.applied.load(std::memory_order_acquire) >= ticket.seq) {
+    if (acked_lsn) {
+      *acked_lsn = shard.acked_lsn.load(std::memory_order_relaxed);
+    }
     return true;
   }
   std::unique_lock lock(shard.mu);
@@ -113,7 +138,13 @@ bool KCoreService::wait(const Ticket& ticket) {
     return shard.applied.load(std::memory_order_relaxed) >= ticket.seq ||
            dead_.load(std::memory_order_relaxed);
   });
-  return shard.applied.load(std::memory_order_relaxed) >= ticket.seq;
+  if (shard.applied.load(std::memory_order_relaxed) < ticket.seq) {
+    return false;
+  }
+  if (acked_lsn) {
+    *acked_lsn = shard.acked_lsn.load(std::memory_order_relaxed);
+  }
+  return true;
 }
 
 bool KCoreService::is_applied(const Ticket& ticket) const {
@@ -133,6 +164,14 @@ void KCoreService::drain() {
   }
 }
 
+std::uint64_t KCoreService::set_commit_listener(CommitListener listener) {
+  // apply_mu_ excludes a running cycle, so the returned LSN is exact: no
+  // commit can land between reading it and the listener taking effect.
+  std::lock_guard lock(apply_mu_);
+  commit_listener_ = std::move(listener);
+  return commit_lsn_.load(std::memory_order_relaxed);
+}
+
 void KCoreService::apply_loop() {
   for (;;) {
     {
@@ -140,7 +179,8 @@ void KCoreService::apply_loop() {
       apply_sleeping_.store(true, std::memory_order_seq_cst);
       ingest_cv_.wait(lock, [&] {
         return stop_requested_ ||
-               pending_ops_.load(std::memory_order_seq_cst) > 0;
+               (!paused_.load(std::memory_order_relaxed) &&
+                pending_ops_.load(std::memory_order_seq_cst) > 0);
       });
       apply_sleeping_.store(false, std::memory_order_seq_cst);
       if (crash_requested_) break;
@@ -171,6 +211,7 @@ void KCoreService::apply_loop() {
       for (std::size_t s = 0; s < num_shards_; ++s) {
         std::lock_guard lock(shards_[s].mu);
         shards_[s].ack_cv.notify_all();
+        shards_[s].space_cv.notify_all();
       }
       return;
     }
@@ -179,6 +220,9 @@ void KCoreService::apply_loop() {
 
 std::size_t KCoreService::run_cycle() {
   std::lock_guard apply_lock(apply_mu_);
+  // Checked under apply_mu_, so once pause_applies() (which passes through
+  // this mutex) returns, no further cycle can drain ops.
+  if (paused_.load(std::memory_order_acquire)) return 0;
 
   // Drain: take up to the adaptive budget, preserving per-shard FIFO (and
   // therefore per-edge order, since an edge's ops always share a shard).
@@ -207,22 +251,48 @@ std::size_t KCoreService::run_cycle() {
     shard.drained += take;
     drains.push_back(Drained{s, shard.drained});
     budget -= take;
+    if (config_.max_pending_per_shard > 0) shard.space_cv.notify_all();
   }
   if (ops.empty()) return 0;
   pending_ops_.fetch_sub(ops.size(), std::memory_order_seq_cst);
 
   // Coalesce into homogeneous batches — canonical + deduplicated only when
-  // they are about to be logged (the CPLDS re-normalizes on apply anyway).
+  // they are about to be logged or shipped (the CPLDS re-normalizes on
+  // apply anyway, so without a WAL or a listener the pass would be pure
+  // duplicate work on the apply thread).
   std::vector<Update> stream;
   stream.reserve(ops.size());
   for (const PendingOp& p : ops) stream.push_back(p.op);
-  std::vector<UpdateBatch> batches =
-      coalesce_updates(std::move(stream), /*normalize=*/wal_.is_open());
+  std::vector<UpdateBatch> batches = coalesce_updates(
+      std::move(stream),
+      /*normalize=*/wal_.is_open() || commit_listener_ != nullptr);
 
-  // Group commit: log every batch of the cycle, one flush.
+  // Assign LSNs and group-commit: log every batch of the cycle, one flush.
+  std::vector<std::uint64_t> lsns;
+  lsns.reserve(batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) lsns.push_back(++next_lsn_);
   if (wal_.is_open()) {
-    for (const UpdateBatch& batch : batches) wal_.append(batch);
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      wal_.append(lsns[i], batches[i]);
+    }
     wal_.flush();
+  }
+  if (!lsns.empty()) {
+    commit_lsn_.store(lsns.back(), std::memory_order_release);
+  }
+  // Ops that coalesced into nothing (all self-loops) ack at the current
+  // commit LSN: there is no new state for a session to wait for.
+  const std::uint64_t cycle_lsn =
+      lsns.empty() ? commit_lsn_.load(std::memory_order_relaxed)
+                   : lsns.back();
+
+  // Ship to the replication subscriber (committed, not yet applied — a
+  // replica may briefly run ahead of the primary's apply, which only makes
+  // reads fresher, never staler than an acked write).
+  if (commit_listener_) {
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      commit_listener_(lsns[i], batches[i]);
+    }
   }
 
   // Apply.
@@ -238,6 +308,9 @@ std::size_t KCoreService::run_cycle() {
     batch_ns.push_back(ns);
   }
   sizer_.observe(ops.size(), cycle_apply_ns);
+  if (!lsns.empty()) {
+    applied_lsn_.store(lsns.back(), std::memory_order_release);
+  }
 
   // Stats first, acks second: a client that returns from wait()/drain()
   // and immediately reads stats() must already see this cycle counted.
@@ -256,11 +329,13 @@ std::size_t KCoreService::run_cycle() {
     }
   }
 
-  // Acknowledge: per-shard acks are monotone in submission order.
+  // Acknowledge: per-shard acks are monotone in submission order, and the
+  // ack LSN is published before `applied`'s release store so waiters see it.
   for (const Drained& d : drains) {
     Shard& shard = shards_[d.shard];
     {
       std::lock_guard lock(shard.mu);
+      shard.acked_lsn.store(cycle_lsn, std::memory_order_relaxed);
       shard.applied.store(d.upto, std::memory_order_release);
     }
     shard.ack_cv.notify_all();
@@ -282,14 +357,31 @@ void KCoreService::checkpoint() {
   const std::string tmp = config_.snapshot_path + ".tmp";
   save_snapshot(*ds_, tmp);
   std::filesystem::rename(tmp, config_.snapshot_path);
-  if (wal_.is_open()) wal_.reset();
+  // The snapshot covers every LSN up to next_lsn_ (no cycle is running);
+  // the truncated log records that as its base so numbering continues.
+  if (wal_.is_open()) wal_.reset(next_lsn_);
 }
 
 void KCoreService::shutdown() { stop(/*drain_first=*/true); }
 
 void KCoreService::simulate_crash() { stop(/*drain_first=*/false); }
 
+void KCoreService::pause_applies() {
+  paused_.store(true, std::memory_order_release);
+  // Wait out any in-flight cycle; afterwards run_cycle()'s pause check
+  // (under this same mutex) keeps the queues frozen.
+  std::lock_guard lock(apply_mu_);
+}
+
+void KCoreService::resume_applies() {
+  paused_.store(false, std::memory_order_release);
+  std::lock_guard lock(ingest_mu_);
+  ingest_cv_.notify_all();
+}
+
 void KCoreService::stop(bool drain_first) {
+  // Shutdown overrides a pause: the final drain below must be able to run.
+  paused_.store(false, std::memory_order_release);
   {
     std::lock_guard lock(ingest_mu_);
     // stopped_ flips before the apply loop can make its final "pending ==
@@ -300,11 +392,18 @@ void KCoreService::stop(bool drain_first) {
     if (!drain_first) crash_requested_ = true;
   }
   ingest_cv_.notify_all();
+  // Submitters blocked on backpressure must wake to observe the stop (the
+  // final drain also frees space, but a crash-stop drains nothing).
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    shards_[s].space_cv.notify_all();
+  }
   if (apply_thread_.joinable()) apply_thread_.join();
   dead_.store(true, std::memory_order_relaxed);
   for (std::size_t s = 0; s < num_shards_; ++s) {
     std::lock_guard lock(shards_[s].mu);
     shards_[s].ack_cv.notify_all();
+    shards_[s].space_cv.notify_all();
   }
   // Under apply_mu_: a concurrent checkpoint() holds it while touching the
   // WAL stream (reset), and std::ofstream is not thread-safe.
@@ -313,9 +412,21 @@ void KCoreService::stop(bool drain_first) {
 }
 
 ServiceStats KCoreService::stats() const {
-  std::lock_guard lock(stats_mu_);
-  ServiceStats out = stats_;
+  ServiceStats out;
+  {
+    std::lock_guard lock(stats_mu_);
+    out = stats_;
+  }
   out.submitted_ops = submitted_ops_.load(std::memory_order_relaxed);
+  out.rejected_ops = rejected_ops_.load(std::memory_order_relaxed);
+  out.blocked_submits = blocked_submits_.load(std::memory_order_relaxed);
+  out.commit_lsn = commit_lsn_.load(std::memory_order_acquire);
+  out.applied_lsn = applied_lsn_.load(std::memory_order_acquire);
+  out.shard_depths.resize(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    out.shard_depths[s] = shards_[s].pending.size();
+  }
   return out;
 }
 
@@ -325,6 +436,8 @@ void KCoreService::reset_stats() {
   stats_ = ServiceStats{};
   stats_.batch_budget = budget;
   submitted_ops_.store(0, std::memory_order_relaxed);
+  rejected_ops_.store(0, std::memory_order_relaxed);
+  blocked_submits_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace cpkcore::service

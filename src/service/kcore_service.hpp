@@ -6,19 +6,30 @@
 //   clients ──submit──▶ sharded ingest buffers ──drain──▶ coalescer
 //                                                            │
 //   clients ◀─ticket ack─ apply thread ◀─apply batches─ WAL (group commit)
+//                                │
+//                                └──▶ commit listener (cluster log shipping)
 //
 //  * Ingest: any number of client threads submit individual insert/delete
 //    edge ops; each op lands in a shard chosen by its edge key (so all ops
 //    on one edge share a shard and keep their submission order) and returns
-//    a Ticket that can be waited on for "applied" acknowledgment.
+//    a Ticket that can be waited on for "applied" acknowledgment. Shards
+//    may be bounded (max_pending_per_shard) with a block-or-reject
+//    admission policy; per-shard queue depths are exposed in ServiceStats.
 //  * Coalescing: a single background apply thread drains the shards —
 //    bounded by an adaptive op budget targeting a configured apply latency —
 //    and canonicalizes the stream into deduplicated homogeneous batches.
+//  * LSNs: every committed batch gets the next log sequence number; the
+//    per-cycle group commit publishes them to the WAL and then to the
+//    registered commit listener (the cluster layer's log shipper). An op's
+//    acknowledgment carries the LSN its cycle committed at, which is what
+//    read-your-writes sessions pin their reads to.
 //  * Durability: with a WAL configured, batches are appended and group-
-//    committed (one flush per drain cycle) before they are applied; on
-//    construction the service warm-restarts from the snapshot (if present)
-//    plus the committed WAL suffix. checkpoint() compacts: snapshot the
-//    live edge set, then truncate the WAL.
+//    committed (one flush per drain cycle, at the configured WalDurability
+//    level) before they are applied; on construction the service
+//    warm-restarts from the snapshot (if present) plus the committed WAL
+//    suffix, resuming LSN numbering where the log left off. checkpoint()
+//    compacts: snapshot the live edge set, then truncate the WAL to a
+//    header whose base LSN preserves the numbering.
 //  * Acknowledgment: a ticket is acked once its drain cycle has been
 //    logged and applied; ops that coalesce into no-ops (duplicates,
 //    self-loops, already-present edges) ack like any other. Per-shard acks
@@ -36,8 +47,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +64,19 @@
 #include "util/types.hpp"
 
 namespace cpkcore::service {
+
+/// What submit() does when its shard is at max_pending_per_shard.
+enum class AdmissionPolicy {
+  kBlock,   ///< wait for the apply thread to drain space
+  kReject,  ///< throw QueueFullError immediately
+};
+
+/// Thrown by submit() under AdmissionPolicy::kReject when the op's shard
+/// queue is full. Callers may retry later; nothing was enqueued.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct ServiceConfig {
   /// Vertex-id space. Ignored (the snapshot's count wins) when warm-
@@ -66,9 +92,14 @@ struct ServiceConfig {
   /// Ingest shards. More shards = less submit contention.
   std::size_t num_shards = 8;
 
+  /// Backpressure: max ops queued per ingest shard; 0 = unbounded.
+  std::size_t max_pending_per_shard = 0;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+
   /// Durability. Empty path = feature off.
   std::string wal_path;
   std::string snapshot_path;
+  WalDurability wal_durability = WalDurability::kOsCache;
 
   /// Adaptive drain budget: per-cycle op count is steered so one cycle's
   /// apply time lands near the target, within [min_ops, max_ops].
@@ -91,8 +122,13 @@ struct ServiceStats {
   std::uint64_t batches = 0;         ///< homogeneous batches applied
   std::uint64_t cycles = 0;          ///< drain cycles (= group commits)
   std::uint64_t replayed_batches = 0;  ///< WAL batches replayed at startup
+  std::uint64_t rejected_ops = 0;    ///< submits refused by kReject
+  std::uint64_t blocked_submits = 0;  ///< submits that waited under kBlock
+  std::uint64_t commit_lsn = 0;      ///< last group-committed LSN
+  std::uint64_t applied_lsn = 0;     ///< last LSN applied to the CPLDS
   double apply_seconds = 0.0;        ///< total time inside CPLDS::apply
   std::size_t batch_budget = 0;      ///< current adaptive per-cycle budget
+  std::vector<std::size_t> shard_depths;  ///< queue-depth gauge per shard
   LatencyHistogram ack_latency;      ///< submit() -> acknowledgment, ns
   LatencyHistogram apply_latency;    ///< per-batch CPLDS::apply, ns
   /// Non-empty iff the apply thread died on an error (e.g. WAL I/O
@@ -103,6 +139,11 @@ struct ServiceStats {
 
 class KCoreService {
  public:
+  /// Called by the apply thread for every committed batch, after the group
+  /// commit and before the batch is applied/acked. See set_commit_listener.
+  using CommitListener =
+      std::function<void(std::uint64_t lsn, const UpdateBatch&)>;
+
   /// Builds the structure (cold start, or warm restart from
   /// config.snapshot_path + committed config.wal_path suffix) and starts
   /// the background apply thread. Throws std::runtime_error on IO errors,
@@ -115,8 +156,10 @@ class KCoreService {
 
   // ---------------- ingest ----------------
 
-  /// Thread-safe. Throws std::out_of_range for invalid vertex ids and
-  /// std::runtime_error once the service has stopped.
+  /// Thread-safe. Throws std::out_of_range for invalid vertex ids,
+  /// std::runtime_error once the service has stopped, and QueueFullError
+  /// when the op's shard is full under AdmissionPolicy::kReject (under
+  /// kBlock it waits for space instead).
   Ticket submit(Update op);
   Ticket submit_insert(vertex_t u, vertex_t v) {
     return submit({{u, v}, UpdateKind::kInsert});
@@ -125,11 +168,14 @@ class KCoreService {
     return submit({{u, v}, UpdateKind::kDelete});
   }
 
-  /// Blocks until the ticket's op is acknowledged. Returns false iff the
-  /// service stopped (crash) before the op was acknowledged — in which case
-  /// the op's outcome is unknown: usually dropped, but replayed on restart
-  /// if the crash landed between its group commit and its ack.
-  bool wait(const Ticket& ticket);
+  /// Blocks until the ticket's op is acknowledged; on success optionally
+  /// reports the LSN the op was acknowledged at (the commit LSN of its
+  /// drain cycle, or a later one — always a valid read-your-writes cursor
+  /// for this op). Returns false iff the service stopped (crash) before
+  /// the op was acknowledged — in which case the op's outcome is unknown:
+  /// usually dropped, but replayed on restart if the crash landed between
+  /// its group commit and its ack.
+  bool wait(const Ticket& ticket, std::uint64_t* acked_lsn = nullptr);
 
   [[nodiscard]] bool is_applied(const Ticket& ticket) const;
 
@@ -147,11 +193,32 @@ class KCoreService {
     return read_level_with_mode(*ds_, v, mode);
   }
 
+  // ---------------- replication ----------------
+
+  /// Registers the (single) committed-batch subscriber — the cluster
+  /// layer's log shipper; pass nullptr to detach. Returns the commit LSN
+  /// as of registration: every batch with a higher LSN will be delivered,
+  /// every batch at or below it will not. The listener runs on the apply
+  /// thread with the cycle lock held: it must be fast and must not call
+  /// back into this service.
+  std::uint64_t set_commit_listener(CommitListener listener);
+
+  /// Last group-committed / last applied LSN. On the primary, every acked
+  /// write's LSN is <= applied_lsn() from the moment the ack is observable,
+  /// so primary reads always satisfy read-your-writes.
+  [[nodiscard]] std::uint64_t commit_lsn() const {
+    return commit_lsn_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+
   // ---------------- lifecycle ----------------
 
   /// Compaction: blocks updates, snapshots the live edge set to
-  /// config.snapshot_path, truncates the WAL. Readers are unaffected.
-  /// Throws std::logic_error when no snapshot path is configured.
+  /// config.snapshot_path, truncates the WAL (preserving LSN numbering via
+  /// the base LSN). Readers are unaffected. Throws std::logic_error when no
+  /// snapshot path is configured.
   void checkpoint();
 
   /// Graceful shutdown: drains every pending op (logging + applying +
@@ -162,6 +229,14 @@ class KCoreService {
   /// Pending (never-logged) ops are dropped; their wait() returns false.
   void simulate_crash();
 
+  /// Maintenance/test hook: holds the apply thread between drain cycles
+  /// (submits keep queueing, reads keep serving). When pause_applies()
+  /// returns, no further ops will be drained until resume_applies();
+  /// shutdown()/simulate_crash() override a pause. Used by the
+  /// backpressure tests to make queue growth deterministic.
+  void pause_applies();
+  void resume_applies();
+
   // ---------------- inspection ----------------
 
   [[nodiscard]] vertex_t num_vertices() const { return ds_->num_vertices(); }
@@ -170,10 +245,12 @@ class KCoreService {
     return pending_ops_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
 
   /// Zeroes every counter and histogram (replayed_batches included), e.g.
   /// to measure a workload phase without a preload phase polluting the
-  /// latency percentiles. Call at a quiescent point (after drain()).
+  /// latency percentiles. Call at a quiescent point (after drain()). LSNs
+  /// are cursors, not counters; they are unaffected.
   void reset_stats();
 
   /// Quiescent-only access (tests, validation).
@@ -188,12 +265,17 @@ class KCoreService {
   struct alignas(kCacheLine) Shard {
     std::mutex mu;
     std::condition_variable ack_cv;
+    std::condition_variable space_cv;  // backpressure: waits for drain space
     // Deque, not vector: drains erase a prefix each cycle, which must stay
     // O(taken) under backlog, not O(backlog).
     std::deque<PendingOp> pending;      // ops not yet drained (under mu)
     std::uint64_t submitted = 0;        // last issued seq (under mu)
     std::uint64_t drained = 0;          // last seq taken by the apply thread
     std::atomic<std::uint64_t> applied{0};  // last acked seq
+    // LSN the acked prefix was committed at; written under mu before
+    // `applied`'s release store, so a reader that observed its seq acked
+    // reads an LSN at or after its op's cycle.
+    std::atomic<std::uint64_t> acked_lsn{0};
   };
 
   [[nodiscard]] std::size_t shard_of(const Edge& e) const;
@@ -219,16 +301,26 @@ class KCoreService {
   bool crash_requested_ = false;  // under ingest_mu_
   std::atomic<bool> stopped_{false};  ///< accepting no more submissions
   std::atomic<bool> dead_{false};     ///< apply thread exited
+  std::atomic<bool> paused_{false};   ///< pause_applies() in effect
 
-  // Serializes drain cycles against checkpoint().
+  // Serializes drain cycles against checkpoint() and listener swaps.
   std::mutex apply_mu_;
+  CommitListener commit_listener_;  // under apply_mu_
+
+  // LSN cursors. next_lsn_ is apply-thread-only (plus the constructor);
+  // the atomics mirror it for cross-thread reads.
+  std::uint64_t next_lsn_ = 0;
+  std::atomic<std::uint64_t> commit_lsn_{0};
+  std::atomic<std::uint64_t> applied_lsn_{0};
 
   AdaptiveBatchSizer sizer_;
   std::size_t drain_start_ = 0;  ///< rotating drain fairness (apply thread)
 
   mutable std::mutex stats_mu_;
-  ServiceStats stats_;  // guarded by stats_mu_ (submitted_ops kept atomic)
+  ServiceStats stats_;  // guarded by stats_mu_ (atomic counters kept aside)
   std::atomic<std::uint64_t> submitted_ops_{0};
+  std::atomic<std::uint64_t> rejected_ops_{0};
+  std::atomic<std::uint64_t> blocked_submits_{0};
 
   std::thread apply_thread_;
 };

@@ -1,23 +1,99 @@
 #include "service/wal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <stdexcept>
 
 namespace cpkcore::service {
 
 namespace {
-constexpr char kMagic[] = "cpkcore-wal-v1";
+
+constexpr char kMagic[] = "cpkcore-wal-v2";
+
+struct ParsedLog {
+  std::streampos committed_end{};
+  std::size_t records = 0;
+  std::uint64_t base_lsn = 0;
+  std::uint64_t last_lsn = 0;
+};
+
+/// Parses header + committed batches from an open stream; the first
+/// malformed / unterminated / out-of-sequence record marks the uncommitted
+/// tail and stops the parse. Throws on a bad header only.
+ParsedLog parse_committed(std::ifstream& in, const std::string& path,
+                          vertex_t num_vertices, const WalReplayFn& on_batch) {
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kMagic) {
+    throw std::runtime_error("bad WAL header in " + path);
+  }
+  vertex_t file_n = 0;
+  std::uint64_t base = 0;
+  if (!(in >> file_n >> base)) {
+    throw std::runtime_error("bad WAL vertex count in " + path);
+  }
+  if (file_n != num_vertices) {
+    throw std::runtime_error("WAL vertex count mismatch in " + path);
+  }
+  ParsedLog out;
+  out.base_lsn = base;
+  out.last_lsn = base;
+  out.committed_end = in.tellg();
+  for (;;) {
+    char tag = 0;
+    if (!(in >> tag) || tag != 'B') break;
+    char kind = 0;
+    std::size_t count = 0;
+    std::uint64_t lsn = 0;
+    if (!(in >> kind >> count >> lsn) || (kind != 'I' && kind != 'D')) break;
+    // LSNs are consecutive from the base; a gap or regression means the
+    // record was never fully committed (or the file is damaged past the
+    // committed prefix) — stop here, like any other malformed tail.
+    if (lsn != out.last_lsn + 1) break;
+    UpdateBatch batch;
+    batch.kind = kind == 'I' ? UpdateKind::kInsert : UpdateKind::kDelete;
+    batch.edges.reserve(count);
+    bool ok = true;
+    for (std::size_t i = 0; i < count; ++i) {
+      vertex_t u = 0;
+      vertex_t v = 0;
+      if (!(in >> u >> v) || u >= num_vertices || v >= num_vertices) {
+        ok = false;
+        break;
+      }
+      batch.edges.push_back({u, v});
+    }
+    if (!ok) break;
+    char marker = 0;
+    std::size_t marker_count = 0;
+    std::uint64_t marker_lsn = 0;
+    if (!(in >> marker >> marker_count >> marker_lsn) || marker != 'C' ||
+        marker_count != count || marker_lsn != lsn) {
+      break;
+    }
+    if (on_batch) on_batch(lsn, batch);
+    ++out.records;
+    out.last_lsn = lsn;
+    out.committed_end = in.tellg();
+  }
+  return out;
 }
 
-std::size_t WriteAheadLog::open(
-    const std::string& path, vertex_t num_vertices,
-    const std::function<void(const UpdateBatch&)>& on_batch) {
+}  // namespace
+
+WalOpenInfo WriteAheadLog::open(const std::string& path,
+                                vertex_t num_vertices,
+                                const WalReplayFn& on_batch,
+                                WalOptions options) {
   close();
   path_ = path;
   num_vertices_ = num_vertices;
+  base_lsn_ = 0;
+  options_ = options;
 
   namespace fs = std::filesystem;
-  std::size_t replayed = 0;
+  WalOpenInfo info;
   // A crash inside open()/reset()'s truncate-then-write-header window
   // leaves an existing zero-byte file; treat it as fresh rather than
   // bricking every subsequent restart. A *non-empty* file with a bad
@@ -26,54 +102,16 @@ std::size_t WriteAheadLog::open(
   if (fs::exists(path) && fs::file_size(path) > 0) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("cannot open WAL: " + path);
-    std::string magic;
-    if (!std::getline(in, magic) || magic != kMagic) {
-      throw std::runtime_error("bad WAL header in " + path);
-    }
-    vertex_t file_n = 0;
-    if (!(in >> file_n)) {
-      throw std::runtime_error("bad WAL vertex count in " + path);
-    }
-    if (file_n != num_vertices) {
-      throw std::runtime_error("WAL vertex count mismatch in " + path);
-    }
-    // Parse committed batches; the first malformed / unterminated record
-    // marks the uncommitted tail and stops the replay.
-    std::streampos committed_end = in.tellg();
-    for (;;) {
-      char tag = 0;
-      if (!(in >> tag) || tag != 'B') break;
-      char kind = 0;
-      std::size_t count = 0;
-      if (!(in >> kind >> count) || (kind != 'I' && kind != 'D')) break;
-      UpdateBatch batch;
-      batch.kind = kind == 'I' ? UpdateKind::kInsert : UpdateKind::kDelete;
-      batch.edges.reserve(count);
-      bool ok = true;
-      for (std::size_t i = 0; i < count; ++i) {
-        vertex_t u = 0;
-        vertex_t v = 0;
-        if (!(in >> u >> v) || u >= num_vertices || v >= num_vertices) {
-          ok = false;
-          break;
-        }
-        batch.edges.push_back({u, v});
-      }
-      if (!ok) break;
-      char marker = 0;
-      std::size_t marker_count = 0;
-      if (!(in >> marker >> marker_count) || marker != 'C' ||
-          marker_count != count) {
-        break;
-      }
-      if (on_batch) on_batch(batch);
-      ++replayed;
-      committed_end = in.tellg();
-    }
+    const ParsedLog parsed = parse_committed(in, path, num_vertices, on_batch);
     in.close();
-    if (committed_end >= 0 &&
-        static_cast<std::uintmax_t>(committed_end) < fs::file_size(path)) {
-      fs::resize_file(path, static_cast<std::uintmax_t>(committed_end));
+    base_lsn_ = parsed.base_lsn;
+    info.replayed = parsed.records;
+    info.last_lsn = parsed.last_lsn;
+    if (parsed.committed_end >= 0 &&
+        static_cast<std::uintmax_t>(parsed.committed_end) <
+            fs::file_size(path)) {
+      fs::resize_file(path,
+                      static_cast<std::uintmax_t>(parsed.committed_end));
     }
     out_.open(path, std::ios::app);
     if (!out_) throw std::runtime_error("cannot append to WAL: " + path);
@@ -85,31 +123,52 @@ std::size_t WriteAheadLog::open(
     out_.open(path, std::ios::trunc);
     if (!out_) throw std::runtime_error("cannot create WAL: " + path);
     write_header();
-    flush();
   }
-  return replayed;
+  open_sync_fd();
+  flush();
+  return info;
+}
+
+void WriteAheadLog::open_sync_fd() {
+  if (options_.durability == WalDurability::kOsCache) return;
+  sync_fd_ = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+  if (sync_fd_ < 0) {
+    throw std::runtime_error("cannot open WAL for fsync: " + path_);
+  }
 }
 
 void WriteAheadLog::write_header() {
-  out_ << kMagic << '\n' << num_vertices_ << '\n';
+  out_ << kMagic << '\n' << num_vertices_ << ' ' << base_lsn_ << '\n';
 }
 
-void WriteAheadLog::append(const UpdateBatch& batch) {
+void WriteAheadLog::append(std::uint64_t lsn, const UpdateBatch& batch) {
   out_ << "B " << (batch.kind == UpdateKind::kInsert ? 'I' : 'D') << ' '
-       << batch.edges.size() << '\n';
+       << batch.edges.size() << ' ' << lsn << '\n';
   for (const Edge& e : batch.edges) out_ << e.u << ' ' << e.v << '\n';
-  out_ << "C " << batch.edges.size() << '\n';
+  out_ << "C " << batch.edges.size() << ' ' << lsn << '\n';
 }
 
 void WriteAheadLog::flush() {
   out_.flush();
   if (!out_) throw std::runtime_error("WAL flush failed: " + path_);
+  // The sync fd addresses the same inode, so syncing it forces the bytes
+  // the stream just pushed to the page cache down to storage.
+  if (options_.durability == WalDurability::kFdatasync) {
+    if (::fdatasync(sync_fd_) != 0) {
+      throw std::runtime_error("WAL fdatasync failed: " + path_);
+    }
+  } else if (options_.durability == WalDurability::kFsync) {
+    if (::fsync(sync_fd_) != 0) {
+      throw std::runtime_error("WAL fsync failed: " + path_);
+    }
+  }
 }
 
-void WriteAheadLog::reset() {
+void WriteAheadLog::reset(std::uint64_t base_lsn) {
   out_.close();
   out_.open(path_, std::ios::trunc);
   if (!out_) throw std::runtime_error("cannot reset WAL: " + path_);
+  base_lsn_ = base_lsn;
   write_header();
   flush();
 }
@@ -119,6 +178,24 @@ void WriteAheadLog::close() {
     out_.flush();
     out_.close();
   }
+  if (sync_fd_ >= 0) {
+    ::close(sync_fd_);
+    sync_fd_ = -1;
+  }
+}
+
+WalScanInfo scan_wal(const std::string& path, vertex_t num_vertices,
+                     const WalReplayFn& on_batch) {
+  namespace fs = std::filesystem;
+  WalScanInfo info;
+  if (!fs::exists(path) || fs::file_size(path) == 0) return info;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open WAL: " + path);
+  const ParsedLog parsed = parse_committed(in, path, num_vertices, on_batch);
+  info.records = parsed.records;
+  info.base_lsn = parsed.base_lsn;
+  info.last_lsn = parsed.last_lsn;
+  return info;
 }
 
 }  // namespace cpkcore::service

@@ -3,21 +3,34 @@
 // once — group commit — *before* the batch is applied to the CPLDS, so a
 // restart can replay exactly the committed prefix of accepted work.
 //
+// Every batch carries a log sequence number (LSN), assigned monotonically by
+// the service. The LSN is the cluster layer's replication cursor: replicas
+// track the last LSN they applied, and the router's read-your-writes
+// sessions pin reads to "at or after my last acked LSN".
+//
 // Format (text, line-oriented, mirrors the snapshot format):
-//   cpkcore-wal-v1
-//   <num_vertices>
-//   B I <count>      one record per batch: kind I(nsert)/D(elete) + size
-//   <u> <v>          ... count edge lines ...
-//   C <count>        commit marker (redundant count, cross-checked)
+//   cpkcore-wal-v2
+//   <num_vertices> <base_lsn>
+//   B I <count> <lsn>    one record per batch: kind I(nsert)/D(elete) + size
+//   <u> <v>              ... count edge lines ...
+//   C <count> <lsn>      commit marker (redundant count/lsn, cross-checked)
 //
-// A batch is durable iff its full record *including the commit marker*
-// parses on replay; a truncated or marker-less tail (crash between append
-// and group commit) is discarded and the file is truncated back to the last
-// committed byte before appending resumes.
+// `base_lsn` is the LSN as of the last compaction (reset()): the log holds
+// exactly LSNs (base_lsn, last_lsn], consecutively. A batch is durable iff
+// its full record *including the commit marker* parses on replay; a
+// truncated or marker-less tail (crash between append and group commit) is
+// discarded and the file is truncated back to the last committed byte
+// before appending resumes.
 //
-// Durability is to the OS page cache (stream flush, no fsync): the log
-// protects against process crashes, which is what the tests simulate.
-// fsync levels for power-failure durability are a ROADMAP item.
+// Durability is configurable at the group-commit point (WalOptions):
+//   kOsCache   stream flush only — survives process crashes (the default,
+//              and what the crash tests simulate)
+//   kFdatasync fdatasync(2) per group commit — survives power failure
+//              (file length of an append-only log is data, so fdatasync
+//              suffices for the record payload)
+//   kFsync     fsync(2) per group commit — fdatasync plus metadata
+// The parent directory is not fsynced on create/reset; a crash in that
+// window loses the whole (empty) file, which restart treats as fresh.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +43,22 @@
 
 namespace cpkcore::service {
 
+/// What a group commit pushes the cycle's records to. See file header.
+enum class WalDurability { kOsCache, kFdatasync, kFsync };
+
+struct WalOptions {
+  WalDurability durability = WalDurability::kOsCache;
+};
+
+/// Replay/scan callback: (lsn, batch), in strictly increasing LSN order.
+using WalReplayFn = std::function<void(std::uint64_t, const UpdateBatch&)>;
+
+/// What open() found in an existing log.
+struct WalOpenInfo {
+  std::size_t replayed = 0;      ///< committed batches replayed
+  std::uint64_t last_lsn = 0;    ///< last committed LSN (= base_lsn if none)
+};
+
 class WriteAheadLog {
  public:
   WriteAheadLog() = default;
@@ -41,35 +70,57 @@ class WriteAheadLog {
   /// Opens the log at `path` for an n-vertex structure. If the file exists,
   /// replays every committed batch through `on_batch` (in append order),
   /// truncates any uncommitted tail, and positions for appending; otherwise
-  /// creates the file with a fresh header. Returns the number of batches
-  /// replayed. Throws std::runtime_error on IO errors or a vertex-count /
-  /// magic mismatch.
-  std::size_t open(const std::string& path, vertex_t num_vertices,
-                   const std::function<void(const UpdateBatch&)>& on_batch);
+  /// creates the file with a fresh header (base LSN 0). Throws
+  /// std::runtime_error on IO errors or a vertex-count / magic mismatch.
+  WalOpenInfo open(const std::string& path, vertex_t num_vertices,
+                   const WalReplayFn& on_batch, WalOptions options = {});
 
-  /// Appends one batch record (buffered — not committed until flush()).
-  /// Edges are logged as given; callers pass canonical deduplicated batches.
-  void append(const UpdateBatch& batch);
+  /// Appends one batch record under `lsn` (buffered — not committed until
+  /// flush()). LSNs must be consecutive; edges are logged as given (callers
+  /// pass canonical deduplicated batches).
+  void append(std::uint64_t lsn, const UpdateBatch& batch);
 
-  /// Group commit: pushes every appended record to the OS in one flush.
-  /// Throws std::runtime_error if the stream failed.
+  /// Group commit: pushes every appended record to the OS in one flush,
+  /// then applies the configured durability level (fdatasync/fsync).
+  /// Throws std::runtime_error if the stream or sync failed.
   void flush();
 
-  /// Compaction: truncates the log to an empty header. Called after the
-  /// logical state has been persisted elsewhere (core/snapshot).
-  void reset();
+  /// Compaction: truncates the log to an empty header whose base LSN is
+  /// `base_lsn` (the LSN up to which the logical state has been persisted
+  /// elsewhere — core/snapshot). Subsequent appends start at base_lsn + 1.
+  void reset(std::uint64_t base_lsn);
 
   void close();
 
   [[nodiscard]] bool is_open() const { return out_.is_open(); }
   [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t base_lsn() const { return base_lsn_; }
 
  private:
   void write_header();
+  void open_sync_fd();
 
   std::string path_;
   vertex_t num_vertices_ = 0;
+  std::uint64_t base_lsn_ = 0;
+  WalOptions options_;
   std::ofstream out_;
+  int sync_fd_ = -1;  ///< second fd on the same file, for f(data)sync
 };
+
+/// What scan_wal() found.
+struct WalScanInfo {
+  std::size_t records = 0;
+  std::uint64_t base_lsn = 0;
+  std::uint64_t last_lsn = 0;
+};
+
+/// Read-only scan of a WAL's committed prefix, safe to run while another
+/// process/thread appends to the same file (a partially flushed tail simply
+/// ends the scan). Used by the cluster layer's late-joiner catch-up. A
+/// missing or empty file scans as zero records. Throws std::runtime_error
+/// on a magic/vertex-count mismatch.
+WalScanInfo scan_wal(const std::string& path, vertex_t num_vertices,
+                     const WalReplayFn& on_batch);
 
 }  // namespace cpkcore::service

@@ -1,0 +1,506 @@
+// Cluster-layer tests: WAL log shipping, exact read replicas, late-joiner
+// catch-up (ring and on-disk paths), the session-aware router's
+// read-your-writes guarantee under concurrent writers + readers, ingest
+// backpressure (block and reject admission), WAL durability levels, and
+// LSN continuity across checkpoint + restart.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/log_ship.hpp"
+#include "cluster/replica.hpp"
+#include "cluster/router.hpp"
+#include "graph/generators.hpp"
+#include "harness/service_workload.hpp"
+#include "service/kcore_service.hpp"
+#include "util/rng.hpp"
+
+namespace cpkcore {
+namespace {
+
+using cluster::LogShipper;
+using cluster::Replica;
+using cluster::Router;
+using service::AdmissionPolicy;
+using service::KCoreService;
+using service::QueueFullError;
+using service::ServiceConfig;
+using service::Ticket;
+using service::WalDurability;
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_("/tmp/cpkc_cluster_" + std::to_string(::getpid()) + "_" +
+              name) {
+    std::filesystem::remove(path_);
+  }
+  ~TempPath() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::set<std::uint64_t> edge_keys(const CPLDS& ds) {
+  std::set<std::uint64_t> keys;
+  for (vertex_t v = 0; v < ds.num_vertices(); ++v) {
+    for (vertex_t w : ds.plds().neighbors(v)) {
+      if (w > v) keys.insert(Edge{v, w}.key());
+    }
+  }
+  return keys;
+}
+
+/// The acceptance bar: after quiesce, a replica is *bit-identical* to the
+/// primary — same edges, same levels, and therefore the same coreness
+/// estimate under every ReadMode.
+void expect_exact_replica(const KCoreService& primary, const Replica& rep) {
+  ASSERT_EQ(primary.num_vertices(), rep.num_vertices());
+  EXPECT_EQ(primary.num_edges(), rep.num_edges());
+  EXPECT_EQ(edge_keys(primary.cplds()), edge_keys(rep.cplds()));
+  for (vertex_t v = 0; v < primary.num_vertices(); ++v) {
+    ASSERT_EQ(primary.cplds().plds().level(v), rep.cplds().plds().level(v))
+        << "level mismatch at " << v;
+    for (ReadMode mode :
+         {ReadMode::kCplds, ReadMode::kNonSync, ReadMode::kSyncReads}) {
+      ASSERT_EQ(primary.read_coreness(v, mode), rep.read_coreness(v, mode))
+          << "coreness mismatch at " << v << " mode "
+          << to_string(mode);
+      ASSERT_EQ(primary.read_level(v, mode), rep.read_level(v, mode))
+          << "read level mismatch at " << v;
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(rep.cplds().plds().validate(&why)) << why;
+}
+
+TEST(Cluster, ReplicasMirrorPrimaryExactly) {
+  constexpr vertex_t kN = 800;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.min_ops_per_cycle = 16;
+  cfg.max_ops_per_cycle = 256;  // many cycles -> many shipped records
+  KCoreService primary(cfg);
+  LogShipper shipper(primary);
+  Replica a(cfg);
+  Replica b(cfg);
+  a.start(shipper);
+  b.start(shipper);
+
+  for (const Edge& e : gen::barabasi_albert(kN, 5, 17)) {
+    primary.submit_insert(e.u, e.v);
+  }
+  // Mix in deletions so replicas replay both batch kinds.
+  for (vertex_t v = 0; v + 1 < 100; ++v) primary.submit_delete(v, v + 1);
+  primary.drain();
+  const std::uint64_t target = primary.commit_lsn();
+  EXPECT_GT(target, 0u);
+  ASSERT_TRUE(a.wait_for_lsn(target));
+  ASSERT_TRUE(b.wait_for_lsn(target));
+
+  expect_exact_replica(primary, a);
+  expect_exact_replica(primary, b);
+  EXPECT_GT(a.stats().applied_batches, 0u);
+  a.stop();
+  b.stop();
+  primary.shutdown();
+}
+
+TEST(Cluster, LateJoinerCatchesUpThroughRetentionRing) {
+  constexpr vertex_t kN = 500;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.min_ops_per_cycle = 8;
+  cfg.max_ops_per_cycle = 64;
+  KCoreService primary(cfg);
+  LogShipper shipper(primary);  // unbounded retention, no WAL needed
+
+  auto edges = gen::erdos_renyi(kN, 3000, 23);
+  const std::size_t half = edges.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    primary.submit_insert(edges[i].u, edges[i].v);
+  }
+  primary.drain();
+
+  // Joins after half the stream: everything missed comes from the ring.
+  Replica late(cfg);
+  late.start(shipper);
+  for (std::size_t i = half; i < edges.size(); ++i) {
+    primary.submit_insert(edges[i].u, edges[i].v);
+  }
+  primary.drain();
+  ASSERT_TRUE(late.wait_for_lsn(primary.commit_lsn()));
+  expect_exact_replica(primary, late);
+  EXPECT_GT(shipper.stats().catchup_records, 0u);
+  late.stop();
+  primary.shutdown();
+}
+
+TEST(Cluster, LateJoinerCatchesUpFromDiskUnderConcurrentWrites) {
+  // The satellite's convergence test: a replica joins mid-stream while
+  // writers keep going, with a retention ring so small that catch-up MUST
+  // read the primary's on-disk WAL; after quiesce it is exact under all
+  // three ReadModes (expect_exact_replica checks them all).
+  TempPath wal("latejoin.wal");
+  constexpr vertex_t kN = 600;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.wal_path = wal.str();
+  cfg.min_ops_per_cycle = 4;
+  cfg.max_ops_per_cycle = 32;
+  KCoreService primary(cfg);
+  LogShipper::Options ship_opts;
+  ship_opts.retain_records = 4;  // force the disk path
+  LogShipper shipper(primary, ship_opts);
+
+  auto edges = gen::social(kN, 5, 4, 40, 0.9, 29);
+  const std::size_t half = edges.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    primary.submit_insert(edges[i].u, edges[i].v);
+  }
+  primary.drain();
+
+  // Writers stay hot while the late joiner subscribes.
+  std::thread writer([&] {
+    for (std::size_t i = half; i < edges.size(); ++i) {
+      primary.submit_insert(edges[i].u, edges[i].v);
+    }
+  });
+  Replica late(cfg);
+  late.start(shipper);
+  writer.join();
+  primary.drain();
+  ASSERT_TRUE(late.wait_for_lsn(primary.commit_lsn()));
+  expect_exact_replica(primary, late);
+  EXPECT_GT(shipper.stats().disk_records, 0u)
+      << "retention ring was large enough to bypass the WAL; the disk "
+         "catch-up path went untested";
+  late.stop();
+  primary.shutdown();
+}
+
+TEST(Cluster, SubscribePastCompactionDemandsSnapshotBootstrap) {
+  TempPath wal("compacted.wal");
+  TempPath snap("compacted.snap");
+  ServiceConfig cfg;
+  cfg.num_vertices = 200;
+  cfg.wal_path = wal.str();
+  cfg.snapshot_path = snap.str();
+  KCoreService primary(cfg);
+  for (vertex_t v = 0; v + 1 < 100; ++v) primary.submit_insert(v, v + 1);
+  primary.drain();
+  primary.checkpoint();  // WAL truncated; base LSN > 0
+
+  LogShipper::Options ship_opts;
+  ship_opts.retain_records = 0;  // nothing in the ring either
+  LogShipper shipper(primary, ship_opts);
+  for (vertex_t v = 100; v + 1 < 120; ++v) primary.submit_insert(v, v + 1);
+  primary.drain();
+  Replica fresh(cfg);
+  EXPECT_THROW(fresh.start(shipper), std::runtime_error);
+  primary.shutdown();
+}
+
+TEST(Cluster, RouterReadYourWritesUnderConcurrentLoad) {
+  // The acceptance demo: 4 writers + 4 readers through the router. Every
+  // read must be served by a backend whose applied LSN is at or past the
+  // session's cursor as observed before the read — a session never reads
+  // state older than its last acked write.
+  constexpr vertex_t kN = 1500;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.min_ops_per_cycle = 16;
+  cfg.max_ops_per_cycle = 512;
+  KCoreService primary(cfg);
+  LogShipper shipper(primary);
+  Replica r0(cfg);
+  Replica r1(cfg);
+  r0.start(shipper);
+  r1.start(shipper);
+  Router router(primary, {&r0, &r1});
+
+  constexpr std::size_t kPairs = 4;
+  constexpr std::size_t kOps = 1500;
+  std::vector<Router::Session> sessions(kPairs);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> replica_served{0};
+
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kPairs; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(1000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<vertex_t>(rng.next_below(kN));
+        // Sample the cursor BEFORE the read: the served LSN may only be
+        // at or past it (the cursor can advance concurrently, which only
+        // raises what the router must deliver).
+        const std::uint64_t cursor = sessions[t].last_lsn();
+        const auto read = router.read_coreness(sessions[t], v);
+        if (read.served_lsn < cursor) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (read.backend != Router::kPrimary) {
+          replica_served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kPairs; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(2000 + t);
+      for (std::size_t i = 0; i < kOps; ++i) {
+        const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                     static_cast<vertex_t>(rng.next_below(kN))};
+        const std::uint64_t lsn =
+            router.write(sessions[t], {e, UpdateKind::kInsert});
+        EXPECT_GE(sessions[t].last_lsn(), lsn);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(replica_served.load(), 0u)
+      << "every read fell back to the primary; replica routing went "
+         "untested";
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.writes, kPairs * kOps);
+  EXPECT_EQ(stats.reads, stats.primary_reads + stats.replica_reads[0] +
+                             stats.replica_reads[1]);
+
+  // Quiesce: replicas converge to the primary's exact state.
+  primary.drain();
+  ASSERT_TRUE(r0.wait_for_lsn(primary.commit_lsn()));
+  ASSERT_TRUE(r1.wait_for_lsn(primary.commit_lsn()));
+  expect_exact_replica(primary, r0);
+  expect_exact_replica(primary, r1);
+  r0.stop();
+  r1.stop();
+  primary.shutdown();
+}
+
+TEST(Cluster, RouterFallsBackToPrimaryWhenNoReplicaQualifies) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 100;
+  KCoreService primary(cfg);
+  LogShipper shipper(primary);
+  Replica rep(cfg);  // never started: applied LSN pinned at 0
+  Router router(primary, {&rep});
+
+  Router::Session session;
+  const std::uint64_t lsn = router.write_insert(session, 1, 2);
+  EXPECT_GT(lsn, 0u);
+  EXPECT_EQ(session.last_lsn(), lsn);
+  const auto read = router.read_coreness(session, 1);
+  EXPECT_EQ(read.backend, Router::kPrimary);
+  EXPECT_GE(read.served_lsn, lsn);
+
+  // A fresh session has no freshness floor: the idle replica qualifies.
+  const auto lazy = router.read_coreness(2);
+  EXPECT_EQ(lazy.backend, 0);
+  EXPECT_EQ(router.stats().replica_reads[0], 1u);
+  primary.shutdown();
+}
+
+TEST(Cluster, ClusterWorkloadHarnessDrivesRouter) {
+  constexpr vertex_t kN = 800;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  KCoreService primary(cfg);
+  LogShipper shipper(primary);
+  Replica rep(cfg);
+  rep.start(shipper);
+  Router router(primary, {&rep});
+
+  harness::ClusterWorkloadConfig wl;
+  wl.writer_threads = 2;
+  wl.reader_threads = 2;
+  wl.ops_per_thread = 500;
+  wl.seed = 11;
+  const auto result = harness::run_cluster_workload(router, wl);
+  EXPECT_EQ(result.ops_written, 2u * 500u);
+  EXPECT_EQ(result.total_reads,
+            result.primary_reads + result.replica_reads);
+
+  primary.drain();
+  ASSERT_TRUE(rep.wait_for_lsn(primary.commit_lsn()));
+  expect_exact_replica(primary, rep);
+  rep.stop();
+  primary.shutdown();
+}
+
+TEST(Cluster, BackpressureRejectPolicyBoundsShardQueues) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 100;
+  cfg.num_shards = 1;
+  cfg.max_pending_per_shard = 8;
+  cfg.admission = AdmissionPolicy::kReject;
+  KCoreService svc(cfg);
+  svc.pause_applies();  // freeze drains so queue growth is deterministic
+
+  std::vector<Ticket> accepted;
+  for (vertex_t v = 0; v < 8; ++v) {
+    accepted.push_back(svc.submit_insert(v, v + 1));
+  }
+  EXPECT_THROW(svc.submit_insert(50, 51), QueueFullError);
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.rejected_ops, 1u);
+  ASSERT_EQ(stats.shard_depths.size(), 1u);
+  EXPECT_EQ(stats.shard_depths[0], 8u);  // gauge reads the frozen backlog
+
+  svc.resume_applies();
+  for (const Ticket& t : accepted) EXPECT_TRUE(svc.wait(t));
+  EXPECT_EQ(svc.stats().shard_depths[0], 0u);
+  EXPECT_EQ(svc.num_edges(), 8u);
+  svc.shutdown();
+}
+
+TEST(Cluster, BackpressureBlockPolicyWaitsForSpaceAndCompletes) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 100;
+  cfg.num_shards = 1;
+  cfg.max_pending_per_shard = 4;
+  cfg.admission = AdmissionPolicy::kBlock;
+  KCoreService svc(cfg);
+  svc.pause_applies();
+
+  for (vertex_t v = 0; v < 4; ++v) svc.submit_insert(v, v + 1);
+  std::atomic<bool> overflow_accepted{false};
+  std::thread blocked([&] {
+    svc.submit_insert(60, 61);  // must block: shard is at its bound
+    overflow_accepted.store(true, std::memory_order_release);
+  });
+  // The submitter is parked, not rejected, and the bound holds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(overflow_accepted.load(std::memory_order_acquire));
+  EXPECT_EQ(svc.stats().shard_depths[0], 4u);
+
+  svc.resume_applies();
+  blocked.join();
+  EXPECT_TRUE(overflow_accepted.load());
+  svc.drain();
+  EXPECT_EQ(svc.num_edges(), 5u);
+  const auto stats = svc.stats();
+  EXPECT_GE(stats.blocked_submits, 1u);
+  EXPECT_EQ(stats.rejected_ops, 0u);
+  svc.shutdown();
+}
+
+TEST(Cluster, BlockedSubmitterWakesOnShutdown) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 100;
+  cfg.num_shards = 1;
+  cfg.max_pending_per_shard = 2;
+  KCoreService svc(cfg);
+  svc.pause_applies();
+  svc.submit_insert(1, 2);
+  svc.submit_insert(2, 3);
+  std::atomic<bool> threw{false};
+  std::thread blocked([&] {
+    try {
+      svc.submit_insert(3, 4);
+    } catch (const std::runtime_error&) {
+      threw.store(true, std::memory_order_release);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  svc.simulate_crash();  // crash-stop drains nothing: the waiter must wake
+  blocked.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Cluster, WalDurabilityLevelsReplayIdentically) {
+  for (WalDurability durability :
+       {WalDurability::kOsCache, WalDurability::kFdatasync,
+        WalDurability::kFsync}) {
+    TempPath wal("durability.wal");
+    constexpr vertex_t kN = 200;
+    auto edges = gen::barabasi_albert(kN, 3, 37);
+    std::set<std::uint64_t> before;
+    {
+      ServiceConfig cfg;
+      cfg.num_vertices = kN;
+      cfg.wal_path = wal.str();
+      cfg.wal_durability = durability;
+      KCoreService svc(cfg);
+      for (const Edge& e : edges) svc.submit_insert(e.u, e.v);
+      svc.drain();
+      before = edge_keys(svc.cplds());
+      svc.simulate_crash();
+    }
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    cfg.wal_durability = durability;
+    KCoreService svc(cfg);
+    EXPECT_GT(svc.stats().replayed_batches, 0u);
+    EXPECT_EQ(edge_keys(svc.cplds()), before);
+    svc.shutdown();
+  }
+}
+
+TEST(Cluster, LsnNumberingSurvivesCheckpointAndRestart) {
+  TempPath wal("lsncont.wal");
+  TempPath snap("lsncont.snap");
+  ServiceConfig cfg;
+  cfg.num_vertices = 300;
+  cfg.wal_path = wal.str();
+  cfg.snapshot_path = snap.str();
+  std::uint64_t pre_crash_lsn = 0;
+  {
+    KCoreService svc(cfg);
+    for (vertex_t v = 0; v + 1 < 100; ++v) svc.submit_insert(v, v + 1);
+    svc.drain();
+    svc.checkpoint();  // compaction must not rewind the LSN clock
+    const std::uint64_t after_ckpt = svc.commit_lsn();
+    Ticket t = svc.submit_insert(200, 201);
+    std::uint64_t lsn = 0;
+    ASSERT_TRUE(svc.wait(t, &lsn));
+    EXPECT_GT(lsn, after_ckpt);
+    pre_crash_lsn = svc.commit_lsn();
+    svc.simulate_crash();
+  }
+  KCoreService svc(cfg);
+  EXPECT_EQ(svc.commit_lsn(), pre_crash_lsn);
+  std::uint64_t lsn = 0;
+  Ticket t = svc.submit_insert(210, 211);
+  ASSERT_TRUE(svc.wait(t, &lsn));
+  EXPECT_GT(lsn, pre_crash_lsn);
+  svc.shutdown();
+}
+
+TEST(Cluster, UnsubscribedReplicaStopsReceiving) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 100;
+  KCoreService primary(cfg);
+  LogShipper shipper(primary);
+  Replica rep(cfg);
+  rep.start(shipper);
+  primary.submit_insert(1, 2);
+  primary.drain();
+  ASSERT_TRUE(rep.wait_for_lsn(primary.commit_lsn()));
+  const std::uint64_t at_stop = rep.applied_lsn();
+  rep.stop();
+
+  primary.submit_insert(2, 3);
+  primary.drain();
+  EXPECT_GT(primary.commit_lsn(), at_stop);
+  EXPECT_EQ(rep.applied_lsn(), at_stop);
+  EXPECT_EQ(shipper.stats().subscribers, 0u);
+  primary.shutdown();
+}
+
+}  // namespace
+}  // namespace cpkcore

@@ -256,31 +256,42 @@ TEST(Service, WalDiscardsUncommittedTail) {
   TempPath wal("tail.wal");
   {
     std::ofstream out(wal.str());
-    out << "cpkcore-wal-v1\n100\n";
-    out << "B I 2\n1 2\n2 3\nC 2\n";
-    out << "B I 3\n3 4\n4 5\n";  // crash: no "C 3"
+    out << "cpkcore-wal-v2\n100 0\n";
+    out << "B I 2 1\n1 2\n2 3\nC 2 1\n";
+    out << "B I 3 2\n3 4\n4 5\n";  // crash: no "C 3 2"
   }
   std::vector<UpdateBatch> replayed;
+  std::vector<std::uint64_t> lsns;
   WriteAheadLog log;
-  const std::size_t n_replayed = log.open(
-      wal.str(), 100, [&](const UpdateBatch& b) { replayed.push_back(b); });
-  EXPECT_EQ(n_replayed, 1u);
+  const auto info = log.open(wal.str(), 100,
+                             [&](std::uint64_t lsn, const UpdateBatch& b) {
+                               lsns.push_back(lsn);
+                               replayed.push_back(b);
+                             });
+  EXPECT_EQ(info.replayed, 1u);
+  EXPECT_EQ(info.last_lsn, 1u);
   ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(lsns, (std::vector<std::uint64_t>{1}));
   EXPECT_EQ(replayed[0].edges,
             (std::vector<Edge>{{1, 2}, {2, 3}}));
 
   // Append a committed batch past the truncation point and re-open.
-  log.append(UpdateBatch{UpdateKind::kDelete, {{1, 2}}});
+  log.append(2, UpdateBatch{UpdateKind::kDelete, {{1, 2}}});
   log.flush();
   log.close();
   replayed.clear();
+  lsns.clear();
   WriteAheadLog reopened;
-  EXPECT_EQ(reopened.open(wal.str(), 100,
-                          [&](const UpdateBatch& b) {
-                            replayed.push_back(b);
-                          }),
+  EXPECT_EQ(reopened
+                .open(wal.str(), 100,
+                      [&](std::uint64_t lsn, const UpdateBatch& b) {
+                        lsns.push_back(lsn);
+                        replayed.push_back(b);
+                      })
+                .replayed,
             2u);
   ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(lsns, (std::vector<std::uint64_t>{1, 2}));
   EXPECT_EQ(replayed[1].kind, UpdateKind::kDelete);
   EXPECT_EQ(replayed[1].edges, (std::vector<Edge>{{1, 2}}));
 }
@@ -289,7 +300,7 @@ TEST(Service, WalRejectsMismatchedVertexCount) {
   TempPath wal("mismatch.wal");
   {
     std::ofstream out(wal.str());
-    out << "cpkcore-wal-v1\n100\n";
+    out << "cpkcore-wal-v2\n100 0\n";
   }
   WriteAheadLog log;
   EXPECT_THROW(log.open(wal.str(), 200, nullptr), std::runtime_error);
@@ -302,15 +313,17 @@ TEST(Service, WalTreatsEmptyFileAsFresh) {
   { std::ofstream out(wal.str()); }  // create empty
   WriteAheadLog log;
   std::size_t replayed = ~std::size_t{0};
-  ASSERT_NO_THROW(replayed = log.open(wal.str(), 50, nullptr));
+  ASSERT_NO_THROW(replayed = log.open(wal.str(), 50, nullptr).replayed);
   EXPECT_EQ(replayed, 0u);
-  log.append(UpdateBatch{UpdateKind::kInsert, {{1, 2}}});
+  log.append(1, UpdateBatch{UpdateKind::kInsert, {{1, 2}}});
   log.flush();
   log.close();
   std::size_t count = 0;
   WriteAheadLog reopened;
-  EXPECT_EQ(reopened.open(wal.str(), 50,
-                          [&](const UpdateBatch&) { ++count; }),
+  EXPECT_EQ(reopened
+                .open(wal.str(), 50,
+                      [&](std::uint64_t, const UpdateBatch&) { ++count; })
+                .replayed,
             1u);
   EXPECT_EQ(count, 1u);
 }
