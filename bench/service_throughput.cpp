@@ -5,26 +5,34 @@
 // ingest -> coalesce -> WAL -> apply path is diffable across PRs.
 //
 // With --replicas N (or CPKC_SERVICE_REPLICAS=N) the bench instead sweeps
-// the *cluster* layer: 0..N read replicas behind the session-aware router,
-// reporting routed read throughput vs replica count (the read-scaling
-// curve of the replication subsystem), one JSON line per replica count.
+// the read-scaling *cluster* layer: 0..N read replicas behind the
+// session-aware router (single write partition), reporting routed read
+// throughput vs replica count, one JSON line per replica count.
+//
+// With --write-shards P (or CPKC_WRITE_SHARDS=P) it sweeps the *sharded
+// write plane*: 1..P partition primaries behind a ShardGroup at a fixed
+// client count, reporting aggregate submit throughput and merged ack p99
+// vs P — the write-scaling curve. Combine with --replicas R to give every
+// partition R replicas (R is then fixed, not swept).
 //
 // Environment (on top of bench_common's knobs):
 //   CPKC_SERVICE_OPS       ops per client thread        (default 50000)
 //   CPKC_SERVICE_WAL       1 = log to a WAL in /tmp     (default 1)
 //   CPKC_SERVICE_REPLICAS  max replica count to sweep   (default 0 = off)
+//   CPKC_WRITE_SHARDS      max partition count to sweep (default 0 = off)
+//   CPKC_CLUSTER_WRITERS   writer threads in the replica sweep (default 2)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "cluster/log_ship.hpp"
-#include "cluster/replica.hpp"
+#include "cluster/partition.hpp"
 #include "cluster/router.hpp"
+#include "cluster/shard_group.hpp"
 #include "graph/generators.hpp"
 #include "harness/service_workload.hpp"
 #include "service/kcore_service.hpp"
@@ -44,6 +52,12 @@ bool wal_enabled() {
     return std::strtol(v, nullptr, 10) != 0;
   }
   return true;
+}
+
+void remove_partition_wals(const std::string& stem, std::size_t partitions) {
+  for (std::size_t p = 0; p < partitions; ++p) {
+    std::filesystem::remove(cluster::partition_path(stem, p, partitions));
+  }
 }
 
 void run_cell(std::size_t clients) {
@@ -106,34 +120,26 @@ void run_replicated_cell(std::size_t replicas) {
   const std::string wal_path = "/tmp/cpkc_service_throughput.wal";
   std::filesystem::remove(wal_path);
 
-  service::ServiceConfig cfg;
-  cfg.num_vertices = n;
-  cfg.levels_per_group_cap = bench::opt_cap();
-  if (wal_enabled()) cfg.wal_path = wal_path;
-  service::KCoreService svc(cfg);
-  // All replicas subscribe before the preload and none joins later, so a
+  cluster::ClusterConfig ccfg;
+  ccfg.partitions = 1;
+  ccfg.replicas = replicas;
+  // All replicas subscribe at construction and none joins later, so a
   // small retention ring suffices (no unbounded growth across the sweep).
-  cluster::LogShipper::Options ship_opts;
-  ship_opts.retain_records = 1024;
-  cluster::LogShipper shipper(svc, ship_opts);
-  std::vector<std::unique_ptr<cluster::Replica>> replica_store;
-  std::vector<cluster::Replica*> replica_ptrs;
-  for (std::size_t r = 0; r < replicas; ++r) {
-    replica_store.push_back(std::make_unique<cluster::Replica>(cfg));
-    replica_store.back()->start(shipper);
-    replica_ptrs.push_back(replica_store.back().get());
-  }
-  cluster::Router router(svc, replica_ptrs);
+  ccfg.retain_records = 1024;
+  ccfg.base.num_vertices = n;
+  ccfg.base.levels_per_group_cap = bench::opt_cap();
+  if (wal_enabled()) ccfg.base.wal_path = wal_path;
+  cluster::ShardGroup group(ccfg);
+  cluster::Router router(group);
 
   // Preload half the edges (replicas follow along through the shipper),
   // then wait for every replica to catch up so the measured phase starts
   // from identical backends.
   for (const Edge& e : gen::barabasi_albert(n / 2, 4, 7)) {
-    svc.submit_insert(e.u, e.v);
+    group.submit_insert(e.u, e.v);
   }
-  svc.drain();
-  for (cluster::Replica* r : replica_ptrs) r->wait_for_lsn(svc.commit_lsn());
-  svc.reset_stats();
+  group.quiesce();
+  group.primary(0).reset_stats();
 
   harness::ClusterWorkloadConfig wl;
   wl.writer_threads = bench::env_size("CPKC_CLUSTER_WRITERS", 2);
@@ -143,8 +149,7 @@ void run_replicated_cell(std::size_t replicas) {
   wl.seed = 7;
   const auto result = harness::run_cluster_workload(router, wl);
   const auto rstats = router.stats();
-  for (auto& r : replica_store) r->stop();
-  svc.shutdown();
+  group.shutdown();
   std::filesystem::remove(wal_path);
 
   bench::emit_json_line({
@@ -168,18 +173,110 @@ void run_replicated_cell(std::size_t replicas) {
   });
 }
 
+void run_sharded_cell(std::size_t partitions, std::size_t replicas,
+                      std::size_t clients) {
+  const auto n = static_cast<vertex_t>(
+      100000 * bench::env_size("CPKC_SCALE", 1));
+  const std::string wal_stem = "/tmp/cpkc_sharded_throughput.wal";
+  remove_partition_wals(wal_stem, partitions);
+
+  cluster::ClusterConfig ccfg;
+  ccfg.partitions = partitions;
+  ccfg.replicas = replicas;
+  ccfg.retain_records = 1024;
+  ccfg.base.num_vertices = n;
+  ccfg.base.levels_per_group_cap = bench::opt_cap();
+  if (wal_enabled()) ccfg.base.wal_path = wal_stem;
+  cluster::ShardGroup group(ccfg);
+
+  // Preload half the edges across the partitions, quiesce, zero every
+  // partition's stats so the merged percentiles cover only the measured
+  // phase.
+  for (const Edge& e : gen::barabasi_albert(n / 2, 4, 7)) {
+    group.submit_insert(e.u, e.v);
+  }
+  group.quiesce();
+  for (std::size_t p = 0; p < partitions; ++p) {
+    group.primary(p).reset_stats();
+  }
+
+  harness::ShardedWorkloadConfig wl;
+  wl.submitter_threads = clients;
+  wl.reader_threads = bench::reader_threads();
+  wl.ops_per_thread = ops_per_client();
+  wl.delete_fraction = 0.2;
+  wl.seed = 7;
+  const auto result = harness::run_sharded_workload(group, wl);
+
+  // Merge the per-partition ack histograms: the sweep reports the
+  // client-observed ack distribution across the whole write plane.
+  LatencyHistogram ack;
+  std::uint64_t cycles = 0;
+  std::uint64_t batches = 0;
+  for (std::size_t p = 0; p < partitions; ++p) {
+    const auto stats = group.primary(p).stats();
+    ack.merge(stats.ack_latency);
+    cycles += stats.cycles;
+    batches += stats.batches;
+  }
+  std::uint64_t min_part = ~std::uint64_t{0};
+  std::uint64_t max_part = 0;
+  for (std::uint64_t ops : result.ops_per_partition) {
+    min_part = std::min(min_part, ops);
+    max_part = std::max(max_part, ops);
+  }
+  group.shutdown();
+  remove_partition_wals(wal_stem, partitions);
+
+  bench::emit_json_line({
+      {"bench", std::string("sharded_write_throughput")},
+      {"write_shards", static_cast<std::int64_t>(partitions)},
+      {"replicas", static_cast<std::int64_t>(replicas)},
+      {"clients", static_cast<std::int64_t>(clients)},
+      {"readers", static_cast<std::int64_t>(wl.reader_threads)},
+      {"wal", static_cast<std::int64_t>(wal_enabled() ? 1 : 0)},
+      {"ops", static_cast<std::int64_t>(result.ops_submitted)},
+      {"wall_s", result.wall_seconds},
+      {"submit_ops_per_s", result.submit_throughput()},
+      {"ack_p50_ns", static_cast<std::int64_t>(ack.p50_ns())},
+      {"ack_p99_ns", static_cast<std::int64_t>(ack.p99_ns())},
+      {"ack_mean_ns", ack.mean_ns()},
+      {"reads", static_cast<std::int64_t>(result.total_reads)},
+      {"read_p99_ns",
+       static_cast<std::int64_t>(result.read_latency.p99_ns())},
+      {"cycles", static_cast<std::int64_t>(cycles)},
+      {"batches", static_cast<std::int64_t>(batches)},
+      {"min_partition_ops", static_cast<std::int64_t>(min_part)},
+      {"max_partition_ops", static_cast<std::int64_t>(max_part)},
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t max_replicas = bench::env_size("CPKC_SERVICE_REPLICAS", 0);
+  std::size_t max_shards = bench::env_size("CPKC_WRITE_SHARDS", 0);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
       max_replicas = static_cast<std::size_t>(
           std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--write-shards") == 0 && i + 1 < argc) {
+      max_shards = static_cast<std::size_t>(
+          std::strtoul(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--replicas N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--replicas N] [--write-shards P]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  if (max_shards > 0) {
+    // Write-scaling sweep: 1..P partitions at a fixed client count; with
+    // --replicas R alongside, every partition also drives R replicas.
+    const std::size_t clients = bench::writer_workers();
+    for (std::size_t p = 1; p <= max_shards; ++p) {
+      run_sharded_cell(p, max_replicas, clients);
+    }
+    return 0;
   }
   if (max_replicas > 0) {
     // Replicated read-throughput sweep: 0 (router straight to primary)

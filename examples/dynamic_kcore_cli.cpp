@@ -15,19 +15,22 @@
 //   --snapshot-load <path>   restore the graph from a snapshot at startup
 //   --snapshot-save <path>   save a snapshot of the final graph on exit
 //
-// Replication end to end (the cluster layer): --replicas <n> runs the
-// session's graph behind a KCoreService primary, n exact read replicas fed
-// by WAL shipping, and the session-aware router. insert/delete become
-// routed writes (printing the acked LSN), query becomes a routed read
-// (printing which backend served it and at what LSN), and stats shows each
-// backend's replication cursor. delv is not available in this mode (the
-// serving layer ingests edge ops).
+// Replication and sharding end to end (the cluster layer): --replicas <r>
+// and/or --write-shards <p> run the session's graph behind a ShardGroup —
+// p partition primaries (edge-key hash partitioned write plane), each with
+// r exact read replicas fed by WAL shipping — and the shard-aware router.
+// insert/delete become routed writes (printing the owning partition and
+// the acked partition LSN), query becomes a fan-out read (printing each
+// partition's serving backend; the estimate is the cross-partition
+// aggregate), and stats shows every partition's commit cursor, the
+// session's LSN vector, and each replica's replication cursor. delv is not
+// available in this mode (the serving layer ingests edge ops).
 //
 //   $ echo "gen ba 2000 4 7
 //           insert 17 42
 //           query 17
 //           stats
-//           quit" | ./example_dynamic_kcore_cli --replicas 2 -
+//           quit" | ./example_dynamic_kcore_cli --write-shards 2 --replicas 2 -
 //
 //   $ echo "gen ba 1000 4 7
 //           quit" | ./example_dynamic_kcore_cli --snapshot-save g.snap -
@@ -56,9 +59,8 @@
 #include <utility>
 #include <vector>
 
-#include "cluster/log_ship.hpp"
-#include "cluster/replica.hpp"
 #include "cluster/router.hpp"
+#include "cluster/shard_group.hpp"
 #include "core/cplds.hpp"
 #include "core/snapshot.hpp"
 #include "graph/dynamic_graph.hpp"
@@ -100,66 +102,58 @@ struct Session {
   bool ready() const { return ds != nullptr; }
 };
 
-/// --replicas mode: the same commands, served by a primary + replicas +
-/// router cluster instead of a bare CPLDS. Heap-held (Router::Session is
-/// not movable).
+/// --write-shards/--replicas mode: the same commands, served by a sharded
+/// ShardGroup (partition primaries x replica sets) behind the shard-aware
+/// router instead of a bare CPLDS. Heap-held (Router::Session is not
+/// movable).
 struct Cluster {
+  std::size_t partitions;
   std::size_t num_replicas;
-  std::unique_ptr<service::KCoreService> primary;
-  std::unique_ptr<cluster::LogShipper> shipper;
-  std::vector<std::unique_ptr<cluster::Replica>> replicas;
+  std::unique_ptr<cluster::ShardGroup> group;
   std::unique_ptr<cluster::Router> router;
   std::unique_ptr<cluster::Router::Session> session;
   std::unique_ptr<DynamicGraph> mirror;  // for the exact oracle
 
-  explicit Cluster(std::size_t n_replicas) : num_replicas(n_replicas) {}
+  Cluster(std::size_t n_partitions, std::size_t n_replicas)
+      : partitions(n_partitions), num_replicas(n_replicas) {}
 
   ~Cluster() { teardown(); }
 
   void teardown() {
-    // Order matters: replicas unsubscribe, the shipper detaches, and only
-    // then may the primary go down.
-    for (auto& r : replicas) r->stop();
-    if (shipper) shipper->detach();
-    if (primary) primary->shutdown();
+    // The group tears its components down in dependency order (replicas,
+    // shippers, primaries); the router only holds references into it.
     router.reset();
-    replicas.clear();
-    shipper.reset();
-    primary.reset();
+    session.reset();
+    if (group) group->shutdown();
+    group.reset();
   }
 
   void reset(vertex_t n, const std::vector<Edge>& edges) {
     teardown();
-    service::ServiceConfig cfg;
-    cfg.num_vertices = n;
-    primary = std::make_unique<service::KCoreService>(cfg);
-    // Every replica subscribes right here, before any write, and no one
-    // joins later — so the retention ring can stay small instead of
-    // holding every batch ever committed for the session's lifetime.
-    cluster::LogShipper::Options ship_opts;
-    ship_opts.retain_records = 1024;
-    shipper = std::make_unique<cluster::LogShipper>(*primary, ship_opts);
-    std::vector<cluster::Replica*> ptrs;
-    for (std::size_t r = 0; r < num_replicas; ++r) {
-      replicas.push_back(std::make_unique<cluster::Replica>(cfg));
-      replicas.back()->start(*shipper);
-      ptrs.push_back(replicas.back().get());
-    }
-    router = std::make_unique<cluster::Router>(*primary, ptrs);
-    session = std::make_unique<cluster::Router::Session>();
+    cluster::ClusterConfig cfg;
+    cfg.partitions = partitions;
+    cfg.replicas = num_replicas;
+    // Every replica subscribes at group construction, before any write,
+    // and no one joins later — so the retention ring can stay small
+    // instead of holding every batch ever committed for the session's
+    // lifetime.
+    cfg.retain_records = 1024;
+    cfg.base.num_vertices = n;
+    group = std::make_unique<cluster::ShardGroup>(cfg);
+    router = std::make_unique<cluster::Router>(*group);
+    session = router->make_session();
     mirror = std::make_unique<DynamicGraph>(n);
     for (const Edge& e : edges) {
-      primary->submit({e, UpdateKind::kInsert});
+      group->submit({e, UpdateKind::kInsert});
       mirror->insert_edge(e);
     }
-    primary->drain();
-    for (auto& r : replicas) r->wait_for_lsn(primary->commit_lsn());
-    std::printf("cluster ready: n=%u m=%zu replicas=%zu lsn=%llu\n", n,
-                primary->num_edges(), num_replicas,
-                static_cast<unsigned long long>(primary->commit_lsn()));
+    group->quiesce();
+    std::printf(
+        "cluster ready: n=%u m=%zu write_shards=%zu replicas=%zu/partition\n",
+        n, group->num_edges(), partitions, num_replicas);
   }
 
-  bool ready() const { return primary != nullptr; }
+  bool ready() const { return group != nullptr; }
 };
 
 const char* backend_name(int backend, std::string& scratch) {
@@ -236,15 +230,17 @@ bool handle_cluster(Cluster& c, const std::string& line) {
                       cmd == "insert" ? UpdateKind::kInsert
                                       : UpdateKind::kDelete};
       try {
+        const std::size_t p = c.group->partitioner().partition_of(op);
         const std::uint64_t lsn = c.router->write(*c.session, op);
         if (op.kind == UpdateKind::kInsert) {
           c.mirror->insert_edge(op.edge);
         } else {
           c.mirror->delete_edge(op.edge);
         }
-        std::printf("%s (%u,%u): acked at lsn %llu; m=%zu\n", cmd.c_str(),
-                    u, v, static_cast<unsigned long long>(lsn),
-                    c.primary->num_edges());
+        std::printf("%s (%u,%u): partition %zu acked at lsn %llu; m=%zu\n",
+                    cmd.c_str(), u, v, p,
+                    static_cast<unsigned long long>(lsn),
+                    c.group->num_edges());
       } catch (const std::exception& e) {
         std::printf("error: %s\n", e.what());
       }
@@ -275,7 +271,7 @@ bool handle_cluster(Cluster& c, const std::string& line) {
     }
     std::printf("batch %s: %zu routed writes, last lsn %llu; m=%zu\n",
                 kind.c_str(), count, static_cast<unsigned long long>(lsn),
-                c.primary->num_edges());
+                c.group->num_edges());
     return true;
   }
   if (cmd == "delv") {
@@ -284,44 +280,63 @@ bool handle_cluster(Cluster& c, const std::string& line) {
   }
   if (cmd == "query") {
     vertex_t v;
-    if (in >> v && v < c.primary->num_vertices()) {
+    if (in >> v && v < c.group->num_vertices()) {
       const auto read = c.router->read_coreness(*c.session, v);
+      std::printf("coreness_estimate(%u) = %.3f  (fan-out across %zu "
+                  "partition%s)\n",
+                  v, read.value, read.parts.size(),
+                  read.parts.size() == 1 ? "" : "s");
       std::string scratch;
-      std::printf(
-          "coreness_estimate(%u) = %.3f  (served by %s at lsn %llu, "
-          "session lsn %llu)\n",
-          v, read.value, backend_name(read.backend, scratch),
-          static_cast<unsigned long long>(read.served_lsn),
-          static_cast<unsigned long long>(c.session->last_lsn()));
+      for (std::size_t p = 0; p < read.parts.size(); ++p) {
+        std::printf(
+            "  partition %zu: %.3f served by %s at lsn %llu (session lsn "
+            "%llu)\n",
+            p, read.parts[p].value,
+            backend_name(read.parts[p].backend, scratch),
+            static_cast<unsigned long long>(read.parts[p].served_lsn),
+            static_cast<unsigned long long>(c.session->last_lsn(p)));
+      }
     }
     return true;
   }
   if (cmd == "exact") {
     vertex_t v;
-    if (in >> v && v < c.primary->num_vertices()) {
+    if (in >> v && v < c.group->num_vertices()) {
       const auto coreness = exact_coreness(*c.mirror);
       const auto read = c.router->read_coreness(*c.session, v);
-      std::printf("exact_coreness(%u) = %u  (estimate %.3f)\n", v,
-                  coreness[v], read.value);
+      std::printf("exact_coreness(%u) = %u  (estimate %.3f%s)\n", v,
+                  coreness[v], read.value,
+                  read.parts.size() > 1 ? ", cross-partition aggregate" : "");
     }
     return true;
   }
   if (cmd == "stats") {
     const auto rstats = c.router->stats();
     std::printf(
-        "n=%u m=%zu commit_lsn=%llu session_lsn=%llu writes=%llu "
-        "reads=%llu primary_reads=%llu\n",
-        c.primary->num_vertices(), c.primary->num_edges(),
-        static_cast<unsigned long long>(c.primary->commit_lsn()),
-        static_cast<unsigned long long>(c.session->last_lsn()),
+        "n=%u m=%zu write_shards=%zu writes=%llu reads=%llu "
+        "primary_serves=%llu replica_serves=%llu\n",
+        c.group->num_vertices(), c.group->num_edges(),
+        c.group->num_partitions(),
         static_cast<unsigned long long>(rstats.writes),
         static_cast<unsigned long long>(rstats.reads),
-        static_cast<unsigned long long>(rstats.primary_reads));
-    for (std::size_t r = 0; r < c.replicas.size(); ++r) {
-      std::printf("  replica %zu: applied_lsn=%llu reads=%llu\n", r,
-                  static_cast<unsigned long long>(
-                      c.replicas[r]->applied_lsn()),
-                  static_cast<unsigned long long>(rstats.replica_reads[r]));
+        static_cast<unsigned long long>(rstats.primary_reads),
+        static_cast<unsigned long long>(rstats.replica_reads));
+    for (std::size_t p = 0; p < c.group->num_partitions(); ++p) {
+      std::printf(
+          "  partition %zu: m=%zu commit_lsn=%llu session_lsn=%llu "
+          "writes=%llu\n",
+          p, c.group->primary(p).num_edges(),
+          static_cast<unsigned long long>(c.group->primary(p).commit_lsn()),
+          static_cast<unsigned long long>(c.session->last_lsn(p)),
+          static_cast<unsigned long long>(rstats.partitions[p].writes));
+      for (std::size_t r = 0; r < c.group->num_replicas(); ++r) {
+        std::printf(
+            "    replica %zu: applied_lsn=%llu reads=%llu\n", r,
+            static_cast<unsigned long long>(
+                c.group->replica(p, r).applied_lsn()),
+            static_cast<unsigned long long>(
+                rstats.partitions[p].replica_reads[r]));
+      }
     }
     return true;
   }
@@ -456,6 +471,7 @@ int main(int argc, char** argv) {
   std::string snapshot_save;
   bool interactive = false;
   std::size_t replicas = 0;
+  std::size_t write_shards = 1;
   bool cluster_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -466,12 +482,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--replicas" && i + 1 < argc) {
       replicas = std::strtoul(argv[++i], nullptr, 10);
       cluster_mode = true;
+    } else if (arg == "--write-shards" && i + 1 < argc) {
+      write_shards = std::strtoul(argv[++i], nullptr, 10);
+      cluster_mode = true;
     } else if (arg == "-") {
       interactive = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--snapshot-load <path>] "
-                   "[--snapshot-save <path>] [--replicas <n>] [-]\n",
+                   "[--snapshot-save <path>] [--replicas <r>] "
+                   "[--write-shards <p>] [-]\n",
                    argv[0]);
       return 2;
     }
@@ -480,11 +500,16 @@ int main(int argc, char** argv) {
   if (cluster_mode) {
     if (!snapshot_load.empty() || !snapshot_save.empty()) {
       std::fprintf(stderr,
-                   "--replicas and --snapshot-load/--snapshot-save are "
-                   "mutually exclusive\n");
+                   "--replicas/--write-shards and "
+                   "--snapshot-load/--snapshot-save are mutually "
+                   "exclusive\n");
       return 2;
     }
-    Cluster c(replicas);
+    if (write_shards == 0) {
+      std::fprintf(stderr, "--write-shards must be >= 1\n");
+      return 2;
+    }
+    Cluster c(write_shards, replicas);
     if (!interactive) return run_cluster_demo(c);
     std::string line;
     while (std::getline(std::cin, line)) {

@@ -1,5 +1,6 @@
 #include "cluster/log_ship.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -63,6 +64,7 @@ void LogShipper::on_commit(std::uint64_t lsn, const UpdateBatch& batch) {
   // Evict *after* the push so retain_records = 0 still ships live records
   // (the ring then only serves subscribers already caught up).
   while (retained_.size() > options_.retain_records) retained_.pop_front();
+  retained_peak_ = std::max(retained_peak_, retained_.size());
   ++shipped_;
   for (auto& [id, cb] : subscribers_) {
     cb(record);
@@ -163,6 +165,8 @@ LogShipper::Stats LogShipper::stats() const {
   out.catchup_records = catchup_;
   out.disk_records = disk_;
   out.retained = retained_.size();
+  out.retained_peak = retained_peak_;
+  out.retain_capacity = options_.retain_records;
   out.subscribers = subscribers_.size();
   return out;
 }

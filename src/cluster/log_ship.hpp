@@ -66,6 +66,8 @@ class LogShipper {
     std::uint64_t catchup_records = 0;   ///< records served during catch-up
     std::uint64_t disk_records = 0;      ///< ... of which read from the WAL
     std::size_t retained = 0;            ///< current ring occupancy
+    std::size_t retained_peak = 0;       ///< high-water ring occupancy
+    std::size_t retain_capacity = 0;     ///< configured ring capacity
     std::size_t subscribers = 0;
   };
 
@@ -118,6 +120,7 @@ class LogShipper {
   std::uint64_t shipped_ = 0;                   // under mu_
   std::uint64_t catchup_ = 0;                   // under mu_
   std::uint64_t disk_ = 0;                      // under mu_
+  std::size_t retained_peak_ = 0;               // under mu_
 };
 
 }  // namespace cpkcore::cluster

@@ -1,0 +1,17 @@
+#include "cluster/partition.hpp"
+
+#include <string>
+
+namespace cpkcore::cluster {
+
+std::string partition_path(const std::string& stem, std::size_t partition,
+                           std::size_t partitions) {
+  if (stem.empty()) return stem;
+  // A 1-partition topology keeps the stem untouched so it stays file-
+  // compatible with the unsharded PR-4 layout (same WAL/snapshot a plain
+  // KCoreService would write and warm-restart from).
+  if (partitions == 1) return stem;
+  return stem + ".p" + std::to_string(partition);
+}
+
+}  // namespace cpkcore::cluster

@@ -1,0 +1,66 @@
+// Partitioner — the deterministic edge-space partitioning of the sharded
+// write plane.
+//
+// The cluster partitions the *edge* space: every edge op hashes its
+// canonical edge key to exactly one of P partitions, so all ops on one edge
+// — inserts, deletes, duplicates — land on the same partition's primary in
+// submission order, and each partition's primary + WAL + LSN stream +
+// replica set is fully independent of every other partition's (share-
+// nothing). Both endpoints of the op ride along to that partition: each
+// partition's CPLDS spans the full vertex-ID space but holds only its own
+// edge subset, which is what makes per-partition replicas exact and
+// per-partition recovery (snapshot_p + WAL_p) self-contained.
+//
+// The mapping is a pure function of (edge key, P): every router, shard
+// group, test, and recovery path computes the same owner with no shared
+// state and no coordination. Vertex-level queries therefore fan out — a
+// vertex's incident edges are spread across all partitions by design (that
+// is what spreads *write* load; reads were already scaled by replicas).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace cpkcore::cluster {
+
+/// Per-partition on-disk path for a shared stem: "<stem>.p<k>" when the
+/// topology is sharded, the stem itself for a 1-partition topology (file-
+/// compatible with the unsharded layout). Empty stems stay empty (feature
+/// off). Used for the per-partition WAL and snapshot files.
+std::string partition_path(const std::string& stem, std::size_t partition,
+                           std::size_t partitions);
+
+class Partitioner {
+ public:
+  /// A single-partition Partitioner routes everything to partition 0 —
+  /// exactly the unsharded PR-4 topology.
+  explicit Partitioner(std::size_t partitions) : partitions_(partitions) {
+    if (partitions == 0) {
+      throw std::invalid_argument("Partitioner: partitions must be >= 1");
+    }
+  }
+
+  [[nodiscard]] std::size_t num_partitions() const { return partitions_; }
+
+  /// Owner of an edge: hash of the canonical edge key mod P. Deterministic
+  /// and direction-insensitive ((u,v) and (v,u) share an owner).
+  [[nodiscard]] std::size_t partition_of(const Edge& e) const {
+    return partitions_ == 1
+               ? 0
+               : static_cast<std::size_t>(hash64(e.canonical().key()) %
+                                          partitions_);
+  }
+
+  [[nodiscard]] std::size_t partition_of(const Update& op) const {
+    return partition_of(op.edge);
+  }
+
+ private:
+  std::size_t partitions_;
+};
+
+}  // namespace cpkcore::cluster

@@ -1,110 +1,209 @@
 #include "cluster/router.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace cpkcore::cluster {
 
-Router::Router(service::KCoreService& primary, std::vector<Replica*> replicas)
-    : primary_(primary), replicas_(std::move(replicas)) {
-  if (!replicas_.empty()) {
-    replica_reads_ =
-        std::make_unique<std::atomic<std::uint64_t>[]>(replicas_.size());
-    for (std::size_t i = 0; i < replicas_.size(); ++i) replica_reads_[i] = 0;
+namespace {
+
+std::vector<Router::PartitionBackends> backends_of(ShardGroup& group) {
+  std::vector<Router::PartitionBackends> parts;
+  parts.reserve(group.num_partitions());
+  for (std::size_t p = 0; p < group.num_partitions(); ++p) {
+    parts.push_back(
+        Router::PartitionBackends{&group.primary(p), group.replica_set(p)});
+  }
+  return parts;
+}
+
+}  // namespace
+
+Router::Router(ShardGroup& group)
+    : Router(group.partitioner(), backends_of(group)) {}
+
+Router::Router(Partitioner partitioner,
+               std::vector<PartitionBackends> partitions)
+    : partitioner_(partitioner), parts_(std::move(partitions)) {
+  if (parts_.empty() || partitioner_.num_partitions() != parts_.size()) {
+    throw std::invalid_argument(
+        "Router: partitioner width must match the backend list");
+  }
+  for (const PartitionBackends& part : parts_) {
+    if (part.primary == nullptr) {
+      throw std::invalid_argument("Router: every partition needs a primary");
+    }
+  }
+  state_ = std::make_unique<PartState[]>(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    const std::size_t n = parts_[p].replicas.size();
+    if (n == 0) continue;
+    state_[p].replica_reads =
+        std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t r = 0; r < n; ++r) state_[p].replica_reads[r] = 0;
   }
 }
 
 std::uint64_t Router::write(Session& session, Update op) {
-  const service::Ticket ticket = primary_.submit(op);
+  const std::size_t p = partitioner_.partition_of(op);
+  const service::Ticket ticket = parts_[p].primary->submit(op);
   std::uint64_t lsn = 0;
-  if (!primary_.wait(ticket, &lsn)) {
+  if (!parts_[p].primary->wait(ticket, &lsn)) {
     throw std::runtime_error(
-        "Router: primary stopped before acknowledging the write");
+        "Router: partition primary stopped before acknowledging the write");
   }
-  session.advance(lsn);
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  session.advance(p, lsn);
+  state_[p].writes.fetch_add(1, std::memory_order_relaxed);
   return lsn;
 }
 
-int Router::pick_backend(std::uint64_t min_lsn,
+int Router::pick_backend(std::size_t partition, std::uint64_t min_lsn,
                          std::uint64_t* served_lsn) const {
-  const std::size_t n = replicas_.size();
+  const PartitionBackends& part = parts_[partition];
+  const std::size_t n = part.replicas.size();
   if (n > 0) {
     const std::uint64_t start =
-        round_robin_.fetch_add(1, std::memory_order_relaxed);
+        state_[partition].round_robin.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t r = (start + i) % n;
       // Sampled before the read: applied LSNs only grow, so the state the
       // read observes is at least this fresh.
-      const std::uint64_t lsn = replicas_[r]->applied_lsn();
+      const std::uint64_t lsn = part.replicas[r]->applied_lsn();
       if (lsn >= min_lsn) {
         *served_lsn = lsn;
         return static_cast<int>(r);
       }
     }
   }
-  // Primary fallback. Every acked write was applied before its ack became
-  // observable, so the primary's applied LSN satisfies any session cursor
-  // derived from acks against it.
-  *served_lsn = primary_.applied_lsn();
+  // Primary fallback. Every acked write on this partition was applied
+  // before its ack became observable, so the primary's applied LSN
+  // satisfies any session cursor derived from acks against it.
+  *served_lsn = part.primary->applied_lsn();
   return kPrimary;
 }
 
-template <typename V, typename ReplicaRead, typename PrimaryRead>
-Router::Result<V> Router::route_read(std::uint64_t min_lsn,
-                                     ReplicaRead on_replica,
-                                     PrimaryRead on_primary) const {
+template <typename V, typename MinLsn, typename Combine, typename ReplicaRead,
+          typename PrimaryRead>
+Router::Result<V> Router::fan_out(MinLsn min_lsn_for, bool strict,
+                                  Combine combine, ReplicaRead on_replica,
+                                  PrimaryRead on_primary) const {
   Result<V> result;
-  result.backend = pick_backend(min_lsn, &result.served_lsn);
+  result.parts.resize(parts_.size());
   reads_.fetch_add(1, std::memory_order_relaxed);
-  if (result.backend == kPrimary) {
-    primary_reads_.fetch_add(1, std::memory_order_relaxed);
-    result.value = on_primary();
-  } else {
-    replica_reads_[static_cast<std::size_t>(result.backend)].fetch_add(
-        1, std::memory_order_relaxed);
-    result.value = on_replica(*replicas_[static_cast<std::size_t>(
-        result.backend)]);
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    PartRead<V>& part = result.parts[p];
+    const std::uint64_t min_lsn = min_lsn_for(p);
+    part.backend = pick_backend(p, min_lsn, &part.served_lsn);
+    // Session cursors are always serveable (the primary applied every
+    // acked write before its ack became observable), so non-strict reads
+    // take the first pick. An explicit cut can run ahead of the applied
+    // frontier — committed-but-not-yet-applied batches — so strict reads
+    // spin until the apply catches up rather than silently serving older
+    // state. consistent_cut() samples the applied frontier, which is
+    // always serveable; only a hand-built cut past a crashed partition's
+    // final frontier would spin forever.
+    while (strict && part.served_lsn < min_lsn) {
+      std::this_thread::yield();
+      part.backend = pick_backend(p, min_lsn, &part.served_lsn);
+    }
+    if (part.backend == kPrimary) {
+      state_[p].primary_reads.fetch_add(1, std::memory_order_relaxed);
+      part.value = on_primary(*parts_[p].primary);
+    } else {
+      const auto r = static_cast<std::size_t>(part.backend);
+      state_[p].replica_reads[r].fetch_add(1, std::memory_order_relaxed);
+      part.value = on_replica(*parts_[p].replicas[r]);
+    }
+    result.value = p == 0 ? part.value : combine(result.value, part.value);
   }
   return result;
 }
 
 Router::ReadResult Router::read_coreness(const Session& session, vertex_t v,
                                          ReadMode mode) const {
-  return route_read<double>(
-      session.last_lsn(),
+  return fan_out<double>(
+      [&](std::size_t p) { return session.last_lsn(p); },
+      /*strict=*/false, [](double a, double b) { return a + b; },
       [&](const Replica& r) { return r.read_coreness(v, mode); },
-      [&] { return primary_.read_coreness(v, mode); });
+      [&](const service::KCoreService& s) {
+        return s.read_coreness(v, mode);
+      });
 }
 
 Router::LevelResult Router::read_level(const Session& session, vertex_t v,
                                        ReadMode mode) const {
-  return route_read<level_t>(
-      session.last_lsn(),
+  return fan_out<level_t>(
+      [&](std::size_t p) { return session.last_lsn(p); },
+      /*strict=*/false, [](level_t a, level_t b) { return std::max(a, b); },
       [&](const Replica& r) { return r.read_level(v, mode); },
-      [&] { return primary_.read_level(v, mode); });
+      [&](const service::KCoreService& s) { return s.read_level(v, mode); });
 }
 
 Router::ReadResult Router::read_coreness(vertex_t v, ReadMode mode) const {
-  return route_read<double>(
-      0, [&](const Replica& r) { return r.read_coreness(v, mode); },
-      [&] { return primary_.read_coreness(v, mode); });
+  return fan_out<double>(
+      [](std::size_t) { return std::uint64_t{0}; },
+      /*strict=*/false, [](double a, double b) { return a + b; },
+      [&](const Replica& r) { return r.read_coreness(v, mode); },
+      [&](const service::KCoreService& s) {
+        return s.read_coreness(v, mode);
+      });
 }
 
 Router::LevelResult Router::read_level(vertex_t v, ReadMode mode) const {
-  return route_read<level_t>(
-      0, [&](const Replica& r) { return r.read_level(v, mode); },
-      [&] { return primary_.read_level(v, mode); });
+  return fan_out<level_t>(
+      [](std::size_t) { return std::uint64_t{0}; },
+      /*strict=*/false, [](level_t a, level_t b) { return std::max(a, b); },
+      [&](const Replica& r) { return r.read_level(v, mode); },
+      [&](const service::KCoreService& s) { return s.read_level(v, mode); });
+}
+
+std::vector<std::uint64_t> Router::consistent_cut() const {
+  // The *applied* frontier, not the committed one: a committed-but-not-
+  // yet-applied LSN is not yet serveable by any backend (the primary
+  // included), so a commit-frontier cut would make every at-cut read spin
+  // out the apply latency. Applied LSNs only grow, so each partition's
+  // primary can always serve its entry immediately.
+  std::vector<std::uint64_t> cut;
+  cut.reserve(parts_.size());
+  for (const PartitionBackends& part : parts_) {
+    cut.push_back(part.primary->applied_lsn());
+  }
+  return cut;
+}
+
+Router::ReadResult Router::read_coreness_at_cut(
+    const std::vector<std::uint64_t>& cut, vertex_t v, ReadMode mode) const {
+  if (cut.size() != parts_.size()) {
+    throw std::invalid_argument("Router: cut width must match partitions");
+  }
+  return fan_out<double>(
+      [&](std::size_t p) { return cut[p]; },
+      /*strict=*/true, [](double a, double b) { return a + b; },
+      [&](const Replica& r) { return r.read_coreness(v, mode); },
+      [&](const service::KCoreService& s) {
+        return s.read_coreness(v, mode);
+      });
 }
 
 Router::Stats Router::stats() const {
   Stats out;
-  out.writes = writes_.load(std::memory_order_relaxed);
   out.reads = reads_.load(std::memory_order_relaxed);
-  out.primary_reads = primary_reads_.load(std::memory_order_relaxed);
-  out.replica_reads.resize(replicas_.size());
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    out.replica_reads[i] = replica_reads_[i].load(std::memory_order_relaxed);
+  out.partitions.resize(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    PartitionStats& ps = out.partitions[p];
+    ps.writes = state_[p].writes.load(std::memory_order_relaxed);
+    ps.primary_reads =
+        state_[p].primary_reads.load(std::memory_order_relaxed);
+    ps.replica_reads.resize(parts_[p].replicas.size());
+    for (std::size_t r = 0; r < ps.replica_reads.size(); ++r) {
+      ps.replica_reads[r] =
+          state_[p].replica_reads[r].load(std::memory_order_relaxed);
+      out.replica_reads += ps.replica_reads[r];
+    }
+    out.writes += ps.writes;
+    out.primary_reads += ps.primary_reads;
   }
   return out;
 }

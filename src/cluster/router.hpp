@@ -1,24 +1,36 @@
-// Router — the cluster's front end: writes go to the primary, reads are
-// load-balanced across replicas, and sessions get read-your-writes.
+// Router — the sharded cluster's front end: writes are routed to the
+// owning partition's primary, reads fan out across partitions (each
+// partition served by a replica that has caught up to the session's cursor
+// *for that partition*, with primary fallback), and sessions get
+// read-your-writes on every partition at once.
 //
-//   client session ──write──▶ Router ──▶ primary KCoreService
-//        │                      │             │ ack(lsn)
-//        │◀── session.last_lsn ─┘◀────────────┘
+//   client session ──write(op)──▶ Router ──Partitioner──▶ primary_p
+//        │                          │                        │ ack(lsn)
+//        │◀── session.lsn[p] = lsn ─┘◀───────────────────────┘
 //        │
-//        └──read(session)──▶ Router ──▶ replica with applied_lsn >= session
-//                               │         (round-robin among eligible)
-//                               └──else─▶ primary (always >= any acked LSN)
+//        └──read(session, v)──▶ Router ──▶ partition 0: backend ≥ lsn[0]
+//                                  │       partition 1: backend ≥ lsn[1]
+//                                  │       ...        (round-robin replicas,
+//                                  ▼                   primary fallback)
+//                          combine per-partition estimates
 //
-// The session token carries the LSN of the session's last acked write. A
-// read is only routed to a replica whose applied LSN has reached that
-// cursor; when no replica qualifies, the read falls back to the primary,
-// which applied the write before acking it — so a session can never observe
-// state older than its own last acked write, while sessions that tolerate
-// any freshness (cursor 0) spread across all replicas.
+// The session token generalizes PR 4's single LSN cursor to a *per-
+// partition LSN vector*: writes advance only the owning partition's entry,
+// and a fan-out read requires, per partition, a backend whose applied LSN
+// has reached that partition's entry — so a session never observes state
+// older than its own acked writes on any partition, while partitions the
+// session never wrote to stay floor-0 and spread across all replicas.
+//
+// Vertex reads fan out because the edge-key partitioning spreads a
+// vertex's incident edges across every partition (that is what spreads
+// write load). The fan-out combines per-partition values: coreness
+// estimates add (each partition holds a disjoint edge subset; the sum is
+// an upper-bound-flavored aggregate, exact at P = 1), levels take the max.
+// Per-partition values and serving backends are reported in the result for
+// callers that want the raw cut.
 //
 // Thread-safety: the router is fully thread-safe. A Session may be shared
-// by the threads of one logical client (e.g. a writer and a reader); its
-// cursor only advances.
+// by the threads of one logical client; its cursors only advance.
 #pragma once
 
 #include <atomic>
@@ -26,7 +38,9 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/partition.hpp"
 #include "cluster/replica.hpp"
+#include "cluster/shard_group.hpp"
 #include "core/read_modes.hpp"
 #include "service/kcore_service.hpp"
 
@@ -34,63 +48,115 @@ namespace cpkcore::cluster {
 
 class Router {
  public:
-  /// Backend index for "served by the primary" in results/stats.
+  /// Backend index for "served by the partition's primary".
   static constexpr int kPrimary = -1;
 
-  /// Read-your-writes session token: carries the LSN of the session's last
-  /// acked write (0 = fresh session, any backend qualifies). Create one per
-  /// logical client; shareable across that client's threads.
+  /// Read-your-writes session token: one LSN cursor per partition, each
+  /// carrying the session's last acked write on that partition (0 = never
+  /// wrote there, any backend qualifies). Create one per logical client
+  /// (make_session(), or construct with the partition count); shareable
+  /// across that client's threads.
   class Session {
    public:
-    [[nodiscard]] std::uint64_t last_lsn() const {
-      return lsn_.load(std::memory_order_acquire);
+    explicit Session(std::size_t partitions)
+        : partitions_(partitions),
+          lsns_(std::make_unique<std::atomic<std::uint64_t>[]>(partitions)) {
+      for (std::size_t p = 0; p < partitions; ++p) lsns_[p] = 0;
+    }
+
+    [[nodiscard]] std::size_t num_partitions() const { return partitions_; }
+
+    [[nodiscard]] std::uint64_t last_lsn(std::size_t partition) const {
+      return lsns_[partition].load(std::memory_order_acquire);
+    }
+
+    /// The full cursor vector (sampled per entry; entries only advance).
+    [[nodiscard]] std::vector<std::uint64_t> lsn_vector() const {
+      std::vector<std::uint64_t> out(partitions_);
+      for (std::size_t p = 0; p < partitions_; ++p) out[p] = last_lsn(p);
+      return out;
     }
 
    private:
     friend class Router;
     /// Monotone advance (concurrent writers on one session race benignly).
-    void advance(std::uint64_t lsn) {
-      std::uint64_t cur = lsn_.load(std::memory_order_relaxed);
-      while (cur < lsn && !lsn_.compare_exchange_weak(
-                              cur, lsn, std::memory_order_release,
-                              std::memory_order_relaxed)) {
+    void advance(std::size_t partition, std::uint64_t lsn) {
+      auto& cell = lsns_[partition];
+      std::uint64_t cur = cell.load(std::memory_order_relaxed);
+      while (cur < lsn &&
+             !cell.compare_exchange_weak(cur, lsn, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
       }
     }
-    std::atomic<std::uint64_t> lsn_{0};
+
+    std::size_t partitions_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> lsns_;
+  };
+
+  /// One partition's contribution to a fan-out read.
+  template <typename V>
+  struct PartRead {
+    V value{};
+    /// The serving backend's applied LSN sampled before the read — a
+    /// freshness lower bound, always >= the session's cursor for this
+    /// partition at routing time.
+    std::uint64_t served_lsn = 0;
+    int backend = kPrimary;  ///< replica index within the partition, or
+                             ///< kPrimary
   };
 
   template <typename V>
   struct Result {
-    V value{};
-    /// The serving backend's applied LSN sampled before the read — a lower
-    /// bound on the freshness of the state read; always >= the session's
-    /// cursor at routing time.
-    std::uint64_t served_lsn = 0;
-    int backend = kPrimary;  ///< replica index, or kPrimary
+    V value{};  ///< combined across partitions (sum / max; see file header)
+    std::vector<PartRead<V>> parts;  ///< one entry per partition
   };
   using ReadResult = Result<double>;
   using LevelResult = Result<level_t>;
 
-  struct Stats {
-    std::uint64_t writes = 0;
-    std::uint64_t reads = 0;
-    std::uint64_t primary_reads = 0;  ///< fallbacks (no replica caught up)
+  struct PartitionStats {
+    std::uint64_t writes = 0;         ///< routed writes owned here
+    std::uint64_t primary_reads = 0;  ///< part-reads the primary served
     std::vector<std::uint64_t> replica_reads;
   };
+  struct Stats {
+    std::uint64_t writes = 0;  ///< total routed writes
+    std::uint64_t reads = 0;   ///< fan-out read operations (each touches
+                               ///< every partition)
+    std::uint64_t primary_reads = 0;  ///< partition-serves, aggregated
+    std::uint64_t replica_reads = 0;  ///< partition-serves, aggregated
+    std::vector<PartitionStats> partitions;
+  };
 
-  /// Replicas may be empty (every read falls back to the primary). The
-  /// router holds references; primary and replicas must outlive it.
-  Router(service::KCoreService& primary, std::vector<Replica*> replicas);
+  /// One partition's backends as the router sees them. The router holds
+  /// pointers; backends must outlive it.
+  struct PartitionBackends {
+    service::KCoreService* primary = nullptr;
+    std::vector<Replica*> replicas;  ///< may be empty (primary serves all)
+  };
+
+  /// Production form: route over a ShardGroup's partitions (the group must
+  /// outlive the router).
+  explicit Router(ShardGroup& group);
+
+  /// Assembled form (tests, bespoke topologies): explicit backends per
+  /// partition; the partitioner's width must match.
+  Router(Partitioner partitioner, std::vector<PartitionBackends> partitions);
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
 
+  /// Fresh session sized to this router's partition count.
+  [[nodiscard]] std::unique_ptr<Session> make_session() const {
+    return std::make_unique<Session>(num_partitions());
+  }
+
   // ---------------- writes ----------------
 
-  /// Submits to the primary, waits for the ack, and advances the session
-  /// to the acked LSN, which is returned. Throws std::runtime_error when
-  /// the primary stopped before acknowledging (outcome unknown — the
-  /// session cursor is not advanced).
+  /// Routes the op to its owning partition's primary, waits for the ack,
+  /// and advances the session's cursor *for that partition* to the acked
+  /// LSN, which is returned. Throws std::runtime_error when the primary
+  /// stopped before acknowledging (outcome unknown — the cursor is not
+  /// advanced).
   std::uint64_t write(Session& session, Update op);
   std::uint64_t write_insert(Session& session, vertex_t u, vertex_t v) {
     return write(session, {{u, v}, UpdateKind::kInsert});
@@ -101,6 +167,7 @@ class Router {
 
   // ---------------- reads ----------------
 
+  /// Fan-out read honoring the session's per-partition cursors.
   [[nodiscard]] ReadResult read_coreness(
       const Session& session, vertex_t v,
       ReadMode mode = ReadMode::kCplds) const;
@@ -108,36 +175,72 @@ class Router {
       const Session& session, vertex_t v,
       ReadMode mode = ReadMode::kCplds) const;
 
-  /// Session-less reads: no freshness floor, any backend qualifies.
+  /// Session-less fan-out reads: no freshness floor on any partition.
   [[nodiscard]] ReadResult read_coreness(
       vertex_t v, ReadMode mode = ReadMode::kCplds) const;
   [[nodiscard]] LevelResult read_level(
       vertex_t v, ReadMode mode = ReadMode::kCplds) const;
+
+  /// Samples the partitions' *applied* frontier: a vector cut that every
+  /// at-cut read can serve immediately (each partition's primary is
+  /// already at-or-past its entry; applied LSNs only grow).
+  [[nodiscard]] std::vector<std::uint64_t> consistent_cut() const;
+
+  /// Scatter-gather read at an explicit cut: partition p is served by a
+  /// backend whose applied LSN is >= cut[p] — guaranteed, not best-effort:
+  /// if a cut entry runs ahead of the partition's applied frontier
+  /// (committed-but-unapplied batches), the read waits for the apply to
+  /// catch up rather than silently serving older state. Cuts from
+  /// consistent_cut() never wait; a hand-built cut past a crashed
+  /// partition's final frontier never returns. Throws
+  /// std::invalid_argument on a cut width mismatch.
+  [[nodiscard]] ReadResult read_coreness_at_cut(
+      const std::vector<std::uint64_t>& cut, vertex_t v,
+      ReadMode mode = ReadMode::kCplds) const;
 
   // ---------------- inspection ----------------
 
-  [[nodiscard]] std::size_t num_replicas() const { return replicas_.size(); }
-  [[nodiscard]] service::KCoreService& primary() { return primary_; }
+  [[nodiscard]] std::size_t num_partitions() const { return parts_.size(); }
+  [[nodiscard]] std::size_t num_replicas(std::size_t partition) const {
+    return parts_[partition].replicas.size();
+  }
+  [[nodiscard]] service::KCoreService& primary(std::size_t partition) {
+    return *parts_[partition].primary;
+  }
+  [[nodiscard]] const Partitioner& partitioner() const {
+    return partitioner_;
+  }
   [[nodiscard]] Stats stats() const;
 
  private:
-  /// Picks a backend whose applied LSN is >= min_lsn: round-robin over the
-  /// eligible replicas, primary fallback. Writes the sampled LSN (the
-  /// freshness lower bound) to *served_lsn.
-  int pick_backend(std::uint64_t min_lsn, std::uint64_t* served_lsn) const;
+  /// Per-partition routing state (round-robin cursor + serve counters).
+  struct PartState {
+    std::atomic<std::uint64_t> round_robin{0};
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> primary_reads{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> replica_reads;
+  };
 
-  template <typename V, typename ReplicaRead, typename PrimaryRead>
-  Result<V> route_read(std::uint64_t min_lsn, ReplicaRead on_replica,
-                       PrimaryRead on_primary) const;
+  /// Picks a backend of `partition` whose applied LSN is >= min_lsn:
+  /// round-robin over the eligible replicas, primary fallback. Writes the
+  /// sampled LSN (the freshness lower bound) to *served_lsn.
+  int pick_backend(std::size_t partition, std::uint64_t min_lsn,
+                   std::uint64_t* served_lsn) const;
 
-  service::KCoreService& primary_;
-  std::vector<Replica*> replicas_;
+  /// The shared fan-out skeleton: for each partition, pick a backend at or
+  /// past min_lsn_for(p), read through it, fold the value into the
+  /// combined result. `strict` enforces the floor even when no backend has
+  /// reached it yet (at-cut reads wait; session reads never need to).
+  /// Defined in the .cpp (all instantiations live there).
+  template <typename V, typename MinLsn, typename Combine,
+            typename ReplicaRead, typename PrimaryRead>
+  Result<V> fan_out(MinLsn min_lsn_for, bool strict, Combine combine,
+                    ReplicaRead on_replica, PrimaryRead on_primary) const;
 
-  mutable std::atomic<std::uint64_t> round_robin_{0};
-  mutable std::atomic<std::uint64_t> writes_{0};
+  Partitioner partitioner_;
+  std::vector<PartitionBackends> parts_;
+  std::unique_ptr<PartState[]> state_;
   mutable std::atomic<std::uint64_t> reads_{0};
-  mutable std::atomic<std::uint64_t> primary_reads_{0};
-  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> replica_reads_;
 };
 
 }  // namespace cpkcore::cluster

@@ -1,0 +1,152 @@
+#include "cluster/shard_group.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cpkcore::cluster {
+
+ShardGroup::ShardGroup(ClusterConfig config)
+    : config_(std::move(config)), partitioner_(config_.partitions) {
+  const std::size_t p_count = config_.partitions;
+  primaries_.reserve(p_count);
+  for (std::size_t p = 0; p < p_count; ++p) {
+    service::ServiceConfig cfg = config_.base;
+    cfg.wal_path = partition_path(config_.base.wal_path, p, p_count);
+    cfg.snapshot_path =
+        partition_path(config_.base.snapshot_path, p, p_count);
+    primaries_.push_back(
+        std::make_unique<service::KCoreService>(std::move(cfg)));
+  }
+  LogShipper::Options ship_opts;
+  ship_opts.retain_records = config_.retain_records;
+  shippers_.reserve(p_count);
+  for (std::size_t p = 0; p < p_count; ++p) {
+    shippers_.push_back(
+        std::make_unique<LogShipper>(*primaries_[p], ship_opts));
+  }
+  replicas_.resize(p_count);
+  for (std::size_t p = 0; p < p_count; ++p) {
+    replicas_[p].reserve(config_.replicas);
+    for (std::size_t r = 0; r < config_.replicas; ++r) {
+      // Mirror the primary's structural parameters. num_vertices comes
+      // from the live primary, not the template config: a warm restart
+      // from a snapshot may override the configured count.
+      service::ServiceConfig like = config_.base;
+      like.num_vertices = primaries_[p]->num_vertices();
+      replicas_[p].push_back(std::make_unique<Replica>(like));
+      // Fresh replicas subscribe from LSN 0; a primary warm-restarted with
+      // history behind it serves the catch-up from its ring/WAL (or throws
+      // "bootstrap from snapshot" if compacted — surfaced to the caller).
+      replicas_[p].back()->start(*shippers_[p]);
+    }
+  }
+}
+
+ShardGroup::~ShardGroup() { shutdown(); }
+
+std::vector<Replica*> ShardGroup::replica_set(std::size_t p) const {
+  std::vector<Replica*> out;
+  out.reserve(replicas_[p].size());
+  for (const auto& r : replicas_[p]) out.push_back(r.get());
+  return out;
+}
+
+ShardGroup::Submitted ShardGroup::submit(Update op) {
+  const std::size_t p = partitioner_.partition_of(op);
+  return Submitted{p, primaries_[p]->submit(op)};
+}
+
+void ShardGroup::drain() {
+  for (auto& primary : primaries_) primary->drain();
+}
+
+std::vector<std::uint64_t> ShardGroup::commit_cut() const {
+  std::vector<std::uint64_t> cut;
+  cut.reserve(primaries_.size());
+  for (const auto& primary : primaries_) cut.push_back(primary->commit_lsn());
+  return cut;
+}
+
+std::vector<std::uint64_t> ShardGroup::applied_cut() const {
+  std::vector<std::uint64_t> cut;
+  cut.reserve(primaries_.size());
+  for (const auto& primary : primaries_) {
+    cut.push_back(primary->applied_lsn());
+  }
+  return cut;
+}
+
+bool ShardGroup::wait_replicas_at(
+    const std::vector<std::uint64_t>& cut) const {
+  bool ok = true;
+  for (std::size_t p = 0; p < replicas_.size(); ++p) {
+    for (const auto& r : replicas_[p]) {
+      ok = r->wait_for_lsn(cut[p]) && ok;
+    }
+  }
+  return ok;
+}
+
+std::vector<std::uint64_t> ShardGroup::quiesce() {
+  drain();
+  std::vector<std::uint64_t> cut = commit_cut();
+  if (!wait_replicas_at(cut)) {
+    throw std::runtime_error(
+        "ShardGroup::quiesce: a replica stopped before reaching the "
+        "committed cut");
+  }
+  return cut;
+}
+
+ShardGroup::GlobalStats ShardGroup::global_stats() const {
+  GlobalStats out;
+  // The cut is sampled before the gather: every per-partition figure below
+  // covers at least the state at its cut entry (counters only grow).
+  out.cut = commit_cut();
+  out.partitions.reserve(primaries_.size());
+  out.shippers.reserve(shippers_.size());
+  for (std::size_t p = 0; p < primaries_.size(); ++p) {
+    out.num_edges += primaries_[p]->num_edges();
+    service::ServiceStats stats = primaries_[p]->stats();
+    out.submitted_ops += stats.submitted_ops;
+    out.acked_ops += stats.acked_ops;
+    out.applied_edges += stats.applied_edges;
+    out.batches += stats.batches;
+    out.cycles += stats.cycles;
+    out.partitions.push_back(std::move(stats));
+    out.shippers.push_back(shippers_[p]->stats());
+  }
+  return out;
+}
+
+std::size_t ShardGroup::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& primary : primaries_) total += primary->num_edges();
+  return total;
+}
+
+std::vector<std::uint64_t> ShardGroup::checkpoint() {
+  if (config_.base.snapshot_path.empty()) {
+    throw std::logic_error(
+        "ShardGroup::checkpoint requires ClusterConfig::base.snapshot_path");
+  }
+  std::vector<std::uint64_t> cut;
+  cut.reserve(primaries_.size());
+  for (auto& primary : primaries_) {
+    primary->checkpoint();
+    // The partition's snapshot covers exactly its post-checkpoint commit
+    // LSN (checkpoint() is update-quiescent per partition).
+    cut.push_back(primary->commit_lsn());
+  }
+  return cut;
+}
+
+void ShardGroup::shutdown() {
+  for (auto& partition : replicas_) {
+    for (auto& r : partition) r->stop();
+  }
+  for (auto& s : shippers_) s->detach();
+  for (auto& primary : primaries_) primary->shutdown();
+}
+
+}  // namespace cpkcore::cluster

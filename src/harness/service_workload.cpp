@@ -1,6 +1,7 @@
 #include "harness/service_workload.hpp"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -75,14 +76,20 @@ ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
 
 ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
                                            const ClusterWorkloadConfig& cfg) {
-  const vertex_t n = router.primary().num_vertices();
+  const vertex_t n = router.primary(0).num_vertices();
   ClusterWorkloadResult result;
 
-  // One read-your-writes session per writer; readers share them so every
-  // read carries a live freshness cursor. The extra session backs readers
-  // when there are no writers.
-  std::vector<cluster::Router::Session> sessions(
-      std::max<std::size_t>(1, cfg.writer_threads));
+  // One read-your-writes session per writer (sized to the router's
+  // partition count); readers share them so every read carries live
+  // per-partition freshness cursors. The extra session backs readers when
+  // there are no writers.
+  std::vector<std::unique_ptr<cluster::Router::Session>> sessions;
+  const std::size_t session_count =
+      std::max<std::size_t>(1, cfg.writer_threads);
+  sessions.reserve(session_count);
+  for (std::size_t s = 0; s < session_count; ++s) {
+    sessions.push_back(router.make_session());
+  }
 
   std::atomic<bool> stop{false};
   std::vector<LatencyHistogram> hists(cfg.reader_threads);
@@ -97,7 +104,7 @@ ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
   for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
     readers.emplace_back([&, t] {
       cluster::Router::Session& session =
-          sessions[cfg.writer_threads > 0 ? t % cfg.writer_threads : 0];
+          *sessions[cfg.writer_threads > 0 ? t % cfg.writer_threads : 0];
       Xoshiro256 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + t + 1);
       std::uint64_t issued = 0;
       std::uint64_t primary = 0;
@@ -107,7 +114,9 @@ ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
         const auto read = router.read_coreness(session, v, cfg.mode);
         hists[t].record(now_ns() - t0);
         ++issued;
-        if (read.backend == cluster::Router::kPrimary) ++primary;
+        for (const auto& part : read.parts) {
+          if (part.backend == cluster::Router::kPrimary) ++primary;
+        }
       }
       counts[t] = issued;
       primary_counts[t] = primary;
@@ -118,7 +127,7 @@ ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
   writers.reserve(cfg.writer_threads);
   for (std::size_t t = 0; t < cfg.writer_threads; ++t) {
     writers.emplace_back([&, t] {
-      cluster::Router::Session& session = sessions[t];
+      cluster::Router::Session& session = *sessions[t];
       Xoshiro256 rng(cfg.seed * 0xD1B54A32D192ED03ULL + t + 1);
       std::vector<Edge> inserted;
       for (std::size_t i = 0; i < cfg.ops_per_thread; ++i) {
@@ -151,7 +160,87 @@ ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
     primary_total += primary_counts[t];
   }
   result.primary_reads = primary_total;
-  result.replica_reads = result.total_reads - primary_total;
+  result.replica_reads =
+      result.total_reads * router.num_partitions() - primary_total;
+  return result;
+}
+
+ShardedWorkloadResult run_sharded_workload(cluster::ShardGroup& group,
+                                           const ShardedWorkloadConfig& cfg) {
+  const vertex_t n = group.num_vertices();
+  ShardedWorkloadResult result;
+  result.ops_per_partition.assign(group.num_partitions(), 0);
+
+  // Session-less fan-out reads exercise every partition's read path while
+  // the write plane is under load.
+  cluster::Router router(group);
+
+  std::atomic<bool> stop{false};
+  std::vector<LatencyHistogram> hists(cfg.reader_threads);
+  std::vector<std::uint64_t> counts(cfg.reader_threads, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(cfg.reader_threads);
+  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + t + 1);
+      std::uint64_t issued = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<vertex_t>(rng.next_below(n));
+        const std::uint64_t t0 = now_ns();
+        (void)router.read_coreness(v, cfg.mode);
+        hists[t].record(now_ns() - t0);
+        ++issued;
+      }
+      counts[t] = issued;
+    });
+  }
+
+  Timer wall;
+  std::vector<std::vector<std::uint64_t>> routed(
+      cfg.submitter_threads,
+      std::vector<std::uint64_t>(group.num_partitions(), 0));
+  std::vector<std::thread> submitters;
+  submitters.reserve(cfg.submitter_threads);
+  for (std::size_t t = 0; t < cfg.submitter_threads; ++t) {
+    submitters.emplace_back([&, t] {
+      Xoshiro256 rng(cfg.seed * 0xD1B54A32D192ED03ULL + t + 1);
+      std::vector<Edge> inserted;
+      for (std::size_t i = 0; i < cfg.ops_per_thread; ++i) {
+        const bool del = !inserted.empty() &&
+                         rng.next_double() < cfg.delete_fraction;
+        Update op;
+        if (del) {
+          const std::size_t j = rng.next_below(inserted.size());
+          op = {inserted[j], UpdateKind::kDelete};
+          inserted[j] = inserted.back();
+          inserted.pop_back();
+        } else {
+          const Edge e{static_cast<vertex_t>(rng.next_below(n)),
+                       static_cast<vertex_t>(rng.next_below(n))};
+          op = {e, UpdateKind::kInsert};
+          if (!e.is_self_loop()) inserted.push_back(e.canonical());
+        }
+        ++routed[t][group.submit(op).partition];
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  group.drain();
+  result.wall_seconds = wall.elapsed_s();
+  result.ops_submitted =
+      static_cast<std::uint64_t>(cfg.submitter_threads) * cfg.ops_per_thread;
+  for (const auto& per_thread : routed) {
+    for (std::size_t p = 0; p < per_thread.size(); ++p) {
+      result.ops_per_partition[p] += per_thread[p];
+    }
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
+    result.read_latency.merge(hists[t]);
+    result.total_reads += counts[t];
+  }
   return result;
 }
 

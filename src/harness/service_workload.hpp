@@ -3,13 +3,24 @@
 // awaited at the end) while reader threads issue uniform-random coreness
 // reads through a chosen ReadMode. The service-side counterpart of
 // harness/workload.hpp, used by tests and bench/service_throughput.
-// run_cluster_workload is the replicated variant: writers and readers go
-// through a cluster::Router with per-writer read-your-writes sessions.
+//
+// run_cluster_workload is the routed variant: writers and readers go
+// through a (shard-aware) cluster::Router with per-writer read-your-writes
+// sessions — writes are closed-loop (submit + ack advances the session's
+// per-partition cursor), reads fan out across partitions.
+//
+// run_sharded_workload is the write-plane variant: open-loop submitters
+// route each op to its owning partition primary through a
+// cluster::ShardGroup (no per-op ack wait — throughput measures the
+// aggregate ingest -> WAL -> apply bandwidth of P partitions), with
+// optional fan-out readers.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "cluster/router.hpp"
+#include "cluster/shard_group.hpp"
 #include "core/read_modes.hpp"
 #include "service/kcore_service.hpp"
 #include "util/latency_histogram.hpp"
@@ -63,9 +74,11 @@ struct ClusterWorkloadConfig {
 
 struct ClusterWorkloadResult {
   std::uint64_t ops_written = 0;
-  std::uint64_t total_reads = 0;
-  std::uint64_t primary_reads = 0;   ///< reads the router fell back with
-  std::uint64_t replica_reads = 0;   ///< reads served by some replica
+  std::uint64_t total_reads = 0;   ///< fan-out read operations
+  /// Partition-serve counters: each fan-out read contributes one serve per
+  /// partition, so primary_reads + replica_reads = total_reads * P.
+  std::uint64_t primary_reads = 0;
+  std::uint64_t replica_reads = 0;
   /// First write to last reader stopping (writers and readers overlap for
   /// the whole writer phase).
   double wall_seconds = 0.0;
@@ -82,12 +95,46 @@ struct ClusterWorkloadResult {
 };
 
 /// Runs writers and readers through the router. Each reader shares the
-/// session of writer (reader_index % writer_threads), so reads carry a live
-/// read-your-writes cursor; with zero writers, readers use a fresh session
-/// (no freshness floor). Returns once writers finished and readers stopped;
-/// replicas may still be catching up on the tail (check applied LSNs before
-/// quiescent validation).
+/// session of writer (reader_index % writer_threads), so reads carry live
+/// per-partition read-your-writes cursors; with zero writers, readers use
+/// a fresh session (no freshness floor). Returns once writers finished and
+/// readers stopped; replicas may still be catching up on the tail (check
+/// applied LSNs / quiesce before quiescent validation).
 ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
                                            const ClusterWorkloadConfig& cfg);
+
+struct ShardedWorkloadConfig {
+  std::size_t submitter_threads = 4;
+  std::size_t reader_threads = 0;
+  ReadMode mode = ReadMode::kCplds;
+  /// Ops submitted by each client thread (open loop).
+  std::size_t ops_per_thread = 10000;
+  double delete_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct ShardedWorkloadResult {
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t total_reads = 0;  ///< fan-out read operations
+  /// Routed submission distribution (one entry per partition).
+  std::vector<std::uint64_t> ops_per_partition;
+  /// First submit to last acknowledgment (includes the final drain of
+  /// every partition).
+  double wall_seconds = 0.0;
+  LatencyHistogram read_latency;
+
+  [[nodiscard]] double submit_throughput() const {
+    return wall_seconds > 0
+               ? static_cast<double>(ops_submitted) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Open-loop submitters route ops to their owning partition primaries via
+/// group.submit(); readers (if any) issue session-less fan-out reads
+/// through a router over the group. Returns once every partition drained
+/// and the readers stopped.
+ShardedWorkloadResult run_sharded_workload(cluster::ShardGroup& group,
+                                           const ShardedWorkloadConfig& cfg);
 
 }  // namespace cpkcore::harness

@@ -6,11 +6,13 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "util/crc32.hpp"
+
 namespace cpkcore::service {
 
 namespace {
 
-constexpr char kMagic[] = "cpkcore-wal-v2";
+constexpr char kMagic[] = "cpkcore-wal-v3";
 
 struct ParsedLog {
   std::streampos committed_end{};
@@ -68,8 +70,10 @@ ParsedLog parse_committed(std::ifstream& in, const std::string& path,
     char marker = 0;
     std::size_t marker_count = 0;
     std::uint64_t marker_lsn = 0;
-    if (!(in >> marker >> marker_count >> marker_lsn) || marker != 'C' ||
-        marker_count != count || marker_lsn != lsn) {
+    std::uint32_t marker_crc = 0;
+    if (!(in >> marker >> marker_count >> marker_lsn >> marker_crc) ||
+        marker != 'C' || marker_count != count || marker_lsn != lsn ||
+        marker_crc != wal_record_crc(lsn, batch)) {
       break;
     }
     if (on_batch) on_batch(lsn, batch);
@@ -81,6 +85,18 @@ ParsedLog parse_committed(std::ifstream& in, const std::string& path,
 }
 
 }  // namespace
+
+std::uint32_t wal_record_crc(std::uint64_t lsn, const UpdateBatch& batch) {
+  Crc32 crc;
+  crc.update_u8(batch.kind == UpdateKind::kInsert ? 'I' : 'D');
+  crc.update_u64(batch.edges.size());
+  crc.update_u64(lsn);
+  for (const Edge& e : batch.edges) {
+    crc.update_u32(e.u);
+    crc.update_u32(e.v);
+  }
+  return crc.value();
+}
 
 WalOpenInfo WriteAheadLog::open(const std::string& path,
                                 vertex_t num_vertices,
@@ -145,7 +161,8 @@ void WriteAheadLog::append(std::uint64_t lsn, const UpdateBatch& batch) {
   out_ << "B " << (batch.kind == UpdateKind::kInsert ? 'I' : 'D') << ' '
        << batch.edges.size() << ' ' << lsn << '\n';
   for (const Edge& e : batch.edges) out_ << e.u << ' ' << e.v << '\n';
-  out_ << "C " << batch.edges.size() << ' ' << lsn << '\n';
+  out_ << "C " << batch.edges.size() << ' ' << lsn << ' '
+       << wal_record_crc(lsn, batch) << '\n';
 }
 
 void WriteAheadLog::flush() {

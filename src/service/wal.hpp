@@ -9,18 +9,24 @@
 // sessions pin reads to "at or after my last acked LSN".
 //
 // Format (text, line-oriented, mirrors the snapshot format):
-//   cpkcore-wal-v2
+//   cpkcore-wal-v3
 //   <num_vertices> <base_lsn>
 //   B I <count> <lsn>    one record per batch: kind I(nsert)/D(elete) + size
 //   <u> <v>              ... count edge lines ...
-//   C <count> <lsn>      commit marker (redundant count/lsn, cross-checked)
+//   C <count> <lsn> <crc>   commit marker: redundant count/lsn plus a CRC32
+//                           of the record (kind, count, lsn, every edge)
 //
 // `base_lsn` is the LSN as of the last compaction (reset()): the log holds
 // exactly LSNs (base_lsn, last_lsn], consecutively. A batch is durable iff
-// its full record *including the commit marker* parses on replay; a
-// truncated or marker-less tail (crash between append and group commit) is
-// discarded and the file is truncated back to the last committed byte
-// before appending resumes.
+// its full record *including the commit marker* parses on replay AND its
+// CRC matches the recomputed record checksum; a truncated or marker-less
+// tail (crash between append and group commit) and a checksum-mismatched
+// tail (torn write, bit rot in the last records) are treated identically —
+// discarded, and the file is truncated back to the last committed byte
+// before appending resumes. The CRC covers the record's *values*, not its
+// raw bytes: corruption that still parses yields different values and a
+// mismatched checksum; corruption that no longer parses stops the scan on
+// its own.
 //
 // Durability is configurable at the group-commit point (WalOptions):
 //   kOsCache   stream flush only — survives process crashes (the default,
@@ -52,6 +58,12 @@ struct WalOptions {
 
 /// Replay/scan callback: (lsn, batch), in strictly increasing LSN order.
 using WalReplayFn = std::function<void(std::uint64_t, const UpdateBatch&)>;
+
+/// The checksum stored in a record's commit marker: CRC32 over the record's
+/// logical content (kind, edge count, LSN, every edge's endpoints) in a
+/// fixed byte order. Exposed so tests and external tooling can craft or
+/// verify records.
+std::uint32_t wal_record_crc(std::uint64_t lsn, const UpdateBatch& batch);
 
 /// What open() found in an existing log.
 struct WalOpenInfo {

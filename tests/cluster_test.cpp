@@ -1,22 +1,32 @@
 // Cluster-layer tests: WAL log shipping, exact read replicas, late-joiner
-// catch-up (ring and on-disk paths), the session-aware router's
-// read-your-writes guarantee under concurrent writers + readers, ingest
-// backpressure (block and reject admission), WAL durability levels, and
-// LSN continuity across checkpoint + restart.
+// catch-up (ring and on-disk paths), the sharded write plane (Partitioner,
+// ShardGroup, per-partition replica bit-equivalence), the shard-aware
+// router's cross-partition read-your-writes guarantee under concurrent
+// writers + readers, the P=1 regression guard against the unsharded
+// topology, ingest backpressure (block and reject admission), WAL
+// durability levels, and LSN continuity across checkpoint + restart.
+//
+// Sharded topologies default to 2 partitions x 2 replicas; CI's sharded
+// TSan leg pins that via CPKC_TEST_WRITE_SHARDS / CPKC_TEST_REPLICAS.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/log_ship.hpp"
+#include "cluster/partition.hpp"
 #include "cluster/replica.hpp"
 #include "cluster/router.hpp"
+#include "cluster/shard_group.hpp"
 #include "graph/generators.hpp"
 #include "harness/service_workload.hpp"
 #include "service/kcore_service.hpp"
@@ -25,15 +35,33 @@
 namespace cpkcore {
 namespace {
 
+using cluster::ClusterConfig;
 using cluster::LogShipper;
+using cluster::Partitioner;
 using cluster::Replica;
 using cluster::Router;
+using cluster::ShardGroup;
 using service::AdmissionPolicy;
 using service::KCoreService;
 using service::QueueFullError;
 using service::ServiceConfig;
 using service::Ticket;
 using service::WalDurability;
+
+std::size_t env_topology(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const unsigned long parsed = std::strtoul(v, nullptr, 10);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+std::size_t test_write_shards() {
+  return env_topology("CPKC_TEST_WRITE_SHARDS", 2);
+}
+std::size_t test_replicas() {
+  return env_topology("CPKC_TEST_REPLICAS", 2);
+}
 
 class TempPath {
  public:
@@ -210,10 +238,11 @@ TEST(Cluster, SubscribePastCompactionDemandsSnapshotBootstrap) {
 }
 
 TEST(Cluster, RouterReadYourWritesUnderConcurrentLoad) {
-  // The acceptance demo: 4 writers + 4 readers through the router. Every
-  // read must be served by a backend whose applied LSN is at or past the
-  // session's cursor as observed before the read — a session never reads
-  // state older than its last acked write.
+  // The PR-4 acceptance demo, now on the assembled single-partition form
+  // of the shard-aware router: 4 writers + 4 readers. Every read must be
+  // served by a backend whose applied LSN is at or past the session's
+  // cursor as observed before the read — a session never reads state older
+  // than its last acked write.
   constexpr vertex_t kN = 1500;
   ServiceConfig cfg;
   cfg.num_vertices = kN;
@@ -225,11 +254,15 @@ TEST(Cluster, RouterReadYourWritesUnderConcurrentLoad) {
   Replica r1(cfg);
   r0.start(shipper);
   r1.start(shipper);
-  Router router(primary, {&r0, &r1});
+  Router router(Partitioner(1),
+                {Router::PartitionBackends{&primary, {&r0, &r1}}});
 
   constexpr std::size_t kPairs = 4;
   constexpr std::size_t kOps = 1500;
-  std::vector<Router::Session> sessions(kPairs);
+  std::vector<std::unique_ptr<Router::Session>> sessions;
+  for (std::size_t t = 0; t < kPairs; ++t) {
+    sessions.push_back(router.make_session());
+  }
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> violations{0};
   std::atomic<std::uint64_t> replica_served{0};
@@ -243,12 +276,12 @@ TEST(Cluster, RouterReadYourWritesUnderConcurrentLoad) {
         // Sample the cursor BEFORE the read: the served LSN may only be
         // at or past it (the cursor can advance concurrently, which only
         // raises what the router must deliver).
-        const std::uint64_t cursor = sessions[t].last_lsn();
-        const auto read = router.read_coreness(sessions[t], v);
-        if (read.served_lsn < cursor) {
+        const std::uint64_t cursor = sessions[t]->last_lsn(0);
+        const auto read = router.read_coreness(*sessions[t], v);
+        if (read.parts[0].served_lsn < cursor) {
           violations.fetch_add(1, std::memory_order_relaxed);
         }
-        if (read.backend != Router::kPrimary) {
+        if (read.parts[0].backend != Router::kPrimary) {
           replica_served.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -262,8 +295,8 @@ TEST(Cluster, RouterReadYourWritesUnderConcurrentLoad) {
         const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
                      static_cast<vertex_t>(rng.next_below(kN))};
         const std::uint64_t lsn =
-            router.write(sessions[t], {e, UpdateKind::kInsert});
-        EXPECT_GE(sessions[t].last_lsn(), lsn);
+            router.write(*sessions[t], {e, UpdateKind::kInsert});
+        EXPECT_GE(sessions[t]->last_lsn(0), lsn);
       }
     });
   }
@@ -277,8 +310,9 @@ TEST(Cluster, RouterReadYourWritesUnderConcurrentLoad) {
          "untested";
   const auto stats = router.stats();
   EXPECT_EQ(stats.writes, kPairs * kOps);
-  EXPECT_EQ(stats.reads, stats.primary_reads + stats.replica_reads[0] +
-                             stats.replica_reads[1]);
+  EXPECT_EQ(stats.reads, stats.primary_reads +
+                             stats.partitions[0].replica_reads[0] +
+                             stats.partitions[0].replica_reads[1]);
 
   // Quiesce: replicas converge to the primary's exact state.
   primary.drain();
@@ -297,32 +331,32 @@ TEST(Cluster, RouterFallsBackToPrimaryWhenNoReplicaQualifies) {
   KCoreService primary(cfg);
   LogShipper shipper(primary);
   Replica rep(cfg);  // never started: applied LSN pinned at 0
-  Router router(primary, {&rep});
+  Router router(Partitioner(1),
+                {Router::PartitionBackends{&primary, {&rep}}});
 
-  Router::Session session;
+  Router::Session session(1);
   const std::uint64_t lsn = router.write_insert(session, 1, 2);
   EXPECT_GT(lsn, 0u);
-  EXPECT_EQ(session.last_lsn(), lsn);
+  EXPECT_EQ(session.last_lsn(0), lsn);
   const auto read = router.read_coreness(session, 1);
-  EXPECT_EQ(read.backend, Router::kPrimary);
-  EXPECT_GE(read.served_lsn, lsn);
+  EXPECT_EQ(read.parts[0].backend, Router::kPrimary);
+  EXPECT_GE(read.parts[0].served_lsn, lsn);
 
   // A fresh session has no freshness floor: the idle replica qualifies.
   const auto lazy = router.read_coreness(2);
-  EXPECT_EQ(lazy.backend, 0);
-  EXPECT_EQ(router.stats().replica_reads[0], 1u);
+  EXPECT_EQ(lazy.parts[0].backend, 0);
+  EXPECT_EQ(router.stats().partitions[0].replica_reads[0], 1u);
   primary.shutdown();
 }
 
 TEST(Cluster, ClusterWorkloadHarnessDrivesRouter) {
   constexpr vertex_t kN = 800;
-  ServiceConfig cfg;
-  cfg.num_vertices = kN;
-  KCoreService primary(cfg);
-  LogShipper shipper(primary);
-  Replica rep(cfg);
-  rep.start(shipper);
-  Router router(primary, {&rep});
+  ClusterConfig cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 1;
+  cfg.base.num_vertices = kN;
+  ShardGroup group(cfg);
+  Router router(group);
 
   harness::ClusterWorkloadConfig wl;
   wl.writer_threads = 2;
@@ -331,14 +365,375 @@ TEST(Cluster, ClusterWorkloadHarnessDrivesRouter) {
   wl.seed = 11;
   const auto result = harness::run_cluster_workload(router, wl);
   EXPECT_EQ(result.ops_written, 2u * 500u);
-  EXPECT_EQ(result.total_reads,
+  EXPECT_EQ(result.total_reads * router.num_partitions(),
             result.primary_reads + result.replica_reads);
 
-  primary.drain();
-  ASSERT_TRUE(rep.wait_for_lsn(primary.commit_lsn()));
-  expect_exact_replica(primary, rep);
-  rep.stop();
-  primary.shutdown();
+  group.quiesce();
+  expect_exact_replica(group.primary(0), group.replica(0, 0));
+  group.shutdown();
+}
+
+TEST(Cluster, ShardGroupRoutesEveryEdgeToExactlyOnePartition) {
+  const std::size_t kParts = std::max<std::size_t>(2, test_write_shards());
+  constexpr vertex_t kN = 600;
+  ClusterConfig cfg;
+  cfg.partitions = kParts;
+  cfg.base.num_vertices = kN;
+  ShardGroup group(cfg);
+  ASSERT_EQ(group.num_partitions(), kParts);
+
+  const auto edges = gen::erdos_renyi(kN, 4000, 51);
+  std::set<std::uint64_t> distinct;
+  for (const Edge& e : edges) {
+    if (!e.is_self_loop()) distinct.insert(e.canonical().key());
+    group.submit({e, UpdateKind::kInsert});
+  }
+  group.drain();
+
+  // Disjoint ownership: each edge lives on exactly one partition, so the
+  // partition edge counts add up to the distinct non-loop edges submitted.
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < kParts; ++p) {
+    EXPECT_GT(group.primary(p).num_edges(), 0u)
+        << "partition " << p << " received no edges: the hash partitioner "
+        << "is not spreading the write load";
+    total += group.primary(p).num_edges();
+  }
+  EXPECT_EQ(total, distinct.size());
+  EXPECT_EQ(group.num_edges(), distinct.size());
+
+  // Ownership agrees with the (stateless, deterministic) Partitioner.
+  for (std::size_t i = 0; i < edges.size(); i += 97) {
+    const Edge e = edges[i].canonical();
+    if (e.is_self_loop()) continue;
+    const std::size_t owner = group.partitioner().partition_of(e);
+    for (std::size_t p = 0; p < kParts; ++p) {
+      EXPECT_EQ(group.primary(p).cplds().plds().has_edge(e.u, e.v),
+                p == owner)
+          << "edge (" << e.u << "," << e.v << ") vs partition " << p;
+    }
+  }
+  group.shutdown();
+}
+
+TEST(Cluster, ShardedReplicasBitIdenticalPerPartitionAfterQuiesce) {
+  // The sharded half of the PR-4 acceptance bar: under concurrent open-loop
+  // writers (inserts and deletes), every partition's replicas converge to
+  // that partition's exact primary state once quiesced.
+  const std::size_t kParts = test_write_shards();
+  const std::size_t kReps = test_replicas();
+  constexpr vertex_t kN = 700;
+  ClusterConfig cfg;
+  cfg.partitions = kParts;
+  cfg.replicas = kReps;
+  cfg.base.num_vertices = kN;
+  cfg.base.min_ops_per_cycle = 16;
+  cfg.base.max_ops_per_cycle = 256;  // many cycles -> many shipped records
+  ShardGroup group(cfg);
+
+  constexpr std::size_t kWriters = 4;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(7000 + t);
+      std::vector<Edge> inserted;
+      for (std::size_t i = 0; i < 2000; ++i) {
+        if (!inserted.empty() && rng.next_double() < 0.25) {
+          const std::size_t j = rng.next_below(inserted.size());
+          group.submit({inserted[j], UpdateKind::kDelete});
+          inserted[j] = inserted.back();
+          inserted.pop_back();
+        } else {
+          const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                       static_cast<vertex_t>(rng.next_below(kN))};
+          group.submit({e, UpdateKind::kInsert});
+          if (!e.is_self_loop()) inserted.push_back(e.canonical());
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  group.quiesce();
+
+  for (std::size_t p = 0; p < kParts; ++p) {
+    EXPECT_GT(group.shipper(p).stats().shipped_records, 0u);
+    for (std::size_t r = 0; r < kReps; ++r) {
+      expect_exact_replica(group.primary(p), group.replica(p, r));
+    }
+  }
+  group.shutdown();
+}
+
+TEST(Cluster, ShardedRouterCrossPartitionReadYourWrites) {
+  // The sharded acceptance demo: 4 writers + 4 readers through the
+  // shard-aware router over a P x R ShardGroup. A session's cursor is now
+  // an LSN *vector*; every fan-out read must be served, per partition, by
+  // a backend at or past that partition's cursor entry as observed before
+  // the read — a session never observes state older than its own acked
+  // writes on any partition.
+  const std::size_t kParts = test_write_shards();
+  const std::size_t kReps = test_replicas();
+  constexpr vertex_t kN = 1200;
+  ClusterConfig cfg;
+  cfg.partitions = kParts;
+  cfg.replicas = kReps;
+  cfg.base.num_vertices = kN;
+  cfg.base.min_ops_per_cycle = 16;
+  cfg.base.max_ops_per_cycle = 512;
+  ShardGroup group(cfg);
+  Router router(group);
+
+  constexpr std::size_t kPairs = 4;
+  constexpr std::size_t kOps = 1200;
+  std::vector<std::unique_ptr<Router::Session>> sessions;
+  for (std::size_t t = 0; t < kPairs; ++t) {
+    sessions.push_back(router.make_session());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> replica_served{0};
+
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kPairs; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(1000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<vertex_t>(rng.next_below(kN));
+        // Sample the whole cursor vector BEFORE the read; concurrent
+        // writes only raise entries, which only raises what the router
+        // must deliver.
+        const std::vector<std::uint64_t> cursor =
+            sessions[t]->lsn_vector();
+        const auto read = router.read_coreness(*sessions[t], v);
+        for (std::size_t p = 0; p < read.parts.size(); ++p) {
+          if (read.parts[p].served_lsn < cursor[p]) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (read.parts[p].backend != Router::kPrimary) {
+            replica_served.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kPairs; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(2000 + t);
+      for (std::size_t i = 0; i < kOps; ++i) {
+        const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                     static_cast<vertex_t>(rng.next_below(kN))};
+        const std::size_t owner = router.partitioner().partition_of(e);
+        const std::uint64_t lsn =
+            router.write(*sessions[t], {e, UpdateKind::kInsert});
+        EXPECT_GE(sessions[t]->last_lsn(owner), lsn);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(replica_served.load(), 0u)
+      << "every partition-read fell back to its primary; replica routing "
+         "went untested";
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.writes, kPairs * kOps);
+  EXPECT_EQ(stats.primary_reads + stats.replica_reads,
+            stats.reads * kParts);
+  for (std::size_t p = 0; p < kParts; ++p) {
+    EXPECT_GT(stats.partitions[p].writes, 0u)
+        << "partition " << p << " owned no writes";
+  }
+
+  // Quiesce: every partition's replicas converge to their primary.
+  group.quiesce();
+  for (std::size_t p = 0; p < kParts; ++p) {
+    for (std::size_t r = 0; r < kReps; ++r) {
+      expect_exact_replica(group.primary(p), group.replica(p, r));
+    }
+  }
+  group.shutdown();
+}
+
+TEST(Cluster, PartitionCountOneMatchesUnshardedService) {
+  // Regression guard: a 1-partition ShardGroup behind the shard-aware
+  // router IS the unsharded PR-4 topology — same LSN stream, same CPLDS
+  // state, same read values. Both sides get a deterministic identical
+  // batch schedule: one ingest shard (global FIFO), a pinned cycle budget,
+  // and every op enqueued while applies are paused.
+  constexpr vertex_t kN = 400;
+  const auto base_cfg = [] {
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.num_shards = 1;
+    cfg.min_ops_per_cycle = 64;
+    cfg.max_ops_per_cycle = 64;
+    return cfg;
+  };
+  KCoreService svc(base_cfg());
+  ClusterConfig ccfg;
+  ccfg.partitions = 1;
+  ccfg.replicas = 1;
+  ccfg.base = base_cfg();
+  ShardGroup group(ccfg);
+  Router router(group);
+  const auto session = router.make_session();
+  ASSERT_EQ(session->num_partitions(), 1u);
+
+  svc.pause_applies();
+  group.primary(0).pause_applies();
+  for (const Edge& e : gen::barabasi_albert(kN, 4, 31)) {
+    svc.submit({e, UpdateKind::kInsert});
+    group.submit({e, UpdateKind::kInsert});
+  }
+  for (vertex_t v = 0; v + 1 < 60; ++v) {
+    svc.submit({{v, v + 1}, UpdateKind::kDelete});
+    group.submit({{v, v + 1}, UpdateKind::kDelete});
+  }
+  svc.resume_applies();
+  group.primary(0).resume_applies();
+  svc.drain();
+  group.quiesce();
+
+  // Identical LSN stream and bitwise-identical structure.
+  EXPECT_EQ(svc.commit_lsn(), group.primary(0).commit_lsn());
+  EXPECT_EQ(edge_keys(svc.cplds()), edge_keys(group.primary(0).cplds()));
+  for (vertex_t v = 0; v < kN; ++v) {
+    ASSERT_EQ(svc.cplds().plds().level(v),
+              group.primary(0).cplds().plds().level(v))
+        << "level mismatch at " << v;
+  }
+  // Fan-out reads over one partition reproduce the plain service reads
+  // exactly (the sum/max aggregates are identities at P = 1).
+  for (vertex_t v = 0; v < kN; v += 7) {
+    const auto read = router.read_coreness(*session, v);
+    ASSERT_EQ(read.parts.size(), 1u);
+    EXPECT_EQ(read.value, svc.read_coreness(v));
+    const auto level = router.read_level(*session, v);
+    EXPECT_EQ(level.value, svc.read_level(v));
+  }
+  // ... and the single partition's replica mirrors it bitwise.
+  expect_exact_replica(group.primary(0), group.replica(0, 0));
+  svc.shutdown();
+  group.shutdown();
+}
+
+TEST(Cluster, ConsistentCutScatterGatherAcrossPartitions) {
+  const std::size_t kParts = test_write_shards();
+  constexpr vertex_t kN = 500;
+  ClusterConfig cfg;
+  cfg.partitions = kParts;
+  cfg.replicas = 1;
+  cfg.base.num_vertices = kN;
+  ShardGroup group(cfg);
+  Router router(group);
+
+  for (const Edge& e : gen::barabasi_albert(kN, 4, 61)) {
+    group.submit({e, UpdateKind::kInsert});
+  }
+  group.drain();
+
+  // The sampled cut is the committed frontier; at-cut reads must be served
+  // at-or-past it on every partition.
+  const std::vector<std::uint64_t> cut = router.consistent_cut();
+  ASSERT_EQ(cut.size(), kParts);
+  for (vertex_t v = 0; v < kN; v += 31) {
+    const auto read = router.read_coreness_at_cut(cut, v);
+    ASSERT_EQ(read.parts.size(), kParts);
+    double sum = 0;
+    for (std::size_t p = 0; p < kParts; ++p) {
+      EXPECT_GE(read.parts[p].served_lsn, cut[p]);
+      sum += read.parts[p].value;
+    }
+    EXPECT_DOUBLE_EQ(read.value, sum);
+  }
+  EXPECT_THROW(
+      (void)router.read_coreness_at_cut(
+          std::vector<std::uint64_t>(kParts + 1, 0), 0),
+      std::invalid_argument);
+
+  // Strict at-cut reads hold under in-flight writes too: a cut taken from
+  // the *committed* frontier can run ahead of the applied one
+  // (committed-but-unapplied batches), and the read must wait that out
+  // rather than silently serve older state.
+  std::thread writer([&] {
+    Xoshiro256 rng(99);
+    for (std::size_t i = 0; i < 3000; ++i) {
+      const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                   static_cast<vertex_t>(rng.next_below(kN))};
+      group.submit({e, UpdateKind::kInsert});
+    }
+  });
+  for (vertex_t v = 0; v < 200; ++v) {
+    const std::vector<std::uint64_t> commit_cut = group.commit_cut();
+    const auto read = router.read_coreness_at_cut(commit_cut, v % kN);
+    for (std::size_t p = 0; p < kParts; ++p) {
+      ASSERT_GE(read.parts[p].served_lsn, commit_cut[p]);
+    }
+  }
+  writer.join();
+  group.drain();
+
+  // Global stats gather at a cut sampled before the per-partition figures.
+  const auto gs = group.global_stats();
+  ASSERT_EQ(gs.cut.size(), kParts);
+  ASSERT_EQ(gs.partitions.size(), kParts);
+  ASSERT_EQ(gs.shippers.size(), kParts);
+  EXPECT_EQ(gs.num_edges, group.num_edges());
+  std::uint64_t acked = 0;
+  for (const auto& part : gs.partitions) acked += part.acked_ops;
+  EXPECT_EQ(gs.acked_ops, acked);
+  group.shutdown();
+}
+
+TEST(Cluster, ClusterConfigControlsShipperRetentionRing) {
+  const std::size_t kParts = test_write_shards();
+  ClusterConfig cfg;
+  cfg.partitions = kParts;
+  cfg.replicas = 1;
+  cfg.retain_records = 4;  // plumbed through to every partition's shipper
+  cfg.base.num_vertices = 300;
+  cfg.base.min_ops_per_cycle = 4;
+  cfg.base.max_ops_per_cycle = 16;  // several commits per partition
+  ShardGroup group(cfg);
+
+  for (vertex_t v = 0; v + 1 < 300; ++v) group.submit_insert(v, v + 1);
+  group.quiesce();
+
+  for (std::size_t p = 0; p < kParts; ++p) {
+    const LogShipper::Stats stats = group.shipper(p).stats();
+    EXPECT_EQ(stats.retain_capacity, 4u);
+    EXPECT_LE(stats.retained, 4u);
+    EXPECT_LE(stats.retained_peak, 4u);
+    EXPECT_GT(stats.retained_peak, 0u);
+    EXPECT_GT(stats.shipped_records, 0u);
+    EXPECT_EQ(stats.subscribers, 1u);
+  }
+  group.shutdown();
+}
+
+TEST(Cluster, ShardedWorkloadHarnessDrivesWritePlane) {
+  const std::size_t kParts = test_write_shards();
+  ClusterConfig cfg;
+  cfg.partitions = kParts;
+  cfg.base.num_vertices = 800;
+  ShardGroup group(cfg);
+
+  harness::ShardedWorkloadConfig wl;
+  wl.submitter_threads = 2;
+  wl.reader_threads = 2;
+  wl.ops_per_thread = 500;
+  wl.seed = 13;
+  const auto result = harness::run_sharded_workload(group, wl);
+  EXPECT_EQ(result.ops_submitted, 2u * 500u);
+  ASSERT_EQ(result.ops_per_partition.size(), kParts);
+  std::uint64_t routed = 0;
+  for (std::uint64_t ops : result.ops_per_partition) routed += ops;
+  EXPECT_EQ(routed, result.ops_submitted);
+  EXPECT_GT(result.total_reads, 0u);
+  group.shutdown();
 }
 
 TEST(Cluster, BackpressureRejectPolicyBoundsShardQueues) {

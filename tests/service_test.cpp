@@ -9,6 +9,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <thread>
 #include <vector>
@@ -255,10 +256,12 @@ TEST(Service, WalDiscardsUncommittedTail) {
   // must stay appendable afterwards.
   TempPath wal("tail.wal");
   {
+    const UpdateBatch committed{UpdateKind::kInsert, {{1, 2}, {2, 3}}};
     std::ofstream out(wal.str());
-    out << "cpkcore-wal-v2\n100 0\n";
-    out << "B I 2 1\n1 2\n2 3\nC 2 1\n";
-    out << "B I 3 2\n3 4\n4 5\n";  // crash: no "C 3 2"
+    out << "cpkcore-wal-v3\n100 0\n";
+    out << "B I 2 1\n1 2\n2 3\nC 2 1 "
+        << service::wal_record_crc(1, committed) << "\n";
+    out << "B I 3 2\n3 4\n4 5\n";  // crash: no commit marker
   }
   std::vector<UpdateBatch> replayed;
   std::vector<std::uint64_t> lsns;
@@ -296,11 +299,57 @@ TEST(Service, WalDiscardsUncommittedTail) {
   EXPECT_EQ(replayed[1].edges, (std::vector<Edge>{{1, 2}}));
 }
 
+TEST(Service, WalChecksumTruncatesCorruptTail) {
+  // Bit rot / torn write in the last record: the payload still *parses*
+  // (valid numbers, marker present), but the recomputed CRC no longer
+  // matches the stored one — the record must be dropped and truncated
+  // exactly like an uncommitted tail, leaving the log appendable.
+  TempPath wal("crc.wal");
+  {
+    WriteAheadLog log;
+    log.open(wal.str(), 100, nullptr);
+    log.append(1, UpdateBatch{UpdateKind::kInsert, {{1, 2}, {2, 3}}});
+    log.append(2, UpdateBatch{UpdateKind::kInsert, {{3, 4}}});
+    log.flush();
+    log.close();
+  }
+  {
+    // Corrupt record 2's edge payload ("3 4" occurs only there).
+    std::ifstream in(wal.str());
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    const std::size_t at = contents.find("3 4\n");
+    ASSERT_NE(at, std::string::npos);
+    contents[at + 2] = '5';
+    std::ofstream out(wal.str(), std::ios::trunc);
+    out << contents;
+  }
+  // Both readers agree: the committed prefix ends before the rotted record.
+  const auto scanned = service::scan_wal(wal.str(), 100, nullptr);
+  EXPECT_EQ(scanned.records, 1u);
+  EXPECT_EQ(scanned.last_lsn, 1u);
+  std::size_t replayed_count = 0;
+  WriteAheadLog log;
+  const auto info = log.open(
+      wal.str(), 100,
+      [&](std::uint64_t, const UpdateBatch&) { ++replayed_count; });
+  EXPECT_EQ(info.replayed, 1u);
+  EXPECT_EQ(info.last_lsn, 1u);
+  EXPECT_EQ(replayed_count, 1u);
+  // The corrupt tail was truncated away: LSN 2 is free again and the log
+  // keeps working.
+  log.append(2, UpdateBatch{UpdateKind::kDelete, {{1, 2}}});
+  log.flush();
+  log.close();
+  WriteAheadLog reopened;
+  EXPECT_EQ(reopened.open(wal.str(), 100, nullptr).replayed, 2u);
+}
+
 TEST(Service, WalRejectsMismatchedVertexCount) {
   TempPath wal("mismatch.wal");
   {
     std::ofstream out(wal.str());
-    out << "cpkcore-wal-v2\n100 0\n";
+    out << "cpkcore-wal-v3\n100 0\n";
   }
   WriteAheadLog log;
   EXPECT_THROW(log.open(wal.str(), 200, nullptr), std::runtime_error);
