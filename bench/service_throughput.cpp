@@ -21,6 +21,11 @@
 //   CPKC_SERVICE_REPLICAS  max replica count to sweep   (default 0 = off)
 //   CPKC_WRITE_SHARDS      max partition count to sweep (default 0 = off)
 //   CPKC_CLUSTER_WRITERS   writer threads in the replica sweep (default 2)
+//   CPKC_WAL_FORMAT        "binary" (default) or "text": WAL wire format.
+//                          The --write-shards sweep ignores the default and
+//                          runs BOTH formats per partition count (the
+//                          BENCH_wal_v4 text-vs-binary comparison) unless
+//                          this variable pins one.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +59,19 @@ bool wal_enabled() {
   return true;
 }
 
+service::WalFormat wal_format() {
+  if (const char* v = std::getenv("CPKC_WAL_FORMAT")) {
+    if (std::strcmp(v, "text") == 0 || std::strcmp(v, "v3") == 0) {
+      return service::WalFormat::kTextV3;
+    }
+  }
+  return service::WalFormat::kBinaryV4;
+}
+
+std::string format_label(service::WalFormat format) {
+  return format == service::WalFormat::kBinaryV4 ? "binary-v4" : "text-v3";
+}
+
 void remove_partition_wals(const std::string& stem, std::size_t partitions) {
   for (std::size_t p = 0; p < partitions; ++p) {
     std::filesystem::remove(cluster::partition_path(stem, p, partitions));
@@ -70,6 +88,7 @@ void run_cell(std::size_t clients) {
   cfg.num_vertices = n;
   cfg.levels_per_group_cap = bench::opt_cap();
   if (wal_enabled()) cfg.wal_path = wal_path;
+  cfg.wal_format = wal_format();
   service::KCoreService svc(cfg);
 
   // Preload half the edges so updates hit a nontrivial structure, then
@@ -97,6 +116,7 @@ void run_cell(std::size_t clients) {
       {"clients", static_cast<std::int64_t>(clients)},
       {"readers", static_cast<std::int64_t>(wl.reader_threads)},
       {"wal", static_cast<std::int64_t>(wal_enabled() ? 1 : 0)},
+      {"wal_format", format_label(wal_format())},
       {"ops", static_cast<std::int64_t>(result.ops_submitted)},
       {"wall_s", result.wall_seconds},
       {"submit_ops_per_s", result.submit_throughput()},
@@ -129,6 +149,7 @@ void run_replicated_cell(std::size_t replicas) {
   ccfg.base.num_vertices = n;
   ccfg.base.levels_per_group_cap = bench::opt_cap();
   if (wal_enabled()) ccfg.base.wal_path = wal_path;
+  ccfg.base.wal_format = wal_format();
   cluster::ShardGroup group(ccfg);
   cluster::Router router(group);
 
@@ -174,7 +195,7 @@ void run_replicated_cell(std::size_t replicas) {
 }
 
 void run_sharded_cell(std::size_t partitions, std::size_t replicas,
-                      std::size_t clients) {
+                      std::size_t clients, service::WalFormat format) {
   const auto n = static_cast<vertex_t>(
       100000 * bench::env_size("CPKC_SCALE", 1));
   const std::string wal_stem = "/tmp/cpkc_sharded_throughput.wal";
@@ -187,6 +208,7 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
   ccfg.base.num_vertices = n;
   ccfg.base.levels_per_group_cap = bench::opt_cap();
   if (wal_enabled()) ccfg.base.wal_path = wal_stem;
+  ccfg.base.wal_format = format;
   cluster::ShardGroup group(ccfg);
 
   // Preload half the edges across the partitions, quiesce, zero every
@@ -235,6 +257,7 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
       {"clients", static_cast<std::int64_t>(clients)},
       {"readers", static_cast<std::int64_t>(wl.reader_threads)},
       {"wal", static_cast<std::int64_t>(wal_enabled() ? 1 : 0)},
+      {"wal_format", format_label(format)},
       {"ops", static_cast<std::int64_t>(result.ops_submitted)},
       {"wall_s", result.wall_seconds},
       {"submit_ops_per_s", result.submit_throughput()},
@@ -272,9 +295,20 @@ int main(int argc, char** argv) {
   if (max_shards > 0) {
     // Write-scaling sweep: 1..P partitions at a fixed client count; with
     // --replicas R alongside, every partition also drives R replicas.
+    // Per partition count the sweep A/Bs the WAL wire format — text
+    // baseline first, then binary v4 — unless CPKC_WAL_FORMAT pins one
+    // (or the WAL is off, where the format is moot).
     const std::size_t clients = bench::writer_workers();
+    std::vector<service::WalFormat> formats;
+    if (!wal_enabled() || std::getenv("CPKC_WAL_FORMAT") != nullptr) {
+      formats = {wal_format()};
+    } else {
+      formats = {service::WalFormat::kTextV3, service::WalFormat::kBinaryV4};
+    }
     for (std::size_t p = 1; p <= max_shards; ++p) {
-      run_sharded_cell(p, max_replicas, clients);
+      for (const service::WalFormat format : formats) {
+        run_sharded_cell(p, max_replicas, clients, format);
+      }
     }
     return 0;
   }

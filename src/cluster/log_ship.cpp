@@ -28,9 +28,7 @@ LogShipper::LogShipper(service::KCoreService& primary, Options options)
   // predecessor, or this constructor from the registration LSN — the two
   // agree, since the first live record is always registration + 1.
   const std::uint64_t at_registration = primary_.set_commit_listener(
-      [this](std::uint64_t lsn, const UpdateBatch& batch) {
-        on_commit(lsn, batch);
-      });
+      [this](const service::WalFramePtr& frame) { on_commit(frame); });
   attached_ = true;
   std::lock_guard lock(mu_);
   if (!cursor_seeded_) {
@@ -45,7 +43,8 @@ void LogShipper::detach() {
   attached_ = false;
 }
 
-void LogShipper::on_commit(std::uint64_t lsn, const UpdateBatch& batch) {
+void LogShipper::on_commit(const service::WalFramePtr& frame) {
+  const std::uint64_t lsn = frame->lsn();
   std::lock_guard lock(mu_);
   // First delivery beat the constructor to the cursor (see there).
   if (!cursor_seeded_) {
@@ -58,8 +57,9 @@ void LogShipper::on_commit(std::uint64_t lsn, const UpdateBatch& batch) {
     throw std::runtime_error("LogShipper: non-consecutive commit LSN");
   }
   last_lsn_ = lsn;
-  const ShippedRecord record{lsn,
-                             std::make_shared<const UpdateBatch>(batch)};
+  // Retaining the frame is a shared_ptr copy — the encoded bytes the WAL
+  // just committed are never duplicated on this path.
+  const ShippedRecord record{lsn, frame};
   retained_.push_back(record);
   // Evict *after* the push so retain_records = 0 still ships live records
   // (the ring then only serves subscribers already caught up).
@@ -121,12 +121,15 @@ std::uint64_t LogShipper::subscribe(std::uint64_t from_lsn,
           "the primary has no WAL to catch up from");
     }
     std::uint64_t served_upto = from_lsn;
-    const service::WalScanInfo info = service::scan_wal(
+    // scan_wal_frames lifts v4 frames straight off disk — the subscriber
+    // receives the identical bytes the live stream carries, with no decode
+    // (and no re-encode) on this path.
+    const service::WalScanInfo info = service::scan_wal_frames(
         wal_path_, num_vertices_,
-        [&](std::uint64_t lsn, const UpdateBatch& batch) {
+        [&](const service::WalFramePtr& frame) {
+          const std::uint64_t lsn = frame->lsn();
           if (lsn <= from_lsn || lsn >= need_below) return;
-          callback(ShippedRecord{
-              lsn, std::make_shared<const UpdateBatch>(batch)});
+          callback(ShippedRecord{lsn, frame});
           served_upto = lsn;
         });
     if (info.base_lsn > from_lsn) {

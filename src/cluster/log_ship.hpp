@@ -1,11 +1,18 @@
 // Log shipping — the replication transport of the read-scaling cluster.
 //
 // A LogShipper taps the primary KCoreService's group-commit path (via
-// KCoreService::set_commit_listener) and fans every committed batch record
-// (lsn, batch) out to its subscribers, in strictly increasing LSN order
-// with no gaps. Because batch application to the level data structure is
-// deterministic given the committed batch stream, a subscriber that applies
-// the stream to its own CPLDS is an *exact* replica, not an approximation.
+// KCoreService::set_commit_listener) and fans every committed record out to
+// its subscribers, in strictly increasing LSN order with no gaps. Because
+// batch application to the level data structure is deterministic given the
+// committed batch stream, a subscriber that applies the stream to its own
+// CPLDS is an *exact* replica, not an approximation.
+//
+// What travels is the *encoded* WalFrame — the same bytes the primary's WAL
+// committed, shared by pointer from the apply thread's single encode. The
+// retention ring holds frames, disk catch-up lifts frames straight off the
+// v4 log without decoding (scan_wal_frames), and each replica decodes a
+// frame's payload exactly once on its own apply thread. Nothing between the
+// group commit and the replica apply re-serializes.
 //
 //   primary apply thread ──commit listener──▶ LogShipper ──▶ subscriber 0
 //                                               │   ▲        subscriber 1
@@ -39,13 +46,14 @@
 
 namespace cpkcore::cluster {
 
-/// One committed batch as shipped to subscribers. The batch is shared,
-/// not copied: one record fans out to the retention ring and every
-/// subscriber without duplicating the edge vector on the primary's commit
-/// path (subscribers must treat it as immutable).
+/// One committed batch as shipped to subscribers: the encoded frame the
+/// primary's WAL committed, shared — not copied — so one record fans out to
+/// the retention ring and every subscriber without duplicating bytes on the
+/// primary's commit path. Consumers call frame->decode_batch() exactly once
+/// (or frame->bytes() to forward the wire form untouched).
 struct ShippedRecord {
   std::uint64_t lsn = 0;
-  std::shared_ptr<const UpdateBatch> batch;
+  service::WalFramePtr frame;
 };
 
 class LogShipper {
@@ -103,7 +111,7 @@ class LogShipper {
   [[nodiscard]] Stats stats() const;
 
  private:
-  void on_commit(std::uint64_t lsn, const UpdateBatch& batch);
+  void on_commit(const service::WalFramePtr& frame);
 
   service::KCoreService& primary_;
   Options options_;

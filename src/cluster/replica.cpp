@@ -72,10 +72,13 @@ void Replica::apply_loop() {
       rec = std::move(queue_.front());
       queue_.pop_front();
     }
-    // Apply outside the lock: the shipper's enqueue must never wait on a
-    // batch application (that would stall the primary's commit path).
+    // Decode and apply outside the lock: the shipper's enqueue must never
+    // wait on either (that would stall the primary's commit path). This is
+    // the pipeline's single decode — the frame traveled encoded from the
+    // primary's group commit all the way to this thread.
     Timer timer;
-    const std::size_t edges = ds_->apply(*rec.batch).size();
+    const UpdateBatch batch = rec.frame->decode_batch();
+    const std::size_t edges = ds_->apply(batch).size();
     const double seconds = static_cast<double>(timer.elapsed_ns()) * 1e-9;
     applied_lsn_.store(rec.lsn, std::memory_order_release);
     {

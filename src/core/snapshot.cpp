@@ -10,22 +10,32 @@ constexpr char kMagic[] = "cpkcore-snapshot-v1";
 }
 
 void save_snapshot(const CPLDS& ds, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  out << kMagic << '\n' << ds.num_vertices() << '\n';
+  save_snapshot(ds.num_vertices(), collect_snapshot_edges(ds), path);
+}
+
+std::vector<Edge> collect_snapshot_edges(const CPLDS& ds) {
   // Enumerate canonical edges from the quiescent level buckets.
   const PLDS& plds = ds.plds();
-  std::size_t written = 0;
+  std::vector<Edge> edges;
+  edges.reserve(ds.num_edges());
   for (vertex_t v = 0; v < ds.num_vertices(); ++v) {
     for (vertex_t w : plds.neighbors(v)) {
-      if (w > v) {
-        out << v << ' ' << w << '\n';
-        ++written;
-      }
+      if (w > v) edges.push_back({v, w});
     }
   }
-  if (written != ds.num_edges()) {
+  if (edges.size() != ds.num_edges()) {
     throw std::runtime_error("snapshot edge count mismatch");
+  }
+  return edges;
+}
+
+void save_snapshot(vertex_t num_vertices, const std::vector<Edge>& edges,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << kMagic << '\n' << num_vertices << '\n';
+  for (const Edge& e : edges) {
+    out << e.u << ' ' << e.v << '\n';
   }
   if (!out) throw std::runtime_error("write failed: " + path);
 }

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/cplds.hpp"
 
@@ -15,6 +16,17 @@ namespace cpkcore {
 /// Writes the snapshot (vertex count + canonical edge list) to `path`.
 /// Quiescent use only. Throws std::runtime_error on IO failure.
 void save_snapshot(const CPLDS& ds, const std::string& path);
+
+/// Enumerates the current canonical edge list (u < v per edge). Quiescent
+/// use only. This is the capture half of a streaming checkpoint: callers
+/// copy the edges under their update lock (memory-bound pause), then write
+/// them out with the overload below while updates resume.
+std::vector<Edge> collect_snapshot_edges(const CPLDS& ds);
+
+/// Writes a snapshot from an already-collected edge list — the streaming
+/// half; runs with no claim on the structure. Throws on IO failure.
+void save_snapshot(vertex_t num_vertices, const std::vector<Edge>& edges,
+                   const std::string& path);
 
 /// Parameters of the CPLDS rebuilt by load_snapshot. One struct instead of a
 /// loose argument list so call sites (tests, the serving layer's

@@ -43,7 +43,7 @@ KCoreService::KCoreService(ServiceConfig config)
     const WalOpenInfo info = wal_.open(
         config_.wal_path, ds_->num_vertices(),
         [&](std::uint64_t, const UpdateBatch& batch) { ds_->apply(batch); },
-        WalOptions{config_.wal_durability});
+        WalOptions{config_.wal_durability, config_.wal_format});
     stats_.replayed_batches = info.replayed;
     // Resume LSN numbering where the committed log ends; the replayed
     // prefix is both committed and applied.
@@ -271,9 +271,27 @@ std::size_t KCoreService::run_cycle() {
   std::vector<std::uint64_t> lsns;
   lsns.reserve(batches.size());
   for (std::size_t i = 0; i < batches.size(); ++i) lsns.push_back(++next_lsn_);
-  if (wal_.is_open()) {
+  // Encode-once: each committed batch becomes one WalFrame here, and those
+  // exact bytes serve both the WAL append below and the commit listener —
+  // no consumer re-serializes. (A text WAL is the one exception: it writes
+  // its own line format, and frames are built only if a listener needs
+  // them.)
+  const bool binary_wal =
+      wal_.is_open() && wal_.format() == WalFormat::kBinaryV4;
+  std::vector<WalFramePtr> frames;
+  if (binary_wal || commit_listener_ != nullptr) {
+    frames.reserve(batches.size());
     for (std::size_t i = 0; i < batches.size(); ++i) {
-      wal_.append(lsns[i], batches[i]);
+      frames.push_back(WalFrame::encode(lsns[i], batches[i]));
+    }
+  }
+  if (wal_.is_open()) {
+    if (binary_wal) {
+      for (const WalFramePtr& frame : frames) wal_.append(*frame);
+    } else {
+      for (std::size_t i = 0; i < batches.size(); ++i) {
+        wal_.append(lsns[i], batches[i]);
+      }
     }
     wal_.flush();
   }
@@ -288,11 +306,10 @@ std::size_t KCoreService::run_cycle() {
 
   // Ship to the replication subscriber (committed, not yet applied — a
   // replica may briefly run ahead of the primary's apply, which only makes
-  // reads fresher, never staler than an acked write).
+  // reads fresher, never staler than an acked write). The listener shares
+  // the frame; no bytes are copied.
   if (commit_listener_) {
-    for (std::size_t i = 0; i < batches.size(); ++i) {
-      commit_listener_(lsns[i], batches[i]);
-    }
+    for (const WalFramePtr& frame : frames) commit_listener_(frame);
   }
 
   // Apply.
@@ -348,18 +365,33 @@ void KCoreService::checkpoint() {
     throw std::logic_error(
         "KCoreService::checkpoint requires ServiceConfig::snapshot_path");
   }
-  // Excludes drain cycles, so the CPLDS is update-quiescent; readers are
-  // unaffected. Pending ops simply land in the fresh WAL afterwards.
-  std::lock_guard lock(apply_mu_);
-  // Temp-file + rename so a crash mid-save cannot destroy the previous
-  // snapshot — until the atomic rename, the old snapshot + full WAL still
+  // Phase 1 — capture the cut (bounded pause): with drain cycles excluded
+  // the CPLDS is update-quiescent; copy its edge list and the LSN the cut
+  // covers. Memory-bound — no disk IO under the lock.
+  vertex_t num_vertices = 0;
+  std::vector<Edge> edges;
+  std::uint64_t cut_lsn = 0;
+  {
+    std::lock_guard lock(apply_mu_);
+    num_vertices = ds_->num_vertices();
+    edges = collect_snapshot_edges(*ds_);
+    cut_lsn = next_lsn_;
+  }
+  // Phase 2 — stream (no lock): write the snapshot while updates keep
+  // committing past the cut. A crash mid-save cannot destroy the previous
+  // snapshot: until the rename below, the old snapshot + full WAL still
   // reconstruct every acked op.
   const std::string tmp = config_.snapshot_path + ".tmp";
-  save_snapshot(*ds_, tmp);
-  std::filesystem::rename(tmp, config_.snapshot_path);
-  // The snapshot covers every LSN up to next_lsn_ (no cycle is running);
-  // the truncated log records that as its base so numbering continues.
-  if (wal_.is_open()) wal_.reset(next_lsn_);
+  save_snapshot(num_vertices, edges, tmp);
+  // Phase 3 — publish (bounded pause): swap in the snapshot and compact
+  // the WAL down to the records committed since the cut, in the same
+  // critical section so no cycle commits between the two. The pause is
+  // proportional to that suffix, not to the structure size.
+  {
+    std::lock_guard lock(apply_mu_);
+    std::filesystem::rename(tmp, config_.snapshot_path);
+    if (wal_.is_open()) wal_.compact(cut_lsn);
+  }
 }
 
 void KCoreService::shutdown() { stop(/*drain_first=*/true); }
@@ -405,8 +437,8 @@ void KCoreService::stop(bool drain_first) {
     shards_[s].ack_cv.notify_all();
     shards_[s].space_cv.notify_all();
   }
-  // Under apply_mu_: a concurrent checkpoint() holds it while touching the
-  // WAL stream (reset), and std::ofstream is not thread-safe.
+  // Under apply_mu_: a concurrent checkpoint() holds it while compacting
+  // the WAL, and WriteAheadLog is not thread-safe.
   std::lock_guard lock(apply_mu_);
   wal_.close();
 }

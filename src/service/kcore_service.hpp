@@ -28,8 +28,12 @@
 //    level) before they are applied; on construction the service
 //    warm-restarts from the snapshot (if present) plus the committed WAL
 //    suffix, resuming LSN numbering where the log left off. checkpoint()
-//    compacts: snapshot the live edge set, then truncate the WAL to a
-//    header whose base LSN preserves the numbering.
+//    compacts by streaming a snapshot from a consistent cut, pausing
+//    updates only to copy the edge set and to swap in the compacted WAL.
+//  * Encode-once: with a binary WAL and/or a commit listener, the apply
+//    thread encodes each committed batch into a WalFrame exactly once; the
+//    WAL appends those bytes and the listener (the cluster layer's log
+//    shipper) receives the same frame by shared_ptr.
 //  * Acknowledgment: a ticket is acked once its drain cycle has been
 //    logged and applied; ops that coalesce into no-ops (duplicates,
 //    self-loops, already-present edges) ack like any other. Per-shard acks
@@ -100,6 +104,10 @@ struct ServiceConfig {
   std::string wal_path;
   std::string snapshot_path;
   WalDurability wal_durability = WalDurability::kOsCache;
+  /// WAL format for fresh logs; an existing v3 log is migrated to v4 on
+  /// open when this is kBinaryV4 (the default), or kept text when kTextV3
+  /// (the benchmark baseline).
+  WalFormat wal_format = WalFormat::kBinaryV4;
 
   /// Adaptive drain budget: per-cycle op count is steered so one cycle's
   /// apply time lands near the target, within [min_ops, max_ops].
@@ -140,9 +148,11 @@ struct ServiceStats {
 class KCoreService {
  public:
   /// Called by the apply thread for every committed batch, after the group
-  /// commit and before the batch is applied/acked. See set_commit_listener.
-  using CommitListener =
-      std::function<void(std::uint64_t lsn, const UpdateBatch&)>;
+  /// commit and before the batch is applied/acked. The listener receives
+  /// the encoded frame — the exact bytes the WAL just committed (the apply
+  /// thread encodes each batch once and fans the frame out to both) — and
+  /// shares ownership; it must not block. See set_commit_listener.
+  using CommitListener = std::function<void(const WalFramePtr&)>;
 
   /// Builds the structure (cold start, or warm restart from
   /// config.snapshot_path + committed config.wal_path suffix) and starts
@@ -215,10 +225,15 @@ class KCoreService {
 
   // ---------------- lifecycle ----------------
 
-  /// Compaction: blocks updates, snapshots the live edge set to
-  /// config.snapshot_path, truncates the WAL (preserving LSN numbering via
-  /// the base LSN). Readers are unaffected. Throws std::logic_error when no
-  /// snapshot path is configured.
+  /// Compaction, streaming from a consistent cut: briefly blocks updates to
+  /// copy the live edge set and the cut LSN (a memory-bound pause), streams
+  /// the snapshot to disk while updates keep committing, then briefly
+  /// blocks again to publish the snapshot and rewrite the WAL down to the
+  /// records past the cut. The update pause is proportional to the edge
+  /// count (copy) plus the records committed during the stream (suffix
+  /// rewrite) — never to the disk write of the snapshot itself. Readers are
+  /// unaffected throughout. Throws std::logic_error when no snapshot path
+  /// is configured.
   void checkpoint();
 
   /// Graceful shutdown: drains every pending op (logging + applying +

@@ -1,50 +1,66 @@
 // Write-ahead log for the serving layer: every coalesced batch is appended
-// (records + a per-batch commit marker) and the whole drain cycle is flushed
-// once — group commit — *before* the batch is applied to the CPLDS, so a
-// restart can replay exactly the committed prefix of accepted work.
+// (one self-delimiting record per batch) and the whole drain cycle is
+// flushed once — group commit — *before* the batch is applied to the CPLDS,
+// so a restart can replay exactly the committed prefix of accepted work.
 //
 // Every batch carries a log sequence number (LSN), assigned monotonically by
 // the service. The LSN is the cluster layer's replication cursor: replicas
 // track the last LSN they applied, and the router's read-your-writes
 // sessions pin reads to "at or after my last acked LSN".
 //
-// Format (text, line-oriented, mirrors the snapshot format):
-//   cpkcore-wal-v3
-//   <num_vertices> <base_lsn>
-//   B I <count> <lsn>    one record per batch: kind I(nsert)/D(elete) + size
-//   <u> <v>              ... count edge lines ...
-//   C <count> <lsn> <crc>   commit marker: redundant count/lsn plus a CRC32
-//                           of the record (kind, count, lsn, every edge)
+// Formats (WalOptions::format — see wal_codec.hpp for the frame layout):
 //
-// `base_lsn` is the LSN as of the last compaction (reset()): the log holds
-// exactly LSNs (base_lsn, last_lsn], consecutively. A batch is durable iff
-// its full record *including the commit marker* parses on replay AND its
-// CRC matches the recomputed record checksum; a truncated or marker-less
-// tail (crash between append and group commit) and a checksum-mismatched
-// tail (torn write, bit rot in the last records) are treated identically —
-// discarded, and the file is truncated back to the last committed byte
-// before appending resumes. The CRC covers the record's *values*, not its
-// raw bytes: corruption that still parses yields different values and a
-// mismatched checksum; corruption that no longer parses stops the scan on
-// its own.
+//   kBinaryV4   the default: a 24-byte header (magic "cpkc-wal-v4\n",
+//               num_vertices, base_lsn) followed by length-prefixed,
+//               CRC32-trailered binary WalFrames. append(const WalFrame&)
+//               is a buffered memcpy of bytes the apply thread encoded
+//               exactly once — the same bytes the shipper ring retains and
+//               replicas decode.
+//   kTextV3     the legacy line-oriented format (PR 3-5), kept readable
+//               *and* writable as the migration source and the benchmark
+//               baseline:
+//                 cpkcore-wal-v3
+//                 <num_vertices> <base_lsn>
+//                 B I <count> <lsn>   then <count> "<u> <v>" edge lines,
+//                 C <count> <lsn> <crc>   the commit marker (value CRC32)
+//
+// `base_lsn` is the LSN as of the last compaction: the log holds exactly
+// LSNs (base_lsn, last_lsn], consecutively. A batch is durable iff its full
+// record parses on replay AND its checksum matches; a truncated tail (crash
+// between append and group commit), a torn length prefix, and a
+// bit-flipped payload are treated identically — discarded, and the file is
+// truncated back to the last committed byte before appending resumes.
+//
+// Opening a v3 text log with kBinaryV4 configured replays it and atomically
+// rewrites it in v4 (temp file + rename + parent-dir fsync), so old
+// deployments migrate on their first restart; opening a v4 file always
+// stays v4 regardless of the configured format.
 //
 // Durability is configurable at the group-commit point (WalOptions):
-//   kOsCache   stream flush only — survives process crashes (the default,
+//   kOsCache   buffered write only — survives process crashes (the default,
 //              and what the crash tests simulate)
 //   kFdatasync fdatasync(2) per group commit — survives power failure
 //              (file length of an append-only log is data, so fdatasync
 //              suffices for the record payload)
 //   kFsync     fsync(2) per group commit — fdatasync plus metadata
-// The parent directory is not fsynced on create/reset; a crash in that
-// window loses the whole (empty) file, which restart treats as fresh.
+// At those two levels the parent directory is also fsynced on create,
+// reset(), and compact(), so a freshly-created or just-compacted log's
+// directory entry itself survives power failure (previously a documented
+// gap: a crash in that window lost the whole file).
+//
+// The segment is preallocated ahead of the append frontier
+// (fallocate FALLOC_FL_KEEP_SIZE, WalOptions::preallocate_bytes per step),
+// so group commits extend into reserved extents instead of paying block
+// allocation on the latency path; logical file size is unaffected.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "graph/batch.hpp"
+#include "service/wal_codec.hpp"
 #include "util/types.hpp"
 
 namespace cpkcore::service {
@@ -54,21 +70,31 @@ enum class WalDurability { kOsCache, kFdatasync, kFsync };
 
 struct WalOptions {
   WalDurability durability = WalDurability::kOsCache;
+  /// Format for fresh logs and reset(); an existing file's detected format
+  /// wins for appends (v3 only until migration), see file header.
+  WalFormat format = WalFormat::kBinaryV4;
+  /// Preallocation step (bytes) ahead of the append frontier; 0 disables.
+  std::size_t preallocate_bytes = std::size_t{4} << 20;
 };
 
 /// Replay/scan callback: (lsn, batch), in strictly increasing LSN order.
 using WalReplayFn = std::function<void(std::uint64_t, const UpdateBatch&)>;
+/// Frame-scan callback: encoded frames, no payload decode (v4 files).
+using WalFrameFn = std::function<void(const WalFramePtr&)>;
 
-/// The checksum stored in a record's commit marker: CRC32 over the record's
-/// logical content (kind, edge count, LSN, every edge's endpoints) in a
-/// fixed byte order. Exposed so tests and external tooling can craft or
-/// verify records.
+/// The checksum stored in a *v3* record's commit marker: CRC32 over the
+/// record's logical content (kind, edge count, LSN, every edge's endpoints)
+/// in a fixed byte order. Exposed so tests and external tooling can craft
+/// or verify legacy records. (v4 frames carry a CRC over their wire bytes
+/// instead — see wal_codec.hpp.)
 std::uint32_t wal_record_crc(std::uint64_t lsn, const UpdateBatch& batch);
 
 /// What open() found in an existing log.
 struct WalOpenInfo {
   std::size_t replayed = 0;      ///< committed batches replayed
   std::uint64_t last_lsn = 0;    ///< last committed LSN (= base_lsn if none)
+  WalFormat format = WalFormat::kBinaryV4;  ///< format the log operates in
+  bool migrated = false;         ///< v3 file was rewritten as v4
 };
 
 class WriteAheadLog {
@@ -81,58 +107,105 @@ class WriteAheadLog {
 
   /// Opens the log at `path` for an n-vertex structure. If the file exists,
   /// replays every committed batch through `on_batch` (in append order),
-  /// truncates any uncommitted tail, and positions for appending; otherwise
-  /// creates the file with a fresh header (base LSN 0). Throws
-  /// std::runtime_error on IO errors or a vertex-count / magic mismatch.
+  /// truncates any uncommitted tail, migrates v3 -> v4 when so configured,
+  /// and positions for appending; otherwise creates the file with a fresh
+  /// header (base LSN 0). Throws std::runtime_error on IO errors or a
+  /// vertex-count / magic mismatch.
   WalOpenInfo open(const std::string& path, vertex_t num_vertices,
                    const WalReplayFn& on_batch, WalOptions options = {});
 
-  /// Appends one batch record under `lsn` (buffered — not committed until
-  /// flush()). LSNs must be consecutive; edges are logged as given (callers
-  /// pass canonical deduplicated batches).
+  /// Appends one pre-encoded frame (buffered — not committed until
+  /// flush()). The encode-once path: the caller encoded the batch, and the
+  /// identical bytes go to disk here and to the shipper ring. The log must
+  /// be operating in kBinaryV4 (std::logic_error otherwise).
+  void append(const WalFrame& frame);
+
+  /// Appends one batch record under `lsn` in the log's operating format
+  /// (buffered). For binary logs this encodes a frame internally —
+  /// convenience for tests/tools; the service uses append(const WalFrame&).
+  /// LSNs must be consecutive; edges are logged as given (callers pass
+  /// canonical deduplicated batches).
   void append(std::uint64_t lsn, const UpdateBatch& batch);
 
-  /// Group commit: pushes every appended record to the OS in one flush,
+  /// Group commit: pushes every appended record to the OS in one write,
   /// then applies the configured durability level (fdatasync/fsync).
-  /// Throws std::runtime_error if the stream or sync failed.
+  /// Throws std::runtime_error if the write or sync failed.
   void flush();
 
-  /// Compaction: truncates the log to an empty header whose base LSN is
+  /// Compaction to empty: truncates the log to a header whose base LSN is
   /// `base_lsn` (the LSN up to which the logical state has been persisted
   /// elsewhere — core/snapshot). Subsequent appends start at base_lsn + 1.
   void reset(std::uint64_t base_lsn);
 
+  /// Compaction preserving the suffix: atomically rewrites the log so it
+  /// holds exactly the committed records with LSN > `base_lsn` over a
+  /// header whose base LSN is `base_lsn`. This is the streaming-checkpoint
+  /// primitive: the snapshot covers (…, base_lsn] while updates kept
+  /// committing past it, and only the (small) suffix is rewritten — the
+  /// pause is proportional to the records committed since the cut, not to
+  /// the structure size. Buffered appends are flushed first. Exclusive use
+  /// only (no concurrent append/flush).
+  void compact(std::uint64_t base_lsn);
+
   void close();
 
-  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::uint64_t base_lsn() const { return base_lsn_; }
+  /// Format the open log is appending in.
+  [[nodiscard]] WalFormat format() const { return format_; }
 
  private:
-  void write_header();
-  void open_sync_fd();
+  void append_file_header();
+  void write_out(const unsigned char* data, std::size_t len);
+  void sync_data();
+  void sync_parent_dir() const;
+  void ensure_preallocated(std::size_t upcoming);
 
   std::string path_;
   vertex_t num_vertices_ = 0;
   std::uint64_t base_lsn_ = 0;
   WalOptions options_;
-  std::ofstream out_;
-  int sync_fd_ = -1;  ///< second fd on the same file, for f(data)sync
+  WalFormat format_ = WalFormat::kBinaryV4;
+  int fd_ = -1;
+  std::vector<unsigned char> buf_;  ///< records awaiting the group commit
+  std::uint64_t size_ = 0;          ///< logical file size (flushed bytes)
+  std::uint64_t prealloc_limit_ = 0;  ///< extent frontier already reserved
 };
 
-/// What scan_wal() found.
+/// What scan_wal() / scan_wal_frames() found.
 struct WalScanInfo {
   std::size_t records = 0;
   std::uint64_t base_lsn = 0;
   std::uint64_t last_lsn = 0;
+  WalFormat format = WalFormat::kBinaryV4;
 };
 
-/// Read-only scan of a WAL's committed prefix, safe to run while another
-/// process/thread appends to the same file (a partially flushed tail simply
-/// ends the scan). Used by the cluster layer's late-joiner catch-up. A
-/// missing or empty file scans as zero records. Throws std::runtime_error
-/// on a magic/vertex-count mismatch.
+/// Read-only scan of a WAL's committed prefix (either format), safe to run
+/// while another process/thread appends to the same file (a partially
+/// flushed tail simply ends the scan). A missing or empty file scans as
+/// zero records. Throws std::runtime_error on a magic/vertex-count
+/// mismatch.
 WalScanInfo scan_wal(const std::string& path, vertex_t num_vertices,
                      const WalReplayFn& on_batch);
+
+/// Like scan_wal, but delivers encoded frames: for a v4 file the bytes are
+/// lifted straight off disk with no payload decode — the cluster layer's
+/// late-joiner catch-up path, which ships the identical bytes the live
+/// stream carries. A v3 file is parsed and re-encoded per record (the one
+/// legacy seam where catch-up pays an encode).
+WalScanInfo scan_wal_frames(const std::string& path, vertex_t num_vertices,
+                            const WalFrameFn& on_frame);
+
+/// A WAL file's identity, read without scanning records (walcat, tooling).
+struct WalHeaderInfo {
+  WalFormat format = WalFormat::kBinaryV4;
+  vertex_t num_vertices = 0;
+  std::uint64_t base_lsn = 0;
+};
+
+/// Reads a WAL's header. Throws std::runtime_error on a missing/empty file
+/// or unrecognized magic.
+WalHeaderInfo read_wal_header(const std::string& path);
 
 }  // namespace cpkcore::service

@@ -1,0 +1,127 @@
+#include "service/wal_codec.hpp"
+
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace cpkcore::service {
+
+namespace {
+
+std::atomic<std::uint64_t> g_encoded{0};
+std::atomic<std::uint64_t> g_decoded{0};
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  out.push_back(static_cast<unsigned char>(v));
+  out.push_back(static_cast<unsigned char>(v >> 8));
+  out.push_back(static_cast<unsigned char>(v >> 16));
+  out.push_back(static_cast<unsigned char>(v >> 24));
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+WalCodecCounters wal_codec_counters() {
+  WalCodecCounters out;
+  out.encoded_frames = g_encoded.load(std::memory_order_relaxed);
+  out.decoded_batches = g_decoded.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_wal_codec_counters() {
+  g_encoded.store(0, std::memory_order_relaxed);
+  g_decoded.store(0, std::memory_order_relaxed);
+}
+
+WalFramePtr WalFrame::encode(std::uint64_t lsn, const UpdateBatch& batch) {
+  auto frame = std::shared_ptr<WalFrame>(new WalFrame());
+  const std::size_t count = batch.edges.size();
+  const std::size_t payload = 13 + 8 * count;
+  std::vector<unsigned char>& out = frame->bytes_;
+  out.reserve(kOverheadBytes + 8 * count);
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  put_u64(out, lsn);
+  out.push_back(batch.kind == UpdateKind::kInsert ? 0 : 1);
+  put_u32(out, static_cast<std::uint32_t>(count));
+  for (const Edge& e : batch.edges) {
+    put_u32(out, e.u);
+    put_u32(out, e.v);
+  }
+  out.reserve(out.size() + 4);
+  put_u32(out, crc32(out.data(), out.size()));
+  frame->lsn_ = lsn;
+  frame->kind_ = batch.kind;
+  frame->count_ = count;
+  g_encoded.fetch_add(1, std::memory_order_relaxed);
+  return frame;
+}
+
+WalFramePtr WalFrame::try_parse(const unsigned char* data,
+                                std::size_t available, vertex_t num_vertices,
+                                std::size_t* consumed) {
+  if (available < kOverheadBytes) return nullptr;
+  const std::size_t payload = get_u32(data);
+  if (payload < 13 || payload > kMaxPayloadBytes || (payload - 13) % 8 != 0) {
+    return nullptr;
+  }
+  const std::size_t total = 4 + payload + 4;
+  if (available < total) return nullptr;
+  const std::uint32_t stored_crc = get_u32(data + 4 + payload);
+  if (crc32(data, 4 + payload) != stored_crc) return nullptr;
+  const unsigned char kind = data[12];
+  if (kind > 1) return nullptr;
+  const std::size_t count = get_u32(data + 13);
+  if (count != (payload - 13) / 8) return nullptr;
+  for (std::size_t i = 0; i < count; ++i) {
+    const unsigned char* pair = data + 17 + 8 * i;
+    if (get_u32(pair) >= num_vertices || get_u32(pair + 4) >= num_vertices) {
+      return nullptr;
+    }
+  }
+  auto frame = std::shared_ptr<WalFrame>(new WalFrame());
+  frame->bytes_.assign(data, data + total);
+  frame->lsn_ = get_u64(data + 4);
+  frame->kind_ = kind == 0 ? UpdateKind::kInsert : UpdateKind::kDelete;
+  frame->count_ = count;
+  if (consumed != nullptr) *consumed = total;
+  return frame;
+}
+
+UpdateBatch WalFrame::decode_batch() const {
+  UpdateBatch batch;
+  batch.kind = kind_;
+  batch.edges.reserve(count_);
+  const unsigned char* edges = bytes_.data() + 17;
+  for (std::size_t i = 0; i < count_; ++i) {
+    batch.edges.push_back(
+        Edge{get_u32(edges + 8 * i), get_u32(edges + 8 * i + 4)});
+  }
+  g_decoded.fetch_add(1, std::memory_order_relaxed);
+  return batch;
+}
+
+void append_wal_header_v4(std::vector<unsigned char>& out,
+                          vertex_t num_vertices, std::uint64_t base_lsn) {
+  out.insert(out.end(), kWalMagicV4, kWalMagicV4 + 11);
+  out.push_back('\n');
+  put_u32(out, num_vertices);
+  put_u64(out, base_lsn);
+}
+
+}  // namespace cpkcore::service

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -895,6 +896,170 @@ TEST(Cluster, UnsubscribedReplicaStopsReceiving) {
   EXPECT_EQ(rep.applied_lsn(), at_stop);
   EXPECT_EQ(shipper.stats().subscribers, 0u);
   primary.shutdown();
+}
+
+TEST(Cluster, EncodeOncePipelineCountsCodecInvocations) {
+  // The PR's acceptance criterion, measured: with a binary WAL, a shipper
+  // ring small enough to force disk catch-up, and two replicas consuming
+  // the committed stream, the codec encodes each batch exactly once (on
+  // the primary's apply thread) and decodes it exactly once per replica —
+  // nothing between the group commit and replica apply re-serializes.
+  TempPath wal("encodeonce.wal");
+  constexpr vertex_t kN = 400;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.wal_path = wal.str();
+  cfg.min_ops_per_cycle = 4;
+  cfg.max_ops_per_cycle = 64;
+  KCoreService primary(cfg);
+  service::reset_wal_codec_counters();
+
+  LogShipper::Options ship_opts;
+  ship_opts.retain_records = 4;  // late joiners must hit the disk path
+  LogShipper shipper(primary, ship_opts);
+  Replica live(cfg);
+  live.start(shipper);  // rides the live stream from LSN 0
+
+  auto edges = gen::barabasi_albert(kN, 4, 53);
+  const std::size_t half = edges.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    primary.submit_insert(edges[i].u, edges[i].v);
+  }
+  primary.drain();
+
+  Replica late(cfg);
+  late.start(shipper);  // catches up through on-disk frames
+
+  for (std::size_t i = half; i < edges.size(); ++i) {
+    primary.submit_insert(edges[i].u, edges[i].v);
+  }
+  primary.drain();
+  ASSERT_TRUE(live.wait_for_lsn(primary.commit_lsn()));
+  ASSERT_TRUE(late.wait_for_lsn(primary.commit_lsn()));
+  EXPECT_GT(shipper.stats().disk_records, 0u)
+      << "ring served everything; the disk path went unmeasured";
+  expect_exact_replica(primary, live);
+  expect_exact_replica(primary, late);
+
+  // Every committed record = one applied batch on the primary.
+  const std::uint64_t records = primary.stats().batches;
+  ASSERT_GT(records, 0u);
+  const auto counters = service::wal_codec_counters();
+  EXPECT_EQ(counters.encoded_frames, records)
+      << "a consumer re-encoded: WAL append, ring retention, and disk "
+         "catch-up must all reuse the apply thread's single encode";
+  EXPECT_EQ(counters.decoded_batches, 2 * records)
+      << "each of the 2 replicas must decode each record exactly once";
+  live.stop();
+  late.stop();
+  primary.shutdown();
+}
+
+TEST(Cluster, RingAndDiskCatchupShipIdenticalFrameBytes) {
+  // Replicas must decode the *same bytes* no matter which path delivered
+  // them. Capture every shipped frame once through the retention ring and
+  // once through pure disk catch-up (retain_records = 0), and compare both
+  // bit-for-bit against each other and against the frames on disk.
+  TempPath wal("bitident.wal");
+  constexpr vertex_t kN = 300;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.wal_path = wal.str();
+  cfg.min_ops_per_cycle = 4;
+  cfg.max_ops_per_cycle = 32;
+  KCoreService primary(cfg);
+
+  std::map<std::uint64_t, std::vector<unsigned char>> ring_bytes;
+  std::map<std::uint64_t, std::vector<unsigned char>> disk_bytes;
+  {
+    LogShipper shipper(primary);  // unbounded ring: catch-up stays in memory
+    for (const Edge& e : gen::barabasi_albert(kN, 4, 61)) {
+      primary.submit_insert(e.u, e.v);
+    }
+    primary.drain();
+    const std::uint64_t sub = shipper.subscribe(
+        0, [&](const cluster::ShippedRecord& rec) {
+          ring_bytes.emplace(rec.lsn, rec.frame->bytes());
+        });
+    shipper.unsubscribe(sub);
+  }
+  {
+    LogShipper::Options opts;
+    opts.retain_records = 0;  // ring keeps nothing: catch-up must hit disk
+    LogShipper shipper(primary, opts);
+    const std::uint64_t sub = shipper.subscribe(
+        0, [&](const cluster::ShippedRecord& rec) {
+          disk_bytes.emplace(rec.lsn, rec.frame->bytes());
+        });
+    shipper.unsubscribe(sub);
+  }
+  ASSERT_FALSE(ring_bytes.empty());
+  EXPECT_EQ(ring_bytes, disk_bytes);
+
+  std::map<std::uint64_t, std::vector<unsigned char>> wal_bytes;
+  service::scan_wal_frames(cfg.wal_path, kN,
+                           [&](const service::WalFramePtr& frame) {
+                             wal_bytes.emplace(frame->lsn(), frame->bytes());
+                           });
+  EXPECT_EQ(ring_bytes, wal_bytes);
+  primary.shutdown();
+}
+
+TEST(Cluster, ShardedClusterDurableBinaryWalConverges) {
+  // The CI binary-WAL TSan leg runs this under the sharded env pins: every
+  // partition group-commits a durable (kFdatasync) binary v4 WAL while
+  // concurrent writers drive the encode-once fan-out, and every partition's
+  // replicas converge to their primary bit-for-bit.
+  const std::size_t kParts = test_write_shards();
+  const std::size_t kReps = test_replicas();
+  constexpr vertex_t kN = 500;
+  TempPath wal("durable_v4.wal");
+  ClusterConfig cfg;
+  cfg.partitions = kParts;
+  cfg.replicas = kReps;
+  cfg.base.num_vertices = kN;
+  cfg.base.wal_path = wal.str();
+  cfg.base.wal_durability = WalDurability::kFdatasync;
+  cfg.base.min_ops_per_cycle = 16;
+  cfg.base.max_ops_per_cycle = 256;
+  {
+    ShardGroup group(cfg);
+    constexpr std::size_t kWriters = 2;
+    std::vector<std::thread> writers;
+    for (std::size_t t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        Xoshiro256 rng(9100 + t);
+        std::vector<Edge> inserted;
+        for (std::size_t i = 0; i < 1500; ++i) {
+          if (!inserted.empty() && rng.next_double() < 0.25) {
+            const std::size_t j = rng.next_below(inserted.size());
+            group.submit({inserted[j], UpdateKind::kDelete});
+            inserted[j] = inserted.back();
+            inserted.pop_back();
+          } else {
+            const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                         static_cast<vertex_t>(rng.next_below(kN))};
+            group.submit({e, UpdateKind::kInsert});
+            if (!e.is_self_loop()) inserted.push_back(e.canonical());
+          }
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    group.quiesce();
+    for (std::size_t p = 0; p < kParts; ++p) {
+      for (std::size_t r = 0; r < kReps; ++r) {
+        expect_exact_replica(group.primary(p), group.replica(p, r));
+      }
+    }
+    group.shutdown();
+  }
+  for (std::size_t p = 0; p < kParts; ++p) {
+    const std::string path = cluster::partition_path(wal.str(), p, kParts);
+    EXPECT_EQ(service::read_wal_header(path).format,
+              service::WalFormat::kBinaryV4);
+    std::filesystem::remove(path);
+  }
 }
 
 }  // namespace

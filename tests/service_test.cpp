@@ -27,6 +27,9 @@ namespace {
 using service::KCoreService;
 using service::ServiceConfig;
 using service::Ticket;
+using service::WalDurability;
+using service::WalFormat;
+using service::WalOptions;
 using service::WriteAheadLog;
 
 /// Unique temp path per test *and* per process (two build trees' suites
@@ -273,6 +276,9 @@ TEST(Service, WalDiscardsUncommittedTail) {
                              });
   EXPECT_EQ(info.replayed, 1u);
   EXPECT_EQ(info.last_lsn, 1u);
+  // Opened under the default (binary) format, the v3 prefix was migrated.
+  EXPECT_TRUE(info.migrated);
+  EXPECT_EQ(info.format, WalFormat::kBinaryV4);
   ASSERT_EQ(replayed.size(), 1u);
   EXPECT_EQ(lsns, (std::vector<std::uint64_t>{1}));
   EXPECT_EQ(replayed[0].edges,
@@ -300,14 +306,17 @@ TEST(Service, WalDiscardsUncommittedTail) {
 }
 
 TEST(Service, WalChecksumTruncatesCorruptTail) {
-  // Bit rot / torn write in the last record: the payload still *parses*
-  // (valid numbers, marker present), but the recomputed CRC no longer
-  // matches the stored one — the record must be dropped and truncated
-  // exactly like an uncommitted tail, leaving the log appendable.
+  // Bit rot / torn write in a *v3 text* log's last record: the payload
+  // still parses (valid numbers, marker present), but the recomputed CRC no
+  // longer matches the stored one — the record must be dropped exactly like
+  // an uncommitted tail. The default-format reopen then migrates the
+  // surviving prefix to v4, so this also covers migration of a log whose
+  // tail rotted.
   TempPath wal("crc.wal");
+  const WalOptions text{WalDurability::kOsCache, WalFormat::kTextV3};
   {
     WriteAheadLog log;
-    log.open(wal.str(), 100, nullptr);
+    log.open(wal.str(), 100, nullptr, text);
     log.append(1, UpdateBatch{UpdateKind::kInsert, {{1, 2}, {2, 3}}});
     log.append(2, UpdateBatch{UpdateKind::kInsert, {{3, 4}}});
     log.flush();
@@ -328,6 +337,7 @@ TEST(Service, WalChecksumTruncatesCorruptTail) {
   const auto scanned = service::scan_wal(wal.str(), 100, nullptr);
   EXPECT_EQ(scanned.records, 1u);
   EXPECT_EQ(scanned.last_lsn, 1u);
+  EXPECT_EQ(scanned.format, WalFormat::kTextV3);
   std::size_t replayed_count = 0;
   WriteAheadLog log;
   const auto info = log.open(
@@ -336,8 +346,10 @@ TEST(Service, WalChecksumTruncatesCorruptTail) {
   EXPECT_EQ(info.replayed, 1u);
   EXPECT_EQ(info.last_lsn, 1u);
   EXPECT_EQ(replayed_count, 1u);
-  // The corrupt tail was truncated away: LSN 2 is free again and the log
-  // keeps working.
+  EXPECT_TRUE(info.migrated);
+  EXPECT_EQ(info.format, WalFormat::kBinaryV4);
+  // The corrupt tail did not survive migration: LSN 2 is free again and the
+  // (now binary) log keeps working.
   log.append(2, UpdateBatch{UpdateKind::kDelete, {{1, 2}}});
   log.flush();
   log.close();
@@ -375,6 +387,123 @@ TEST(Service, WalTreatsEmptyFileAsFresh) {
                 .replayed,
             1u);
   EXPECT_EQ(count, 1u);
+}
+
+/// Writes a fresh two-record binary log; returns the file size after the
+/// first record's group commit — a frame boundary, so corruption injected
+/// past it hits exactly the second frame.
+std::uintmax_t write_two_record_binary_log(const std::string& path) {
+  WriteAheadLog log;
+  log.open(path, 100, nullptr);
+  EXPECT_EQ(log.format(), WalFormat::kBinaryV4);
+  log.append(1, UpdateBatch{UpdateKind::kInsert, {{1, 2}, {2, 3}}});
+  log.flush();
+  const std::uintmax_t boundary = std::filesystem::file_size(path);
+  log.append(2, UpdateBatch{UpdateKind::kInsert, {{3, 4}}});
+  log.flush();
+  log.close();
+  return boundary;
+}
+
+/// The v3 truncate-and-resume contract, asserted against a damaged binary
+/// log: both readers agree the committed prefix is record 1 only, the open
+/// truncates the damage away, LSN 2 is reusable, and the log keeps working.
+void expect_truncates_to_first_record(const std::string& path) {
+  const auto scanned = service::scan_wal(path, 100, nullptr);
+  EXPECT_EQ(scanned.records, 1u);
+  EXPECT_EQ(scanned.last_lsn, 1u);
+  std::vector<std::uint64_t> lsns;
+  WriteAheadLog log;
+  const auto info =
+      log.open(path, 100, [&](std::uint64_t lsn, const UpdateBatch&) {
+        lsns.push_back(lsn);
+      });
+  EXPECT_EQ(info.replayed, 1u);
+  EXPECT_EQ(info.last_lsn, 1u);
+  EXPECT_EQ(lsns, (std::vector<std::uint64_t>{1}));
+  log.append(2, UpdateBatch{UpdateKind::kDelete, {{1, 2}}});
+  log.flush();
+  log.close();
+  WriteAheadLog reopened;
+  EXPECT_EQ(reopened.open(path, 100, nullptr).replayed, 2u);
+}
+
+TEST(Service, WalBinaryTornMidFrameTail) {
+  // Crash between append and group commit: the second frame's length
+  // prefix and a few payload bytes made it to disk, the rest did not.
+  TempPath wal("v4_torn.wal");
+  const std::uintmax_t boundary = write_two_record_binary_log(wal.str());
+  ASSERT_GT(std::filesystem::file_size(wal.str()), boundary + 7);
+  std::filesystem::resize_file(wal.str(), boundary + 7);
+  expect_truncates_to_first_record(wal.str());
+}
+
+TEST(Service, WalBinaryTruncatedLengthPrefix) {
+  // Harsher tear: only 2 of the second frame's 4 length-prefix bytes
+  // survive — the reader cannot even tell how long the record claims to be.
+  TempPath wal("v4_prefix.wal");
+  const std::uintmax_t boundary = write_two_record_binary_log(wal.str());
+  std::filesystem::resize_file(wal.str(), boundary + 2);
+  expect_truncates_to_first_record(wal.str());
+}
+
+TEST(Service, WalBinaryBitFlipTruncatesCorruptTail) {
+  // Bit rot: the second frame is structurally intact (full length, trailer
+  // present, vertex ids in range) but one payload bit flipped, so the
+  // stored CRC no longer matches the bytes.
+  TempPath wal("v4_flip.wal");
+  const std::uintmax_t boundary = write_two_record_binary_log(wal.str());
+  {
+    std::fstream f(wal.str(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    // Offset 17 into a frame is its first edge byte (see wal_codec.hpp).
+    f.seekg(static_cast<std::streamoff>(boundary) + 17);
+    char byte = 0;
+    f.get(byte);
+    f.seekp(static_cast<std::streamoff>(boundary) + 17);
+    f.put(static_cast<char>(byte ^ 0x20));
+  }
+  expect_truncates_to_first_record(wal.str());
+}
+
+TEST(Service, V3ServiceMigratesToV4WithIdenticalCoreness) {
+  // Warm-restart an "old deployment" (a service that wrote the v3 text
+  // format) into the v4 world: the first restart replays the text log and
+  // atomically rewrites it as v4; coreness must be identical before the
+  // crash, after the migrating restart, and after a second restart that
+  // replays the migrated binary log.
+  TempPath wal("migrate.wal");
+  constexpr vertex_t kN = 300;
+  const auto edges = gen::barabasi_albert(kN, 4, 23);
+  std::vector<double> before(kN);
+  {
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    cfg.wal_format = WalFormat::kTextV3;
+    KCoreService svc(cfg);
+    for (const Edge& e : edges) svc.submit_insert(e.u, e.v);
+    svc.drain();
+    for (vertex_t v = 0; v < kN; ++v) before[v] = svc.read_coreness(v);
+    svc.simulate_crash();
+  }
+  ASSERT_EQ(service::read_wal_header(wal.str()).format, WalFormat::kTextV3);
+  for (int restart = 0; restart < 2; ++restart) {
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    KCoreService svc(cfg);
+    EXPECT_GT(svc.stats().replayed_batches, 0u);
+    for (vertex_t v = 0; v < kN; ++v) {
+      ASSERT_EQ(svc.read_coreness(v), before[v]) << "vertex " << v;
+    }
+    std::string why;
+    EXPECT_TRUE(svc.cplds().plds().validate(&why)) << why;
+    svc.simulate_crash();
+    // The text log became binary on the first restart and stays binary.
+    EXPECT_EQ(service::read_wal_header(wal.str()).format,
+              WalFormat::kBinaryV4);
+  }
 }
 
 TEST(Service, TinyBudgetManyShardsDrainsFairly) {
