@@ -26,6 +26,15 @@
 //                          runs BOTH formats per partition count (the
 //                          BENCH_wal_v4 text-vs-binary comparison) unless
 //                          this variable pins one.
+//   CPKC_WAL_DURABILITY    "os_cache" | "fdatasync" | "fsync": per-commit
+//                          durability level (default: ServiceConfig's).
+//   CPKC_WAL_ENGINE        consumed by the service layer itself (see
+//                          wal_async.hpp): "sync" pins the PR-6 synchronous
+//                          commit path, "flusher"/"io_uring" pin an async
+//                          engine, unset/"auto" probes. Every JSON line
+//                          reports which engine actually ran (wal_engine)
+//                          plus the flush-pipeline counters, so the
+//                          sync-vs-async comparison is self-describing.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +81,31 @@ std::string format_label(service::WalFormat format) {
   return format == service::WalFormat::kBinaryV4 ? "binary-v4" : "text-v3";
 }
 
+service::WalDurability wal_durability() {
+  if (const char* v = std::getenv("CPKC_WAL_DURABILITY")) {
+    if (std::strcmp(v, "fsync") == 0) return service::WalDurability::kFsync;
+    if (std::strcmp(v, "fdatasync") == 0) {
+      return service::WalDurability::kFdatasync;
+    }
+    if (std::strcmp(v, "os_cache") == 0) {
+      return service::WalDurability::kOsCache;
+    }
+  }
+  return service::ServiceConfig{}.wal_durability;
+}
+
+std::string durability_label(service::WalDurability level) {
+  switch (level) {
+    case service::WalDurability::kOsCache:
+      return "os_cache";
+    case service::WalDurability::kFdatasync:
+      return "fdatasync";
+    case service::WalDurability::kFsync:
+      return "fsync";
+  }
+  return "unknown";
+}
+
 void remove_partition_wals(const std::string& stem, std::size_t partitions) {
   for (std::size_t p = 0; p < partitions; ++p) {
     std::filesystem::remove(cluster::partition_path(stem, p, partitions));
@@ -89,6 +123,7 @@ void run_cell(std::size_t clients) {
   cfg.levels_per_group_cap = bench::opt_cap();
   if (wal_enabled()) cfg.wal_path = wal_path;
   cfg.wal_format = wal_format();
+  cfg.wal_durability = wal_durability();
   service::KCoreService svc(cfg);
 
   // Preload half the edges so updates hit a nontrivial structure, then
@@ -117,6 +152,12 @@ void run_cell(std::size_t clients) {
       {"readers", static_cast<std::int64_t>(wl.reader_threads)},
       {"wal", static_cast<std::int64_t>(wal_enabled() ? 1 : 0)},
       {"wal_format", format_label(wal_format())},
+      {"wal_durability", durability_label(wal_durability())},
+      {"wal_engine", stats.wal_engine},
+      {"wal_flushes", static_cast<std::int64_t>(stats.wal_flushes)},
+      {"wal_flush_bytes", static_cast<std::int64_t>(stats.wal_flush_bytes)},
+      {"durable_lag_p99_ns",
+       static_cast<std::int64_t>(stats.durable_lag.p99_ns())},
       {"ops", static_cast<std::int64_t>(result.ops_submitted)},
       {"wall_s", result.wall_seconds},
       {"submit_ops_per_s", result.submit_throughput()},
@@ -150,6 +191,7 @@ void run_replicated_cell(std::size_t replicas) {
   ccfg.base.levels_per_group_cap = bench::opt_cap();
   if (wal_enabled()) ccfg.base.wal_path = wal_path;
   ccfg.base.wal_format = wal_format();
+  ccfg.base.wal_durability = wal_durability();
   cluster::ShardGroup group(ccfg);
   cluster::Router router(group);
 
@@ -209,6 +251,7 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
   ccfg.base.levels_per_group_cap = bench::opt_cap();
   if (wal_enabled()) ccfg.base.wal_path = wal_stem;
   ccfg.base.wal_format = format;
+  ccfg.base.wal_durability = wal_durability();
   cluster::ShardGroup group(ccfg);
 
   // Preload half the edges across the partitions, quiesce, zero every
@@ -233,13 +276,23 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
   // Merge the per-partition ack histograms: the sweep reports the
   // client-observed ack distribution across the whole write plane.
   LatencyHistogram ack;
+  LatencyHistogram durable_lag;
   std::uint64_t cycles = 0;
   std::uint64_t batches = 0;
+  std::uint64_t wal_flushes = 0;
+  std::uint64_t wal_flush_bytes = 0;
+  std::string wal_engine = "none";
   for (std::size_t p = 0; p < partitions; ++p) {
     const auto stats = group.primary(p).stats();
     ack.merge(stats.ack_latency);
+    durable_lag.merge(stats.durable_lag);
     cycles += stats.cycles;
     batches += stats.batches;
+    wal_flushes += stats.wal_flushes;
+    wal_flush_bytes += stats.wal_flush_bytes;
+    // The engine kind is uniform across partitions (same config, same
+    // runtime probe); partition 0 speaks for the plane.
+    if (p == 0) wal_engine = stats.wal_engine;
   }
   std::uint64_t min_part = ~std::uint64_t{0};
   std::uint64_t max_part = 0;
@@ -258,6 +311,12 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
       {"readers", static_cast<std::int64_t>(wl.reader_threads)},
       {"wal", static_cast<std::int64_t>(wal_enabled() ? 1 : 0)},
       {"wal_format", format_label(format)},
+      {"wal_durability", durability_label(wal_durability())},
+      {"wal_engine", wal_engine},
+      {"wal_flushes", static_cast<std::int64_t>(wal_flushes)},
+      {"wal_flush_bytes", static_cast<std::int64_t>(wal_flush_bytes)},
+      {"durable_lag_p99_ns",
+       static_cast<std::int64_t>(durable_lag.p99_ns())},
       {"ops", static_cast<std::int64_t>(result.ops_submitted)},
       {"wall_s", result.wall_seconds},
       {"submit_ops_per_s", result.submit_throughput()},

@@ -1,9 +1,44 @@
 #include "cluster/shard_group.hpp"
 
+#include <exception>
+#include <functional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace cpkcore::cluster {
+
+namespace {
+
+/// Runs fn(p) for every p in [0, count) on one thread per partition and
+/// joins; the first exception (by partition index) is rethrown after every
+/// partition has finished, so a failure never leaves a sibling mid-flight.
+/// count <= 1 runs inline.
+void for_each_partition(std::size_t count,
+                        const std::function<void(std::size_t)>& fn) {
+  if (count <= 1) {
+    if (count == 1) fn(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(count);
+  std::vector<std::thread> threads;
+  threads.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    threads.emplace_back([&, p] {
+      try {
+        fn(p);
+      } catch (...) {
+        errors[p] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace
 
 ShardGroup::ShardGroup(ClusterConfig config)
     : config_(std::move(config)), partitioner_(config_.partitions) {
@@ -113,6 +148,8 @@ ShardGroup::GlobalStats ShardGroup::global_stats() const {
     out.applied_edges += stats.applied_edges;
     out.batches += stats.batches;
     out.cycles += stats.cycles;
+    out.wal_flushes += stats.wal_flushes;
+    out.wal_flush_bytes += stats.wal_flush_bytes;
     out.partitions.push_back(std::move(stats));
     out.shippers.push_back(shippers_[p]->stats());
   }
@@ -130,23 +167,28 @@ std::vector<std::uint64_t> ShardGroup::checkpoint() {
     throw std::logic_error(
         "ShardGroup::checkpoint requires ClusterConfig::base.snapshot_path");
   }
-  std::vector<std::uint64_t> cut;
-  cut.reserve(primaries_.size());
-  for (auto& primary : primaries_) {
-    primary->checkpoint();
+  std::vector<std::uint64_t> cut(primaries_.size(), 0);
+  // One thread per partition: a checkpoint is snapshot write + WAL fsync,
+  // so overlapping them costs slowest-partition instead of the sum.
+  for_each_partition(primaries_.size(), [&](std::size_t p) {
+    primaries_[p]->checkpoint();
     // The partition's snapshot covers exactly its post-checkpoint commit
     // LSN (checkpoint() is update-quiescent per partition).
-    cut.push_back(primary->commit_lsn());
-  }
+    cut[p] = primaries_[p]->commit_lsn();
+  });
   return cut;
 }
 
 void ShardGroup::shutdown() {
-  for (auto& partition : replicas_) {
-    for (auto& r : partition) r->stop();
-  }
+  // Stage by dependency (replicas, shippers, primaries), each stage
+  // overlapped across partitions — a primary's shutdown drains its async
+  // WAL engine, and those waits should run concurrently, not in sequence.
+  for_each_partition(replicas_.size(), [&](std::size_t p) {
+    for (auto& r : replicas_[p]) r->stop();
+  });
   for (auto& s : shippers_) s->detach();
-  for (auto& primary : primaries_) primary->shutdown();
+  for_each_partition(primaries_.size(),
+                     [&](std::size_t p) { primaries_[p]->shutdown(); });
 }
 
 }  // namespace cpkcore::cluster

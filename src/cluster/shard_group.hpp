@@ -172,6 +172,11 @@ class ShardGroup {
     std::uint64_t applied_edges = 0;
     std::uint64_t batches = 0;
     std::uint64_t cycles = 0;
+    /// Sum of per-partition WAL flush syscall counts / bytes (see
+    /// ServiceStats::wal_flushes) — the cluster-wide durability pipeline
+    /// cost, one aggregate to chart against acked_ops.
+    std::uint64_t wal_flushes = 0;
+    std::uint64_t wal_flush_bytes = 0;
     std::vector<service::ServiceStats> partitions;
     std::vector<LogShipper::Stats> shippers;
   };
@@ -186,17 +191,24 @@ class ShardGroup {
   // ---------------- lifecycle ----------------
 
   /// Checkpoints every partition (snapshot_p + WAL_p truncation) and
-  /// returns the vector of base LSNs the snapshots cover. Each partition's
-  /// checkpoint is internally update-quiescent; across partitions the cut
-  /// is a vector cut — consistent because partitions share nothing, so
-  /// restoring every (snapshot_p, WAL_p) pair reproduces a reachable
-  /// global state. Throws std::logic_error when the config has no
-  /// snapshot stem.
+  /// returns the vector of base LSNs the snapshots cover. Partitions
+  /// checkpoint *concurrently* (one thread each): a checkpoint's cost is
+  /// dominated by snapshot write + WAL fsync, so overlapping them takes
+  /// the wall-clock from sum-of-partitions to slowest-partition. Each
+  /// partition's checkpoint is internally update-quiescent; across
+  /// partitions the cut is a vector cut — consistent because partitions
+  /// share nothing, so restoring every (snapshot_p, WAL_p) pair reproduces
+  /// a reachable global state. Throws std::logic_error when the config has
+  /// no snapshot stem; rethrows the first per-partition failure after all
+  /// partitions finish.
   std::vector<std::uint64_t> checkpoint();
 
   /// Graceful teardown in dependency order: replicas stop, shippers
-  /// detach, primaries shut down (draining). Idempotent; the destructor
-  /// calls it.
+  /// detach, primaries shut down (draining). Each stage runs its
+  /// partitions concurrently — with async WAL engines a primary's
+  /// shutdown waits out its in-flight flush chain, and overlapping those
+  /// drains keeps teardown at slowest-partition cost. Idempotent; the
+  /// destructor calls it.
   void shutdown();
 
  private:

@@ -25,14 +25,24 @@ AdaptiveBatchSizer::AdaptiveBatchSizer(std::size_t min_ops,
       target_ns_(static_cast<double>(std::max<std::uint64_t>(1, target_apply_ns))),
       budget_(std::clamp<std::size_t>(1024, min_ops_, max_ops_)) {}
 
-void AdaptiveBatchSizer::observe(std::size_t ops, std::uint64_t apply_ns) {
+void AdaptiveBatchSizer::observe(std::size_t ops, std::uint64_t apply_ns,
+                                 std::uint64_t ack_lag_ns) {
   if (ops == 0) return;
+  // Lag updates unconditionally (including toward 0) so the budget recovers
+  // once the durability pipeline catches back up.
+  ewma_ack_lag_ns_ =
+      0.7 * ewma_ack_lag_ns_ + 0.3 * static_cast<double>(ack_lag_ns);
   const double per_op =
       static_cast<double>(apply_ns) / static_cast<double>(ops);
   ewma_ns_per_op_ =
       ewma_ns_per_op_ <= 0.0 ? per_op
                              : 0.7 * ewma_ns_per_op_ + 0.3 * per_op;
-  const double ideal = target_ns_ / std::max(ewma_ns_per_op_, 1e-3);
+  // The ack lag eats into the latency target: time a committed op spends
+  // waiting on the flush pipeline is time the next cycle's apply cannot
+  // spend. Floor at 10% of the target so a badly backed-up pipeline
+  // shrinks cycles instead of zeroing them.
+  const double avail = std::max(target_ns_ * 0.1, target_ns_ - ewma_ack_lag_ns_);
+  const double ideal = avail / std::max(ewma_ns_per_op_, 1e-3);
   const double capped =
       std::min(ideal, static_cast<double>(budget_) * 2.0);
   budget_ = std::clamp(static_cast<std::size_t>(std::max(capped, 1.0)),

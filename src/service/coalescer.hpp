@@ -31,6 +31,14 @@ std::vector<UpdateBatch> coalesce_updates(std::vector<Update> ops,
 /// budget so one cycle's apply lands near the target latency. Growth is
 /// capped at 2x per observation to damp oscillation; the budget stays in
 /// [min_ops, max_ops].
+///
+/// The optional third observation is the applied->acked lag: when acks
+/// trail the apply (an async WAL engine's flush pipeline is the
+/// bottleneck), the lag EWMA eats into the latency target, so the budget
+/// backs off even though the apply itself is fast — smaller cycles, more
+/// frequent group commits, a shallower flush queue. A lag of 0 (sync
+/// commits, or the pipeline caught up) decays the EWMA back toward full
+/// budget.
 class AdaptiveBatchSizer {
  public:
   AdaptiveBatchSizer(std::size_t min_ops, std::size_t max_ops,
@@ -38,13 +46,15 @@ class AdaptiveBatchSizer {
 
   [[nodiscard]] std::size_t budget() const { return budget_; }
 
-  void observe(std::size_t ops, std::uint64_t apply_ns);
+  void observe(std::size_t ops, std::uint64_t apply_ns,
+               std::uint64_t ack_lag_ns = 0);
 
  private:
   std::size_t min_ops_;
   std::size_t max_ops_;
   double target_ns_;
   double ewma_ns_per_op_ = 0.0;  // 0 = no observation yet
+  double ewma_ack_lag_ns_ = 0.0;
   std::size_t budget_;
 };
 

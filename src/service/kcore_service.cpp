@@ -40,16 +40,29 @@ KCoreService::KCoreService(ServiceConfig config)
     // Warm restart part 2: re-apply the committed WAL suffix. Replay runs on
     // this thread before the apply thread exists, satisfying the CPLDS
     // single-driver contract.
+    WalOptions wal_options;
+    wal_options.durability = config_.wal_durability;
+    wal_options.format = config_.wal_format;
+    wal_options.engine = config_.wal_engine;
     const WalOpenInfo info = wal_.open(
         config_.wal_path, ds_->num_vertices(),
         [&](std::uint64_t, const UpdateBatch& batch) { ds_->apply(batch); },
-        WalOptions{config_.wal_durability, config_.wal_format});
+        wal_options);
     stats_.replayed_batches = info.replayed;
+    wal_engine_kind_ = info.engine;
     // Resume LSN numbering where the committed log ends; the replayed
-    // prefix is both committed and applied.
+    // prefix is both committed and applied (and shipped: it predates any
+    // listener).
     next_lsn_ = info.last_lsn;
     commit_lsn_.store(info.last_lsn, std::memory_order_relaxed);
     applied_lsn_.store(info.last_lsn, std::memory_order_relaxed);
+    shipped_lsn_ = info.last_lsn;
+    // Hooked up before the apply thread exists, so no completion can fire
+    // into a half-constructed service.
+    wal_.set_durable_callback(
+        [this](std::uint64_t lsn, const std::string* error) {
+          on_durable(lsn, error);
+        });
   }
   num_shards_ = std::max<std::size_t>(1, config_.num_shards);
   shards_ = std::make_unique<Shard[]>(num_shards_);
@@ -165,11 +178,28 @@ void KCoreService::drain() {
 }
 
 std::uint64_t KCoreService::set_commit_listener(CommitListener listener) {
-  // apply_mu_ excludes a running cycle, so the returned LSN is exact: no
-  // commit can land between reading it and the listener taking effect.
-  std::lock_guard lock(apply_mu_);
+  // apply_mu_ excludes a running cycle and ship_mu_ excludes the
+  // completion thread's ship-at-durable deliveries, so the returned cursor
+  // is exact: no frame can ship between reading it and the listener taking
+  // effect.
+  std::lock_guard alock(apply_mu_);
+  std::lock_guard slock(ship_mu_);
   commit_listener_ = std::move(listener);
-  return commit_lsn_.load(std::memory_order_relaxed);
+  return shipped_lsn_;
+}
+
+std::uint64_t KCoreService::durable_lsn() const {
+  return config_.wal_path.empty() ? commit_lsn() : wal_.durable_lsn();
+}
+
+bool KCoreService::wait_wal_durable(std::uint64_t lsn) {
+  if (config_.wal_path.empty()) return true;
+  try {
+    wal_.wait_durable(lsn);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return wal_.durable_lsn() >= lsn;
 }
 
 void KCoreService::apply_loop() {
@@ -226,12 +256,8 @@ std::size_t KCoreService::run_cycle() {
 
   // Drain: take up to the adaptive budget, preserving per-shard FIFO (and
   // therefore per-edge order, since an edge's ops always share a shard).
-  struct Drained {
-    std::size_t shard = 0;
-    std::uint64_t upto = 0;
-  };
   std::vector<PendingOp> ops;
-  std::vector<Drained> drains;
+  std::vector<PendingCycle::ShardCut> drains;
   std::size_t budget = sizer_.budget();
   // Rotate the starting shard so a budget-exhausting backlog on low-index
   // shards cannot starve high-index shards (and their waiters) forever.
@@ -249,7 +275,7 @@ std::size_t KCoreService::run_cycle() {
         shard.pending.begin(),
         shard.pending.begin() + static_cast<std::ptrdiff_t>(take));
     shard.drained += take;
-    drains.push_back(Drained{s, shard.drained});
+    drains.push_back(PendingCycle::ShardCut{s, shard.drained});
     budget -= take;
     if (config_.max_pending_per_shard > 0) shard.space_cv.notify_all();
   }
@@ -285,6 +311,16 @@ std::size_t KCoreService::run_cycle() {
       frames.push_back(WalFrame::encode(lsns[i], batches[i]));
     }
   }
+  // Group commit. With an async engine the staged bytes go to the engine
+  // and this thread moves straight on to apply — the pipelined path; the
+  // sync engine pays the write+sync here as before. `defer` is whether the
+  // *ack* must wait for the durable watermark: only at the sync durability
+  // levels (kOsCache acks at applied by definition — the bytes reaching
+  // the OS cache is not something a process crash can undo earlier than a
+  // sync-mode buffered write could).
+  const bool async_wal = wal_.is_open() && wal_.async_active();
+  const bool defer = async_wal && !lsns.empty() &&
+                     config_.wal_durability != WalDurability::kOsCache;
   if (wal_.is_open()) {
     if (binary_wal) {
       for (const WalFramePtr& frame : frames) wal_.append(*frame);
@@ -293,9 +329,15 @@ std::size_t KCoreService::run_cycle() {
         wal_.append(lsns[i], batches[i]);
       }
     }
-    wal_.flush();
+    if (async_wal) {
+      wal_.commit_async();
+    } else {
+      wal_.flush();
+    }
   }
-  if (!lsns.empty()) {
+  if (!lsns.empty() && !defer) {
+    // Deferred cycles advance commit_lsn_ in on_durable instead: at a sync
+    // level "committed" means the durability point was reached.
     commit_lsn_.store(lsns.back(), std::memory_order_release);
   }
   // Ops that coalesced into nothing (all self-loops) ack at the current
@@ -304,15 +346,21 @@ std::size_t KCoreService::run_cycle() {
       lsns.empty() ? commit_lsn_.load(std::memory_order_relaxed)
                    : lsns.back();
 
-  // Ship to the replication subscriber (committed, not yet applied — a
+  // Ship to the replication subscriber (staged, not yet applied — a
   // replica may briefly run ahead of the primary's apply, which only makes
   // reads fresher, never staler than an acked write). The listener shares
-  // the frame; no bytes are copied.
-  if (commit_listener_) {
-    for (const WalFramePtr& frame : frames) commit_listener_(frame);
+  // the frame; no bytes are copied. At ShipPoint::kDurable the frames ride
+  // in the pending cycle instead and ship from deliver_cycle.
+  const bool ship_at_applied = config_.ship_at == ShipPoint::kApplied;
+  if (ship_at_applied) {
+    std::lock_guard slock(ship_mu_);
+    if (commit_listener_) {
+      for (const WalFramePtr& frame : frames) commit_listener_(frame);
+    }
+    if (!lsns.empty()) shipped_lsn_ = lsns.back();
   }
 
-  // Apply.
+  // Apply — overlapped with the previous cycle's flush when async.
   std::uint64_t cycle_apply_ns = 0;
   std::size_t cycle_applied_edges = 0;
   std::vector<std::uint64_t> batch_ns;
@@ -324,17 +372,22 @@ std::size_t KCoreService::run_cycle() {
     cycle_apply_ns += ns;
     batch_ns.push_back(ns);
   }
-  sizer_.observe(ops.size(), cycle_apply_ns);
+  // Feed the sizer both costs: the cycle's apply time and the most recent
+  // applied->acked lag, so the budget backs off when the durability
+  // pipeline (not the apply) is the bottleneck.
+  sizer_.observe(ops.size(), cycle_apply_ns,
+                 last_ack_lag_ns_.load(std::memory_order_relaxed));
   if (!lsns.empty()) {
     applied_lsn_.store(lsns.back(), std::memory_order_release);
   }
 
-  // Stats first, acks second: a client that returns from wait()/drain()
-  // and immediately reads stats() must already see this cycle counted.
-  const std::uint64_t acked_at = now_ns();
+  // Applied-side stats (the ack-side stats land in deliver_cycle, which
+  // for inline acks runs before this function returns). Stats before acks:
+  // a client that returns from wait()/drain() and immediately reads
+  // stats() must already see this cycle counted.
+  const std::uint64_t applied_at = now_ns();
   {
     std::lock_guard lock(stats_mu_);
-    stats_.acked_ops += ops.size();
     stats_.applied_edges += cycle_applied_edges;
     stats_.batches += batches.size();
     stats_.cycles += 1;
@@ -342,22 +395,133 @@ std::size_t KCoreService::run_cycle() {
     stats_.batch_budget = sizer_.budget();
     for (std::uint64_t ns : batch_ns) stats_.apply_latency.record(ns);
     for (const PendingOp& p : ops) {
-      stats_.ack_latency.record(acked_at - p.submit_ns);
+      stats_.applied_latency.record(applied_at - p.submit_ns);
     }
   }
 
+  PendingCycle cycle;
+  cycle.upto_lsn = lsns.empty() ? cycle_lsn : lsns.back();
+  cycle.cycle_lsn = cycle_lsn;
+  cycle.applied_ns = applied_at;
+  cycle.drains = std::move(drains);
+  cycle.submit_ns.reserve(ops.size());
+  for (const PendingOp& p : ops) cycle.submit_ns.push_back(p.submit_ns);
+  if (!ship_at_applied) cycle.frames = std::move(frames);
+
+  {
+    std::unique_lock plock(pending_mu_);
+    // Inline ack only when nothing older is still waiting on the disk
+    // (acking out of order would move a shard's `applied` frontier past an
+    // older not-yet-durable op) and this cycle's own bytes are already
+    // covered by the watermark. The engine's callback stores the WAL
+    // watermark *before* it runs on_durable, so reading it under
+    // pending_mu_ here cannot miss a completion that already popped the
+    // queue: either the watermark covers us (ack inline) or on_durable for
+    // our LSN has not popped yet (queue; it will be delivered).
+    const bool inline_ack =
+        pending_.empty() &&
+        (!defer || wal_.durable_lsn() >= cycle.upto_lsn);
+    if (inline_ack) {
+      deliver_cycle(cycle, now_ns());
+    } else {
+      pending_.push_back(std::move(cycle));
+    }
+  }
+  return ops.size();
+}
+
+void KCoreService::deliver_cycle(PendingCycle& cycle,
+                                 std::uint64_t acked_at) {
+  // Caller holds pending_mu_ (see header): acks serialize here.
+  if (config_.ship_at == ShipPoint::kDurable) {
+    std::lock_guard slock(ship_mu_);
+    if (commit_listener_) {
+      for (const WalFramePtr& frame : cycle.frames) commit_listener_(frame);
+    }
+    if (shipped_lsn_ < cycle.upto_lsn) shipped_lsn_ = cycle.upto_lsn;
+  }
+  const std::uint64_t lag =
+      acked_at > cycle.applied_ns ? acked_at - cycle.applied_ns : 0;
+  last_ack_lag_ns_.store(lag, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.acked_ops += cycle.submit_ns.size();
+    for (const std::uint64_t t : cycle.submit_ns) {
+      stats_.ack_latency.record(acked_at - t);
+    }
+    stats_.durable_lag.record(lag);
+  }
   // Acknowledge: per-shard acks are monotone in submission order, and the
   // ack LSN is published before `applied`'s release store so waiters see it.
-  for (const Drained& d : drains) {
+  for (const PendingCycle::ShardCut& d : cycle.drains) {
     Shard& shard = shards_[d.shard];
     {
       std::lock_guard lock(shard.mu);
-      shard.acked_lsn.store(cycle_lsn, std::memory_order_relaxed);
+      // Monotone: a queued no-op cycle can carry a lower cycle_lsn than
+      // the durable cycle delivered just before it; a waiter of the
+      // earlier op must never observe its ack LSN regress.
+      if (shard.acked_lsn.load(std::memory_order_relaxed) <
+          cycle.cycle_lsn) {
+        shard.acked_lsn.store(cycle.cycle_lsn, std::memory_order_relaxed);
+      }
       shard.applied.store(d.upto, std::memory_order_release);
     }
     shard.ack_cv.notify_all();
   }
-  return ops.size();
+}
+
+void KCoreService::on_durable(std::uint64_t lsn, const std::string* error) {
+  if (error != nullptr) {
+    fail_from_durability(*error);
+    return;
+  }
+  if (config_.wal_durability != WalDurability::kOsCache) {
+    // Monotone max: at the sync levels "committed" is the watermark.
+    std::uint64_t cur = commit_lsn_.load(std::memory_order_relaxed);
+    while (cur < lsn &&
+           !commit_lsn_.compare_exchange_weak(cur, lsn,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  const std::uint64_t acked_at = now_ns();
+  std::lock_guard plock(pending_mu_);
+  while (!pending_.empty() && pending_.front().upto_lsn <= lsn) {
+    deliver_cycle(pending_.front(), acked_at);
+    pending_.pop_front();
+  }
+}
+
+void KCoreService::fail_from_durability(const std::string& what) {
+  // Mirror of the apply-thread error containment, but running on the
+  // engine's completion thread: stop accepting, drop undeliverable pending
+  // cycles (their acks can never be correct), release waiters with
+  // wait() == false, keep reads serving. The apply thread itself hits the
+  // failed engine on its next commit and lands in the same stopped state.
+  {
+    std::lock_guard lock(stats_mu_);
+    if (stats_.apply_error.empty()) {
+      stats_.apply_error = "WAL durability engine failed: " + what;
+    }
+  }
+  std::fprintf(stderr, "KCoreService: WAL durability engine failed: %s\n",
+               what.c_str());
+  {
+    std::lock_guard lock(ingest_mu_);
+    stopped_.store(true, std::memory_order_seq_cst);
+    stop_requested_ = true;
+    ingest_cv_.notify_all();
+  }
+  {
+    std::lock_guard plock(pending_mu_);
+    pending_.clear();
+  }
+  dead_.store(true, std::memory_order_relaxed);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    shards_[s].ack_cv.notify_all();
+    shards_[s].space_cv.notify_all();
+  }
 }
 
 void KCoreService::checkpoint() {
@@ -431,6 +595,21 @@ void KCoreService::stop(bool drain_first) {
     shards_[s].space_cv.notify_all();
   }
   if (apply_thread_.joinable()) apply_thread_.join();
+  if (drain_first) {
+    // Graceful shutdown must not set dead_ (releasing waiters with
+    // wait() == false) while deferred acks are still riding the durability
+    // engine: wait the watermark out — the engine fires every completion
+    // callback *before* wait_durable returns, so once this passes, every
+    // ackable op has acked. An engine failure already released waiters via
+    // fail_from_durability; swallow it here.
+    std::lock_guard lock(apply_mu_);
+    if (wal_.is_open() && wal_.async_active()) {
+      try {
+        wal_.wait_durable(wal_.staged_lsn());
+      } catch (const std::exception&) {
+      }
+    }
+  }
   dead_.store(true, std::memory_order_relaxed);
   for (std::size_t s = 0; s < num_shards_; ++s) {
     std::lock_guard lock(shards_[s].mu);
@@ -438,7 +617,10 @@ void KCoreService::stop(bool drain_first) {
     shards_[s].space_cv.notify_all();
   }
   // Under apply_mu_: a concurrent checkpoint() holds it while compacting
-  // the WAL, and WriteAheadLog is not thread-safe.
+  // the WAL, and WriteAheadLog is not thread-safe. (close() also drains
+  // and stops the engine — on the crash path any completions that still
+  // fire may ack genuinely-durable ops, which is correct: wait() == false
+  // means "outcome unknown", and these outcomes are known good.)
   std::lock_guard lock(apply_mu_);
   wal_.close();
 }
@@ -454,6 +636,18 @@ ServiceStats KCoreService::stats() const {
   out.blocked_submits = blocked_submits_.load(std::memory_order_relaxed);
   out.commit_lsn = commit_lsn_.load(std::memory_order_acquire);
   out.applied_lsn = applied_lsn_.load(std::memory_order_acquire);
+  out.durable_lsn = durable_lsn();
+  out.wal_engine = wal_engine_name(wal_engine_kind_);
+  {
+    const WalFlushStats fs = wal_.flush_stats();
+    out.wal_flushes =
+        fs.flushes - flush_baseline_.load(std::memory_order_relaxed);
+    out.wal_flush_bytes =
+        fs.flushed_bytes -
+        flush_bytes_baseline_.load(std::memory_order_relaxed);
+    out.wal_flush_depth = fs.flush_depth;
+    out.wal_inflight_bytes = fs.inflight_bytes;
+  }
   out.shard_depths.resize(num_shards_);
   for (std::size_t s = 0; s < num_shards_; ++s) {
     std::lock_guard lock(shards_[s].mu);
@@ -470,6 +664,9 @@ void KCoreService::reset_stats() {
   submitted_ops_.store(0, std::memory_order_relaxed);
   rejected_ops_.store(0, std::memory_order_relaxed);
   blocked_submits_.store(0, std::memory_order_relaxed);
+  const WalFlushStats fs = wal_.flush_stats();
+  flush_baseline_.store(fs.flushes, std::memory_order_relaxed);
+  flush_bytes_baseline_.store(fs.flushed_bytes, std::memory_order_relaxed);
 }
 
 }  // namespace cpkcore::service

@@ -24,12 +24,22 @@
 //    acknowledgment carries the LSN its cycle committed at, which is what
 //    read-your-writes sessions pin their reads to.
 //  * Durability: with a WAL configured, batches are appended and group-
-//    committed (one flush per drain cycle, at the configured WalDurability
-//    level) before they are applied; on construction the service
-//    warm-restarts from the snapshot (if present) plus the committed WAL
-//    suffix, resuming LSN numbering where the log left off. checkpoint()
-//    compacts by streaming a snapshot from a consistent cut, pausing
-//    updates only to copy the edge set and to swap in the compacted WAL.
+//    committed (one commit per drain cycle, at the configured WalDurability
+//    level); on construction the service warm-restarts from the snapshot
+//    (if present) plus the committed WAL suffix, resuming LSN numbering
+//    where the log left off. checkpoint() compacts by streaming a snapshot
+//    from a consistent cut, pausing updates only to copy the edge set and
+//    to swap in the compacted WAL.
+//  * Pipelined commit (ServiceConfig::wal_engine): with an async WAL engine
+//    the cycle splits into *applied* (CPLDS mutated, frame staged to the
+//    engine and — at ShipPoint::kApplied — handed to the shipper) and
+//    *durable* (the engine's watermark reached the cycle's last LSN). At
+//    kOsCache tickets still ack at applied; at the sync levels the ack, the
+//    commit-LSN advance, and (at ShipPoint::kDurable) the shipping are
+//    deferred to the watermark via the engine's completion callback — so
+//    cycle N+1 applies while cycle N's flush is in flight, and no ack ever
+//    precedes its durability point. The committed-prefix replay guarantee
+//    is unchanged: replay truncates to what actually hit the disk.
 //  * Encode-once: with a binary WAL and/or a commit listener, the apply
 //    thread encodes each committed batch into a WalFrame exactly once; the
 //    WAL appends those bytes and the listener (the cluster layer's log
@@ -82,6 +92,14 @@ class QueueFullError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// When committed batches are handed to the commit listener (the cluster
+/// layer's log shipper). kApplied (the default, PR 6 behavior) ships as
+/// soon as the cycle is staged — replicas track the primary's apply and may
+/// briefly run ahead of durability; kDurable ships only once the cycle's
+/// WAL bytes reached their durability point, so a replica can never have
+/// applied a record a primary crash could un-commit.
+enum class ShipPoint { kApplied, kDurable };
+
 struct ServiceConfig {
   /// Vertex-id space. Ignored (the snapshot's count wins) when warm-
   /// restarting from an existing snapshot file.
@@ -108,6 +126,13 @@ struct ServiceConfig {
   /// open when this is kBinaryV4 (the default), or kept text when kTextV3
   /// (the benchmark baseline).
   WalFormat wal_format = WalFormat::kBinaryV4;
+  /// WAL commit engine. kAuto (the default) probes for io_uring and falls
+  /// back to the flusher thread, honoring the CPKC_WAL_ENGINE env override
+  /// (kAuto only — a pinned engine stays pinned); kSync restores the
+  /// pre-PR-7 flush-on-the-apply-thread path, the benchmark baseline.
+  WalEngine wal_engine = WalEngine::kAuto;
+  /// Where committed batches are handed to the commit listener.
+  ShipPoint ship_at = ShipPoint::kApplied;
 
   /// Adaptive drain budget: per-cycle op count is steered so one cycle's
   /// apply time lands near the target, within [min_ops, max_ops].
@@ -134,11 +159,24 @@ struct ServiceStats {
   std::uint64_t blocked_submits = 0;  ///< submits that waited under kBlock
   std::uint64_t commit_lsn = 0;      ///< last group-committed LSN
   std::uint64_t applied_lsn = 0;     ///< last LSN applied to the CPLDS
+  std::uint64_t durable_lsn = 0;     ///< WAL durable watermark
   double apply_seconds = 0.0;        ///< total time inside CPLDS::apply
   std::size_t batch_budget = 0;      ///< current adaptive per-cycle budget
+  std::uint64_t wal_flushes = 0;     ///< completed WAL flushes (engine+sync)
+  std::uint64_t wal_flush_bytes = 0;  ///< bytes those flushes made durable
+  std::size_t wal_flush_depth = 0;   ///< gauge: commits in the engine queue
+  std::size_t wal_inflight_bytes = 0;  ///< gauge: bytes of those commits
+  std::string wal_engine = "sync";   ///< resolved engine (wal_engine_name)
   std::vector<std::size_t> shard_depths;  ///< queue-depth gauge per shard
   LatencyHistogram ack_latency;      ///< submit() -> acknowledgment, ns
   LatencyHistogram apply_latency;    ///< per-batch CPLDS::apply, ns
+  /// submit() -> applied-to-the-CPLDS, ns: the ack-vs-apply split. With a
+  /// sync WAL the two histograms coincide; with an async engine at a sync
+  /// durability level the gap between them is the durability pipeline.
+  LatencyHistogram applied_latency;
+  /// applied -> acked per cycle, ns: how long acks trailed the apply while
+  /// the flush was in flight (~0 when acks are inline).
+  LatencyHistogram durable_lag;
   /// Non-empty iff the apply thread died on an error (e.g. WAL I/O
   /// failure): the service is stopped, un-acked waiters were released with
   /// wait() == false, and new submissions throw.
@@ -206,22 +244,38 @@ class KCoreService {
   // ---------------- replication ----------------
 
   /// Registers the (single) committed-batch subscriber — the cluster
-  /// layer's log shipper; pass nullptr to detach. Returns the commit LSN
-  /// as of registration: every batch with a higher LSN will be delivered,
-  /// every batch at or below it will not. The listener runs on the apply
-  /// thread with the cycle lock held: it must be fast and must not call
-  /// back into this service.
+  /// layer's log shipper; pass nullptr to detach. Returns the last LSN
+  /// already shipped as of registration: every batch with a higher LSN
+  /// will be delivered, every batch at or below it will not. Depending on
+  /// ServiceConfig::ship_at the listener runs on the apply thread (cycle
+  /// lock held) or on the durability engine's completion thread: it must
+  /// be fast and must not call back into this service.
   std::uint64_t set_commit_listener(CommitListener listener);
 
   /// Last group-committed / last applied LSN. On the primary, every acked
   /// write's LSN is <= applied_lsn() from the moment the ack is observable,
-  /// so primary reads always satisfy read-your-writes.
+  /// so primary reads always satisfy read-your-writes. At the sync
+  /// durability levels commit_lsn() advances at the durable watermark (an
+  /// async engine may leave it trailing applied_lsn() while a flush is in
+  /// flight); at kOsCache it advances when the cycle stages its bytes.
   [[nodiscard]] std::uint64_t commit_lsn() const {
     return commit_lsn_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::uint64_t applied_lsn() const {
     return applied_lsn_.load(std::memory_order_acquire);
   }
+
+  /// The WAL durable watermark: every record at or below it completed the
+  /// configured durability level (= commit_lsn() without a WAL or at
+  /// kOsCache).
+  [[nodiscard]] std::uint64_t durable_lsn() const;
+
+  /// Blocks until the WAL watermark covers `lsn` (clamped to what has been
+  /// staged). Returns false when it cannot get there — engine failure or
+  /// shutdown; callers treat that as "proceed and let the read-side error
+  /// paths report the shortfall". Used by the cluster layer's disk
+  /// catch-up, which must not scan the log for bytes still in flight.
+  bool wait_wal_durable(std::uint64_t lsn);
 
   // ---------------- lifecycle ----------------
 
@@ -293,12 +347,39 @@ class KCoreService {
     std::atomic<std::uint64_t> acked_lsn{0};
   };
 
+  /// One drained cycle's deferred-ack state, queued until the WAL durable
+  /// watermark covers upto_lsn (sync durability levels with an async
+  /// engine); acked inline otherwise.
+  struct PendingCycle {
+    std::uint64_t upto_lsn = 0;   ///< durable once the watermark reaches it
+    std::uint64_t cycle_lsn = 0;  ///< LSN the cycle's ops ack at
+    std::uint64_t applied_ns = 0;  ///< when the apply finished (lag split)
+    struct ShardCut {
+      std::size_t shard = 0;
+      std::uint64_t upto = 0;
+    };
+    std::vector<ShardCut> drains;         ///< per-shard ack frontiers
+    std::vector<std::uint64_t> submit_ns;  ///< per-op stamps (ack latency)
+    std::vector<WalFramePtr> frames;  ///< ship-at-durable: held until then
+  };
+
   [[nodiscard]] std::size_t shard_of(const Edge& e) const;
 
   void apply_loop();
   /// One drain-coalesce-log-apply-ack cycle; returns ops processed.
   std::size_t run_cycle();
   void stop(bool drain_first);
+  /// Durability-engine completion callback (runs on its completion thread):
+  /// advances commit_lsn_ at the sync levels and delivers every pending
+  /// cycle the watermark now covers; an error fails the service like an
+  /// apply-thread error.
+  void on_durable(std::uint64_t lsn, const std::string* error);
+  /// Ships (at ShipPoint::kDurable), records ack stats, and acks one
+  /// cycle's shards. Caller holds pending_mu_ — every ack, inline or
+  /// deferred, serializes through it, keeping per-shard acks monotone with
+  /// two acker threads.
+  void deliver_cycle(PendingCycle& cycle, std::uint64_t acked_at);
+  void fail_from_durability(const std::string& what);
 
   ServiceConfig config_;
   std::unique_ptr<CPLDS> ds_;
@@ -319,8 +400,27 @@ class KCoreService {
   std::atomic<bool> paused_{false};   ///< pause_applies() in effect
 
   // Serializes drain cycles against checkpoint() and listener swaps.
+  // Lock order (outer to inner): apply_mu_ > pending_mu_ > ship_mu_ >
+  // stats_mu_ > Shard::mu. The durability completion thread starts at
+  // pending_mu_ and NEVER takes apply_mu_ (shutdown waits out the engine
+  // while holding it).
   std::mutex apply_mu_;
-  CommitListener commit_listener_;  // under apply_mu_
+  /// Written under apply_mu_ + ship_mu_ both; readable under either (the
+  /// apply thread reads it under apply_mu_, the completion thread under
+  /// ship_mu_).
+  CommitListener commit_listener_;
+
+  /// Cycles applied but not yet durable, in commit order (under
+  /// pending_mu_). Non-empty only at the sync durability levels with an
+  /// async engine.
+  std::mutex pending_mu_;
+  std::deque<PendingCycle> pending_;
+
+  /// Shipping cursor: last LSN past the configured ship point (advances
+  /// whether or not a listener is attached, so set_commit_listener's
+  /// returned cursor is exact). Under ship_mu_.
+  std::mutex ship_mu_;
+  std::uint64_t shipped_lsn_ = 0;
 
   // LSN cursors. next_lsn_ is apply-thread-only (plus the constructor);
   // the atomics mirror it for cross-thread reads.
@@ -330,12 +430,20 @@ class KCoreService {
 
   AdaptiveBatchSizer sizer_;
   std::size_t drain_start_ = 0;  ///< rotating drain fairness (apply thread)
+  /// Most recent applied->acked lag (ns), fed to the sizer so the batch
+  /// budget backs off when the durability pipeline is the bottleneck.
+  std::atomic<std::uint64_t> last_ack_lag_ns_{0};
+  WalEngineKind wal_engine_kind_ = WalEngineKind::kSync;  ///< resolved
 
   mutable std::mutex stats_mu_;
   ServiceStats stats_;  // guarded by stats_mu_ (atomic counters kept aside)
   std::atomic<std::uint64_t> submitted_ops_{0};
   std::atomic<std::uint64_t> rejected_ops_{0};
   std::atomic<std::uint64_t> blocked_submits_{0};
+  /// flush_stats() totals as of the last reset_stats(), so stats() reports
+  /// per-phase flush counts like every other counter.
+  std::atomic<std::uint64_t> flush_baseline_{0};
+  std::atomic<std::uint64_t> flush_bytes_baseline_{0};
 
   std::thread apply_thread_;
 };

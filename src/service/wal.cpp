@@ -265,6 +265,10 @@ WalOpenInfo WriteAheadLog::open(const std::string& path,
   buf_.clear();
   size_ = 0;
   prealloc_limit_ = 0;
+  staged_lsn_.store(0, std::memory_order_relaxed);
+  durable_lsn_.store(0, std::memory_order_relaxed);
+  acc_flushes_.store(0, std::memory_order_relaxed);
+  acc_flushed_bytes_.store(0, std::memory_order_relaxed);
 
   namespace fs = std::filesystem;
   WalOpenInfo info;
@@ -351,6 +355,10 @@ WalOpenInfo WriteAheadLog::open(const std::string& path,
   }
   info.format = format_;
   prealloc_limit_ = size_;
+  const std::uint64_t start_lsn = info.replayed > 0 ? info.last_lsn : base_lsn_;
+  staged_lsn_.store(start_lsn, std::memory_order_relaxed);
+  // flush() below runs in sync mode (the engine starts after it), so the
+  // header/truncation point is on disk before the engine takes the fd over.
   flush();
   // A freshly-created file only survives power failure once its directory
   // entry is durable too; at the sync durability levels, close that window
@@ -358,7 +366,74 @@ WalOpenInfo WriteAheadLog::open(const std::string& path,
   if (created && options_.durability != WalDurability::kOsCache) {
     sync_parent_dir();
   }
+  engine_kind_ = resolve_wal_engine(options_.engine);
+  start_engine();
+  info.engine = engine_kind_;
   return info;
+}
+
+void WriteAheadLog::start_engine() {
+  if (engine_kind_ == WalEngineKind::kSync) return;
+  std::shared_ptr<WalCommitEngine> engine = make_wal_commit_engine(
+      engine_kind_, path_, options_.durability, size_,
+      staged_lsn_.load(std::memory_order_relaxed));
+  engine->set_durable_callback(
+      [this](std::uint64_t lsn, const std::string* error) {
+        if (error == nullptr) {
+          // Monotone max (a restarted engine re-seeds at the old staged
+          // LSN, never below the published watermark).
+          std::uint64_t cur = durable_lsn_.load(std::memory_order_relaxed);
+          while (cur < lsn && !durable_lsn_.compare_exchange_weak(
+                                  cur, lsn, std::memory_order_release,
+                                  std::memory_order_relaxed)) {
+          }
+        }
+        WalCommitEngine::DurableFn cb;
+        {
+          std::lock_guard lock(engine_mu_);
+          cb = durable_cb_;
+        }
+        if (cb) cb(lsn, error);
+      });
+  std::lock_guard lock(engine_mu_);
+  engine_ = std::move(engine);
+}
+
+void WriteAheadLog::stop_engine(bool swallow_errors) {
+  std::shared_ptr<WalCommitEngine> engine;
+  {
+    std::lock_guard lock(engine_mu_);
+    engine = std::move(engine_);
+    engine_ = nullptr;
+  }
+  if (engine == nullptr) return;
+  // stop() drains and joins with engine_mu_ released: the completion
+  // thread's durable-callback wrapper takes engine_mu_. Fold the stopped
+  // engine's counters + final watermark (its last *good* LSN even on a
+  // failure — never past what actually hit the disk) either way.
+  const auto fold = [&] {
+    const WalFlushStats s = engine->stats();
+    acc_flushes_.fetch_add(s.flushes, std::memory_order_relaxed);
+    acc_flushed_bytes_.fetch_add(s.flushed_bytes, std::memory_order_relaxed);
+    const std::uint64_t final_lsn = engine->durable_lsn();
+    std::uint64_t cur = durable_lsn_.load(std::memory_order_relaxed);
+    while (cur < final_lsn && !durable_lsn_.compare_exchange_weak(
+                                  cur, final_lsn, std::memory_order_release,
+                                  std::memory_order_relaxed)) {
+    }
+  };
+  try {
+    engine->stop(swallow_errors);
+  } catch (...) {
+    fold();
+    throw;
+  }
+  fold();
+}
+
+std::shared_ptr<WalCommitEngine> WriteAheadLog::engine_snapshot() const {
+  std::lock_guard lock(engine_mu_);
+  return engine_;
 }
 
 void WriteAheadLog::append_file_header() {
@@ -375,6 +450,7 @@ void WriteAheadLog::append(const WalFrame& frame) {
         "WriteAheadLog::append(WalFrame): log is not in binary format");
   }
   buf_.insert(buf_.end(), frame.bytes().begin(), frame.bytes().end());
+  staged_lsn_.store(frame.lsn(), std::memory_order_release);
 }
 
 void WriteAheadLog::append(std::uint64_t lsn, const UpdateBatch& batch) {
@@ -384,6 +460,7 @@ void WriteAheadLog::append(std::uint64_t lsn, const UpdateBatch& batch) {
   } else {
     append_text_record(buf_, lsn, batch);
   }
+  staged_lsn_.store(lsn, std::memory_order_release);
 }
 
 void WriteAheadLog::write_out(const unsigned char* data, std::size_t len) {
@@ -392,13 +469,82 @@ void WriteAheadLog::write_out(const unsigned char* data, std::size_t len) {
 
 void WriteAheadLog::flush() {
   if (fd_ < 0) throw std::runtime_error("WAL flush failed: " + path_);
+  const std::shared_ptr<WalCommitEngine> engine = engine_snapshot();
+  if (engine != nullptr) {
+    // Async mode never writes through fd_ (the engine owns the append
+    // frontier): a full flush is submit-everything + wait-for-the-watermark.
+    commit_async();
+    engine->wait_durable(staged_lsn_.load(std::memory_order_acquire));
+    return;
+  }
   if (!buf_.empty()) {
     ensure_preallocated(buf_.size());
-    write_out(buf_.data(), buf_.size());
-    size_ += buf_.size();
+    const std::size_t bytes = buf_.size();
+    write_out(buf_.data(), bytes);
+    size_ += bytes;
     buf_.clear();
+    acc_flushes_.fetch_add(1, std::memory_order_relaxed);
+    acc_flushed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
   sync_data();
+  durable_lsn_.store(staged_lsn_.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+}
+
+void WriteAheadLog::commit_async() {
+  if (fd_ < 0) throw std::runtime_error("WAL commit failed: " + path_);
+  const std::shared_ptr<WalCommitEngine> engine = engine_snapshot();
+  if (engine == nullptr) {
+    flush();
+    return;
+  }
+  if (buf_.empty()) return;
+  // Preallocation goes through fd_ — same inode the engine writes to, so
+  // its extents land ahead of the engine's append frontier all the same.
+  ensure_preallocated(buf_.size());
+  std::vector<unsigned char> bytes;
+  bytes.swap(buf_);
+  size_ += bytes.size();  // staged: the engine owns these offsets now
+  engine->submit(std::move(bytes),
+                 staged_lsn_.load(std::memory_order_relaxed));
+}
+
+void WriteAheadLog::wait_durable(std::uint64_t lsn) {
+  const std::uint64_t staged = staged_lsn_.load(std::memory_order_acquire);
+  if (lsn > staged) lsn = staged;
+  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
+  const std::shared_ptr<WalCommitEngine> engine = engine_snapshot();
+  if (engine != nullptr) engine->wait_durable(lsn);
+  // Sync mode: the watermark tracks flush(), which the committer owns —
+  // durable < lsn here just means bytes still buffered on their side.
+}
+
+void WriteAheadLog::set_durable_callback(WalCommitEngine::DurableFn fn) {
+  std::lock_guard lock(engine_mu_);
+  durable_cb_ = std::move(fn);
+}
+
+WalFlushStats WriteAheadLog::flush_stats() const {
+  WalFlushStats out;
+  out.flushes = acc_flushes_.load(std::memory_order_relaxed);
+  out.flushed_bytes = acc_flushed_bytes_.load(std::memory_order_relaxed);
+  const std::shared_ptr<WalCommitEngine> engine = engine_snapshot();
+  if (engine != nullptr) {
+    const WalFlushStats live = engine->stats();
+    out.flushes += live.flushes;
+    out.flushed_bytes += live.flushed_bytes;
+    out.flush_depth = live.flush_depth;
+    out.inflight_bytes = live.inflight_bytes;
+  }
+  return out;
+}
+
+bool WriteAheadLog::async_active() const {
+  return engine_snapshot() != nullptr;
+}
+
+WalEngineKind WriteAheadLog::engine_kind() const {
+  return async_active() ? engine_kind_ : WalEngineKind::kSync;
 }
 
 void WriteAheadLog::sync_data() {
@@ -451,6 +597,9 @@ void WriteAheadLog::ensure_preallocated(std::size_t upcoming) {
 
 void WriteAheadLog::reset(std::uint64_t base_lsn) {
   if (fd_ < 0) throw std::runtime_error("cannot reset WAL: " + path_);
+  // Exclusive rewrite: drain + stop the engine so no in-flight write can
+  // land past the truncation point, restart it at the new frontier below.
+  stop_engine(/*swallow_errors=*/false);
   if (::ftruncate(fd_, 0) != 0) {
     throw std::runtime_error("cannot reset WAL: " + path_);
   }
@@ -460,11 +609,17 @@ void WriteAheadLog::reset(std::uint64_t base_lsn) {
   size_ = 0;
   prealloc_limit_ = 0;
   append_file_header();
+  staged_lsn_.store(base_lsn, std::memory_order_relaxed);
+  durable_lsn_.store(base_lsn, std::memory_order_relaxed);
   flush();
   if (options_.durability != WalDurability::kOsCache) sync_parent_dir();
+  start_engine();
 }
 
 void WriteAheadLog::compact(std::uint64_t base_lsn) {
+  // Exclusive rewrite (see reset()): drain + stop the engine so the slurp
+  // below sees every submitted byte and replace_file swaps a quiet inode.
+  stop_engine(/*swallow_errors=*/false);
   flush();  // the scan below must see every appended record
   std::vector<unsigned char> image;
   const std::vector<unsigned char> contents = slurp(path_);
@@ -497,9 +652,13 @@ void WriteAheadLog::compact(std::uint64_t base_lsn) {
   base_lsn_ = base_lsn;
   size_ = image.size();
   prealloc_limit_ = size_;
+  start_engine();
 }
 
 void WriteAheadLog::close() {
+  // Best-effort drain of the engine first (destructor path: errors are a
+  // lost cause here; flush()/commit_async() are the throwing paths).
+  stop_engine(/*swallow_errors=*/true);
   if (fd_ < 0) return;
   // Best-effort final push of buffered records; close() runs from the
   // destructor, so IO errors are swallowed here (flush() is the throwing
@@ -544,6 +703,7 @@ WalScanInfo scan_wal_frames(const std::string& path, vertex_t num_vertices,
     info.base_lsn = parsed.base_lsn;
     info.last_lsn = parsed.last_lsn;
     info.format = WalFormat::kBinaryV4;
+    info.committed_bytes = parsed.committed_end;
   } else if (starts_with(contents, kWalMagicV3)) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("cannot open WAL: " + path);
@@ -560,6 +720,8 @@ WalScanInfo scan_wal_frames(const std::string& path, vertex_t num_vertices,
     info.base_lsn = parsed.base_lsn;
     info.last_lsn = parsed.last_lsn;
     info.format = WalFormat::kTextV3;
+    info.committed_bytes = static_cast<std::uint64_t>(
+        std::max<std::streamoff>(0, parsed.committed_end));
   } else {
     throw std::runtime_error("bad WAL header in " + path);
   }

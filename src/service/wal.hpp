@@ -52,21 +52,34 @@
 // (fallocate FALLOC_FL_KEEP_SIZE, WalOptions::preallocate_bytes per step),
 // so group commits extend into reserved extents instead of paying block
 // allocation on the latency path; logical file size is unaffected.
+//
+// Commit engines (WalOptions::engine — see wal_async.hpp): with kSync the
+// caller's flush() pays the write+sync itself (the pre-PR-7 path, still the
+// default for standalone WriteAheadLog users); with an async engine
+// (flusher thread or io_uring) commit_async() hands the buffered bytes to
+// the engine and returns immediately — the *staged* LSN (everything
+// appended) runs ahead of the *durable* LSN watermark (everything the
+// engine completed), wait_durable() bridges the two, and the durable
+// callback fires as the watermark advances. While an engine is active the
+// log routes every byte through it (the engine owns its own non-O_APPEND
+// fd and explicit offsets); reset()/compact()/close() drain and stop the
+// engine around their exclusive rewrites and restart it after.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/batch.hpp"
+#include "service/wal_async.hpp"
 #include "service/wal_codec.hpp"
 #include "util/types.hpp"
 
 namespace cpkcore::service {
-
-/// What a group commit pushes the cycle's records to. See file header.
-enum class WalDurability { kOsCache, kFdatasync, kFsync };
 
 struct WalOptions {
   WalDurability durability = WalDurability::kOsCache;
@@ -75,6 +88,10 @@ struct WalOptions {
   WalFormat format = WalFormat::kBinaryV4;
   /// Preallocation step (bytes) ahead of the append frontier; 0 disables.
   std::size_t preallocate_bytes = std::size_t{4} << 20;
+  /// Commit engine. kSync keeps flush() on the caller; kAuto/kFlusher/
+  /// kIoUring run an async engine behind commit_async() (see wal_async.hpp
+  /// for resolution and the CPKC_WAL_ENGINE override, kAuto only).
+  WalEngine engine = WalEngine::kSync;
 };
 
 /// Replay/scan callback: (lsn, batch), in strictly increasing LSN order.
@@ -95,6 +112,7 @@ struct WalOpenInfo {
   std::uint64_t last_lsn = 0;    ///< last committed LSN (= base_lsn if none)
   WalFormat format = WalFormat::kBinaryV4;  ///< format the log operates in
   bool migrated = false;         ///< v3 file was rewritten as v4
+  WalEngineKind engine = WalEngineKind::kSync;  ///< resolved commit engine
 };
 
 class WriteAheadLog {
@@ -129,8 +147,50 @@ class WriteAheadLog {
 
   /// Group commit: pushes every appended record to the OS in one write,
   /// then applies the configured durability level (fdatasync/fsync).
-  /// Throws std::runtime_error if the write or sync failed.
+  /// With an async engine active this degenerates to commit_async() +
+  /// wait_durable(staged) — every appended record is durable on return
+  /// either way. Throws std::runtime_error if the write or sync failed.
   void flush();
+
+  /// Pipelined group commit: hands the buffered records to the async
+  /// engine and returns without waiting for the disk — the durable-LSN
+  /// watermark advances (and the durable callback fires) when the engine
+  /// completes them. Falls back to flush() when no engine is active. May
+  /// block briefly on engine backpressure; throws after an engine failure.
+  void commit_async();
+
+  /// Last LSN handed to append() (= durable_lsn() in sync mode after each
+  /// flush; runs ahead of it while async commits are in flight).
+  [[nodiscard]] std::uint64_t staged_lsn() const {
+    return staged_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// The durable watermark: every record with LSN <= this has completed
+  /// its configured durability level (for kOsCache: reached the OS cache).
+  [[nodiscard]] std::uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until durable_lsn() >= min(lsn, staged_lsn()) — the clamp
+  /// makes "wait for everything appended so far" spelled wait_durable(~0)
+  /// safe. Callable from any thread concurrently with commits. Throws
+  /// std::runtime_error if the engine failed.
+  void wait_durable(std::uint64_t lsn);
+
+  /// Replaces the durable callback (fires on the engine's completion
+  /// thread, *before* wait_durable waiters wake — see wal_async.hpp; never
+  /// fires in sync mode). Call before the first commit_async().
+  void set_durable_callback(WalCommitEngine::DurableFn fn);
+
+  /// Flush-pipeline counters, accumulated across engine restarts
+  /// (compact()/reset()) and including sync-mode flushes.
+  [[nodiscard]] WalFlushStats flush_stats() const;
+
+  /// True when an async engine owns the flush path.
+  [[nodiscard]] bool async_active() const;
+
+  /// The engine actually running (kSync when none).
+  [[nodiscard]] WalEngineKind engine_kind() const;
 
   /// Compaction to empty: truncates the log to a header whose base LSN is
   /// `base_lsn` (the LSN up to which the logical state has been persisted
@@ -161,6 +221,13 @@ class WriteAheadLog {
   void sync_data();
   void sync_parent_dir() const;
   void ensure_preallocated(std::size_t upcoming);
+  /// Builds + starts the configured engine at the current append frontier
+  /// (call only with no bytes in flight: right after open/reset/compact).
+  void start_engine();
+  /// Drains, detaches, and stops the engine, folding its counters into the
+  /// accumulated totals. No-op when none is active.
+  void stop_engine(bool swallow_errors);
+  [[nodiscard]] std::shared_ptr<WalCommitEngine> engine_snapshot() const;
 
   std::string path_;
   vertex_t num_vertices_ = 0;
@@ -169,8 +236,24 @@ class WriteAheadLog {
   WalFormat format_ = WalFormat::kBinaryV4;
   int fd_ = -1;
   std::vector<unsigned char> buf_;  ///< records awaiting the group commit
-  std::uint64_t size_ = 0;          ///< logical file size (flushed bytes)
+  std::uint64_t size_ = 0;  ///< logical file size (flushed + staged bytes)
   std::uint64_t prealloc_limit_ = 0;  ///< extent frontier already reserved
+
+  WalEngineKind engine_kind_ = WalEngineKind::kSync;  ///< resolved at open
+  /// Active engine (null in sync mode / during exclusive rewrites). The
+  /// pointer swap is under engine_mu_; cross-thread readers snapshot the
+  /// shared_ptr and never hold engine_mu_ across an engine call that can
+  /// block (stop() runs with engine_mu_ released — its completion thread
+  /// takes engine_mu_ in the durable-callback wrapper).
+  std::shared_ptr<WalCommitEngine> engine_;
+  mutable std::mutex engine_mu_;
+  WalCommitEngine::DurableFn durable_cb_;  ///< under engine_mu_
+  std::atomic<std::uint64_t> staged_lsn_{0};
+  std::atomic<std::uint64_t> durable_lsn_{0};
+  /// Counters folded across engine restarts + sync-mode flushes (relaxed:
+  /// monotone stats, read by flush_stats from any thread).
+  std::atomic<std::uint64_t> acc_flushes_{0};
+  std::atomic<std::uint64_t> acc_flushed_bytes_{0};
 };
 
 /// What scan_wal() / scan_wal_frames() found.
@@ -179,6 +262,10 @@ struct WalScanInfo {
   std::uint64_t base_lsn = 0;
   std::uint64_t last_lsn = 0;
   WalFormat format = WalFormat::kBinaryV4;
+  /// Bytes of the committed prefix, header included. Anything past this is
+  /// a torn or corrupt tail (walcat --verify compares against file size;
+  /// v3 text logs may legitimately trail whitespace past it).
+  std::uint64_t committed_bytes = 0;
 };
 
 /// Read-only scan of a WAL's committed prefix (either format), safe to run

@@ -64,10 +64,12 @@ WalFramePtr WalFrame::encode(std::uint64_t lsn, const UpdateBatch& batch) {
     put_u32(out, e.v);
   }
   out.reserve(out.size() + 4);
-  put_u32(out, crc32(out.data(), out.size()));
+  const std::uint32_t crc = crc32(out.data(), out.size());
+  put_u32(out, crc);
   frame->lsn_ = lsn;
   frame->kind_ = batch.kind;
   frame->count_ = count;
+  frame->crc_ = crc;
   g_encoded.fetch_add(1, std::memory_order_relaxed);
   return frame;
 }
@@ -99,6 +101,7 @@ WalFramePtr WalFrame::try_parse(const unsigned char* data,
   frame->lsn_ = get_u64(data + 4);
   frame->kind_ = kind == 0 ? UpdateKind::kInsert : UpdateKind::kDelete;
   frame->count_ = count;
+  frame->crc_ = stored_crc;
   if (consumed != nullptr) *consumed = total;
   return frame;
 }

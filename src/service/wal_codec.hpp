@@ -107,6 +107,10 @@ class WalFrame {
   [[nodiscard]] std::uint64_t lsn() const { return lsn_; }
   [[nodiscard]] UpdateKind kind() const { return kind_; }
   [[nodiscard]] std::size_t edge_count() const { return count_; }
+  /// The CRC-32 trailer value (walcat prints it next to each frame's byte
+  /// offset so an on-disk frame can be cross-checked against the shipped
+  /// copy without re-hashing).
+  [[nodiscard]] std::uint32_t crc() const { return crc_; }
   /// The exact wire bytes (length prefix + header + edges + CRC).
   [[nodiscard]] const std::vector<unsigned char>& bytes() const {
     return bytes_;
@@ -126,6 +130,7 @@ class WalFrame {
   std::uint64_t lsn_ = 0;
   UpdateKind kind_ = UpdateKind::kInsert;
   std::size_t count_ = 0;
+  std::uint32_t crc_ = 0;
 };
 
 /// Serialized size of the v4 file header (magic line + num_vertices +

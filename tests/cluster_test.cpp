@@ -1005,6 +1005,61 @@ TEST(Cluster, RingAndDiskCatchupShipIdenticalFrameBytes) {
   primary.shutdown();
 }
 
+TEST(Cluster, ShipAtDurableReplicasConverge) {
+  // ship_at = kDurable: records reach the shipper only once the async
+  // engine's watermark covers them, so a replica can never apply bytes the
+  // primary might lose in a crash. Replicas must still converge exactly —
+  // the stream stays gapless and ordered, just delayed to durability.
+  constexpr vertex_t kN = 500;
+  TempPath wal("ship_at_durable.wal");
+  ClusterConfig cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 2;
+  cfg.base.num_vertices = kN;
+  cfg.base.wal_path = wal.str();
+  cfg.base.wal_durability = WalDurability::kFdatasync;
+  cfg.base.wal_engine = service::WalEngine::kFlusher;
+  cfg.base.ship_at = service::ShipPoint::kDurable;
+  cfg.base.min_ops_per_cycle = 16;
+  cfg.base.max_ops_per_cycle = 256;
+  {
+    ShardGroup group(cfg);
+    constexpr std::size_t kWriters = 2;
+    std::vector<std::thread> writers;
+    for (std::size_t t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        Xoshiro256 rng(7700 + t);
+        std::vector<Edge> inserted;
+        for (std::size_t i = 0; i < 1500; ++i) {
+          if (!inserted.empty() && rng.next_double() < 0.25) {
+            const std::size_t j = rng.next_below(inserted.size());
+            group.submit({inserted[j], UpdateKind::kDelete});
+            inserted[j] = inserted.back();
+            inserted.pop_back();
+          } else {
+            const Edge e{static_cast<vertex_t>(rng.next_below(kN)),
+                         static_cast<vertex_t>(rng.next_below(kN))};
+            group.submit({e, UpdateKind::kInsert});
+            if (!e.is_self_loop()) inserted.push_back(e.canonical());
+          }
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    group.quiesce();
+    EXPECT_GT(group.shipper(0).stats().shipped_records, 0u);
+    const auto stats = group.global_stats();
+    EXPECT_EQ(stats.partitions[0].wal_engine, "flusher");
+    EXPECT_GT(stats.wal_flushes, 0u);
+    EXPECT_GT(stats.wal_flush_bytes, 0u);
+    for (std::size_t r = 0; r < cfg.replicas; ++r) {
+      expect_exact_replica(group.primary(0), group.replica(0, r));
+    }
+    group.shutdown();
+  }
+  std::filesystem::remove(wal.str());
+}
+
 TEST(Cluster, ShardedClusterDurableBinaryWalConverges) {
   // The CI binary-WAL TSan leg runs this under the sharded env pins: every
   // partition group-commits a durable (kFdatasync) binary v4 WAL while

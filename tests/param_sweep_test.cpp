@@ -108,8 +108,13 @@ TEST_P(ParamSweep, CpldsReadsLinearizableAcrossGeometry) {
 std::string param_name(
     const ::testing::TestParamInfo<std::tuple<double, double>>& info) {
   const auto [delta, lambda] = info.param;
-  return "d" + std::to_string(static_cast<int>(delta * 100)) + "_l" +
-         std::to_string(static_cast<int>(lambda));
+  // Built up with += (not one operator+ chain): GCC 12's -Wrestrict
+  // false-positives on `const char* + std::string&&` when inlined here.
+  std::string name = "d";
+  name += std::to_string(static_cast<int>(delta * 100));
+  name += "_l";
+  name += std::to_string(static_cast<int>(lambda));
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

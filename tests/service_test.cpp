@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -627,6 +628,217 @@ TEST(Service, AdaptiveBatchSizerTracksTarget) {
   for (int i = 0; i < 20; ++i) sizer.observe(sizer.budget(), sizer.budget() * 100000);
   EXPECT_LE(sizer.budget(), 64u);
   EXPECT_GE(sizer.budget(), 16u);  // floor respected
+}
+
+TEST(Service, WalEngineProbeLogsSelection) {
+  // The CI "WAL engine probe" step runs exactly this test and reads its
+  // output: which async engine the kernel supports and what kAuto resolves
+  // to under the leg's CPKC_WAL_ENGINE pin, so every CI log records which
+  // engine its suites actually exercised.
+  const bool uring = service::io_uring_engine_available();
+  const service::WalEngineKind auto_kind =
+      service::resolve_wal_engine(service::WalEngine::kAuto);
+  std::printf("[wal-engine-probe] io_uring=%s resolved(auto)=%s\n",
+              uring ? "available" : "unavailable",
+              service::wal_engine_name(auto_kind));
+  // Explicit pins resolve verbatim (the env override applies only to
+  // kAuto), and an unsupported io_uring request degrades to the flusher —
+  // it never reports an engine the kernel cannot run.
+  EXPECT_EQ(service::resolve_wal_engine(service::WalEngine::kSync),
+            service::WalEngineKind::kSync);
+  EXPECT_EQ(service::resolve_wal_engine(service::WalEngine::kFlusher),
+            service::WalEngineKind::kFlusher);
+  const service::WalEngineKind uring_kind =
+      service::resolve_wal_engine(service::WalEngine::kIoUring);
+  if (uring) {
+    EXPECT_EQ(uring_kind, service::WalEngineKind::kIoUring);
+  } else {
+    EXPECT_EQ(uring_kind, service::WalEngineKind::kFlusher);
+  }
+}
+
+TEST(Service, AsyncCrashReplayRestoresAckedOpsAllDurabilities) {
+  // The async engine must not weaken the crash contract at any durability
+  // level: every acked op is in the committed prefix the reopen replays.
+  constexpr vertex_t kN = 300;
+  const auto edges = gen::barabasi_albert(kN, 4, 17);
+  for (WalDurability level :
+       {WalDurability::kOsCache, WalDurability::kFdatasync,
+        WalDurability::kFsync}) {
+    TempPath wal("async_crash.wal");
+    std::set<std::uint64_t> before;
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    cfg.wal_durability = level;
+    cfg.wal_engine = service::WalEngine::kFlusher;
+    {
+      KCoreService svc(cfg);
+      std::vector<Ticket> tickets;
+      tickets.reserve(edges.size());
+      for (const Edge& e : edges) {
+        tickets.push_back(svc.submit_insert(e.u, e.v));
+      }
+      for (const Ticket& t : tickets) ASSERT_TRUE(svc.wait(t));
+      before = edge_keys(svc);
+      svc.simulate_crash();
+    }
+    KCoreService svc(cfg);
+    EXPECT_GT(svc.stats().replayed_batches, 0u);
+    EXPECT_EQ(edge_keys(svc), before)
+        << "durability level " << static_cast<int>(level);
+    std::string why;
+    EXPECT_TRUE(svc.cplds().plds().validate(&why)) << why;
+    svc.shutdown();
+  }
+}
+
+TEST(Service, AckNeverPrecedesDurabilityAtSyncLevels) {
+  // The pipelined commit defers acks to the durable watermark: at
+  // fdatasync/fsync, the moment wait() returns the acked LSN must already
+  // be covered by the WAL's durable LSN — an ack may never outrun its
+  // durability point.
+  constexpr vertex_t kN = 200;
+  for (WalDurability level :
+       {WalDurability::kFdatasync, WalDurability::kFsync}) {
+    TempPath wal("ack_durable.wal");
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    cfg.wal_durability = level;
+    cfg.wal_engine = service::WalEngine::kFlusher;
+    KCoreService svc(cfg);
+    const auto edges = gen::erdos_renyi(kN, 600, 9);
+    std::vector<Ticket> tickets;
+    tickets.reserve(edges.size());
+    for (const Edge& e : edges) {
+      tickets.push_back(svc.submit_insert(e.u, e.v));
+    }
+    for (const Ticket& t : tickets) {
+      std::uint64_t lsn = 0;
+      ASSERT_TRUE(svc.wait(t, &lsn));
+      EXPECT_GE(svc.durable_lsn(), lsn);
+    }
+    svc.shutdown();
+  }
+}
+
+TEST(Service, AsyncCompactPreservesUnshippedSuffixAllDurabilities) {
+  // checkpoint() stops and restarts the engine around the WAL compaction;
+  // records committed after the cut must survive in the compacted log and
+  // replay on reopen, at every durability level.
+  constexpr vertex_t kN = 250;
+  const auto phase_a = gen::barabasi_albert(kN, 4, 51);
+  const auto phase_b = gen::erdos_renyi(kN, 500, 52);
+  for (WalDurability level :
+       {WalDurability::kOsCache, WalDurability::kFdatasync,
+        WalDurability::kFsync}) {
+    TempPath wal("async_compact.wal");
+    TempPath snap("async_compact.snap");
+    std::set<std::uint64_t> before;
+    ServiceConfig cfg;
+    cfg.num_vertices = kN;
+    cfg.wal_path = wal.str();
+    cfg.snapshot_path = snap.str();
+    cfg.wal_durability = level;
+    cfg.wal_engine = service::WalEngine::kFlusher;
+    {
+      KCoreService svc(cfg);
+      for (const Edge& e : phase_a) svc.submit_insert(e.u, e.v);
+      svc.drain();
+      svc.checkpoint();
+      for (const Edge& e : phase_b) svc.submit_insert(e.u, e.v);
+      svc.drain();
+      before = edge_keys(svc);
+      svc.shutdown();
+    }
+    KCoreService svc(cfg);
+    // Warm restart = snapshot (phase A) + compacted-WAL suffix (phase B).
+    EXPECT_GT(svc.stats().replayed_batches, 0u);
+    EXPECT_EQ(edge_keys(svc), before)
+        << "durability level " << static_cast<int>(level);
+    std::string why;
+    EXPECT_TRUE(svc.cplds().plds().validate(&why)) << why;
+    svc.shutdown();
+  }
+}
+
+TEST(Service, AsyncEngineStatsExposeFlushPipeline) {
+  TempPath wal("flush_stats.wal");
+  constexpr vertex_t kN = 300;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.wal_path = wal.str();
+  cfg.wal_durability = WalDurability::kFdatasync;
+  cfg.wal_engine = service::WalEngine::kFlusher;
+  KCoreService svc(cfg);
+  for (const Edge& e : gen::barabasi_albert(kN, 4, 23)) {
+    svc.submit_insert(e.u, e.v);
+  }
+  svc.drain();
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.wal_engine, "flusher");
+  EXPECT_GT(stats.wal_flushes, 0u);
+  EXPECT_GT(stats.wal_flush_bytes, 0u);
+  EXPECT_GT(stats.durable_lag.count(), 0u);
+  EXPECT_GT(stats.applied_latency.count(), 0u);
+  // Quiescent after drain: the watermark covers everything committed, and
+  // nothing rides the flush pipeline.
+  EXPECT_GE(stats.durable_lsn, stats.commit_lsn);
+  EXPECT_EQ(stats.wal_flush_depth, 0u);
+  EXPECT_EQ(stats.wal_inflight_bytes, 0u);
+  svc.shutdown();
+}
+
+TEST(Service, WalScanReportsCommittedBytes) {
+  // committed_bytes is walcat --verify's foundation: it equals the file
+  // size on a clean log and stays put when garbage is appended.
+  TempPath wal("cbytes.wal");
+  constexpr vertex_t kN = 100;
+  ServiceConfig cfg;
+  cfg.num_vertices = kN;
+  cfg.wal_path = wal.str();
+  {
+    KCoreService svc(cfg);
+    for (vertex_t v = 0; v + 1 < 50; ++v) svc.submit_insert(v, v + 1);
+    svc.drain();
+    svc.shutdown();
+  }
+  const auto clean = service::scan_wal_frames(
+      wal.str(), kN, [](const service::WalFramePtr&) {});
+  EXPECT_GT(clean.records, 0u);
+  EXPECT_EQ(clean.committed_bytes, std::filesystem::file_size(wal.str()));
+  {
+    std::ofstream out(wal.str(),
+                      std::ios::app | std::ios::binary);
+    out << "garbage tail";
+  }
+  const auto torn = service::scan_wal_frames(
+      wal.str(), kN, [](const service::WalFramePtr&) {});
+  EXPECT_EQ(torn.records, clean.records);
+  EXPECT_EQ(torn.committed_bytes, clean.committed_bytes);
+  EXPECT_LT(torn.committed_bytes, std::filesystem::file_size(wal.str()));
+}
+
+TEST(Service, AdaptiveBatchSizerBacksOffOnAckLag) {
+  service::AdaptiveBatchSizer sizer(16, 8192, /*target_apply_ns=*/1000000);
+  // Converge with a healthy pipeline: 1 us per op, no ack lag -> ~1000.
+  for (int i = 0; i < 20; ++i) sizer.observe(sizer.budget(), sizer.budget() * 1000);
+  const std::size_t base = sizer.budget();
+  EXPECT_NEAR(static_cast<double>(base), 1000.0, 200.0);
+  // Durability pipeline falls behind: acks trail applies by 0.9 targets.
+  // The lag eats the latency budget, so the op budget backs off hard even
+  // though per-op apply cost is unchanged.
+  for (int i = 0; i < 30; ++i) {
+    sizer.observe(sizer.budget(), sizer.budget() * 1000, 900000);
+  }
+  EXPECT_LT(sizer.budget(), base / 4);
+  EXPECT_GE(sizer.budget(), 16u);  // floor respected
+  // Pipeline catches up: zero-lag observations decay the EWMA and the
+  // budget recovers (2x growth per observation).
+  for (int i = 0; i < 30; ++i) sizer.observe(sizer.budget(), sizer.budget() * 1000);
+  EXPECT_NEAR(static_cast<double>(sizer.budget()),
+              static_cast<double>(base), static_cast<double>(base) / 2.0);
 }
 
 TEST(Service, CoalescerSplitsDedupsAndCanonicalizes) {
