@@ -35,11 +35,24 @@
 //                          reports which engine actually ran (wal_engine)
 //                          plus the flush-pipeline counters, so the
 //                          sync-vs-async comparison is self-describing.
+//
+// Flight recorder (see src/obs/):
+//   --sample PATH / CPKC_SAMPLE_JSON   stream MetricsRegistry snapshots to
+//                          PATH as JSON lines while the sweep runs (the
+//                          StatsSampler time series; final sample on exit).
+//   CPKC_SAMPLE_MS         sampling interval (default 200)
+//   CPKC_TRACE=1           record pipeline trace events (runtime gate)
+//   CPKC_TRACE_FILE        write the Chrome trace-event JSON here on exit
+//                          (load in Perfetto; implies nothing unless
+//                          CPKC_TRACE is also set)
+// Every JSON line additionally reports the scheduler's work-stealing
+// activity over the cell (sched_spawns / sched_steals deltas).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +62,10 @@
 #include "cluster/shard_group.hpp"
 #include "graph/generators.hpp"
 #include "harness/service_workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "parallel/scheduler.hpp"
 #include "service/kcore_service.hpp"
 
 namespace {
@@ -112,6 +129,21 @@ void remove_partition_wals(const std::string& stem, std::size_t partitions) {
   }
 }
 
+/// Scheduler work-stealing activity over one cell: samples the process-wide
+/// scheduler's counters at construction and reports the growth since.
+struct SchedDelta {
+  Scheduler::SchedulerCounters start = Scheduler::instance().counters();
+
+  [[nodiscard]] std::int64_t spawns() const {
+    return static_cast<std::int64_t>(Scheduler::instance().counters().spawns -
+                                     start.spawns);
+  }
+  [[nodiscard]] std::int64_t steals() const {
+    return static_cast<std::int64_t>(Scheduler::instance().counters().steals -
+                                     start.steals);
+  }
+};
+
 void run_cell(std::size_t clients) {
   const auto n = static_cast<vertex_t>(
       100000 * bench::env_size("CPKC_SCALE", 1));
@@ -124,6 +156,7 @@ void run_cell(std::size_t clients) {
   if (wal_enabled()) cfg.wal_path = wal_path;
   cfg.wal_format = wal_format();
   cfg.wal_durability = wal_durability();
+  cfg.metrics = &obs::MetricsRegistry::instance();
   service::KCoreService svc(cfg);
 
   // Preload half the edges so updates hit a nontrivial structure, then
@@ -134,6 +167,7 @@ void run_cell(std::size_t clients) {
   }
   svc.drain();
   svc.reset_stats();
+  const SchedDelta sched;
 
   harness::ServiceWorkloadConfig wl;
   wl.submitter_threads = clients;
@@ -143,6 +177,8 @@ void run_cell(std::size_t clients) {
   wl.seed = 7;
   const auto result = harness::run_service_workload(svc, wl);
   const auto stats = svc.stats();
+  const std::int64_t sched_spawns = sched.spawns();
+  const std::int64_t sched_steals = sched.steals();
   svc.shutdown();
   std::filesystem::remove(wal_path);
 
@@ -172,6 +208,8 @@ void run_cell(std::size_t clients) {
       {"cycles", static_cast<std::int64_t>(stats.cycles)},
       {"batches", static_cast<std::int64_t>(stats.batches)},
       {"final_batch_budget", static_cast<std::int64_t>(stats.batch_budget)},
+      {"sched_spawns", sched_spawns},
+      {"sched_steals", sched_steals},
   });
 }
 
@@ -192,8 +230,10 @@ void run_replicated_cell(std::size_t replicas) {
   if (wal_enabled()) ccfg.base.wal_path = wal_path;
   ccfg.base.wal_format = wal_format();
   ccfg.base.wal_durability = wal_durability();
+  ccfg.base.metrics = &obs::MetricsRegistry::instance();
   cluster::ShardGroup group(ccfg);
   cluster::Router router(group);
+  router.register_metrics(&obs::MetricsRegistry::instance());
 
   // Preload half the edges (replicas follow along through the shipper),
   // then wait for every replica to catch up so the measured phase starts
@@ -203,6 +243,7 @@ void run_replicated_cell(std::size_t replicas) {
   }
   group.quiesce();
   group.primary(0).reset_stats();
+  const SchedDelta sched;
 
   harness::ClusterWorkloadConfig wl;
   wl.writer_threads = bench::env_size("CPKC_CLUSTER_WRITERS", 2);
@@ -212,6 +253,8 @@ void run_replicated_cell(std::size_t replicas) {
   wl.seed = 7;
   const auto result = harness::run_cluster_workload(router, wl);
   const auto rstats = router.stats();
+  const std::int64_t sched_spawns = sched.spawns();
+  const std::int64_t sched_steals = sched.steals();
   group.shutdown();
   std::filesystem::remove(wal_path);
 
@@ -233,6 +276,8 @@ void run_replicated_cell(std::size_t replicas) {
       {"read_p99_ns",
        static_cast<std::int64_t>(result.read_latency.p99_ns())},
       {"router_writes", static_cast<std::int64_t>(rstats.writes)},
+      {"sched_spawns", sched_spawns},
+      {"sched_steals", sched_steals},
   });
 }
 
@@ -252,6 +297,7 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
   if (wal_enabled()) ccfg.base.wal_path = wal_stem;
   ccfg.base.wal_format = format;
   ccfg.base.wal_durability = wal_durability();
+  ccfg.base.metrics = &obs::MetricsRegistry::instance();
   cluster::ShardGroup group(ccfg);
 
   // Preload half the edges across the partitions, quiesce, zero every
@@ -264,6 +310,7 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
   for (std::size_t p = 0; p < partitions; ++p) {
     group.primary(p).reset_stats();
   }
+  const SchedDelta sched;
 
   harness::ShardedWorkloadConfig wl;
   wl.submitter_threads = clients;
@@ -300,6 +347,8 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
     min_part = std::min(min_part, ops);
     max_part = std::max(max_part, ops);
   }
+  const std::int64_t sched_spawns = sched.spawns();
+  const std::int64_t sched_steals = sched.steals();
   group.shutdown();
   remove_partition_wals(wal_stem, partitions);
 
@@ -330,6 +379,8 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
       {"batches", static_cast<std::int64_t>(batches)},
       {"min_partition_ops", static_cast<std::int64_t>(min_part)},
       {"max_partition_ops", static_cast<std::int64_t>(max_part)},
+      {"sched_spawns", sched_spawns},
+      {"sched_steals", sched_steals},
   });
 }
 
@@ -338,6 +389,8 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
 int main(int argc, char** argv) {
   std::size_t max_replicas = bench::env_size("CPKC_SERVICE_REPLICAS", 0);
   std::size_t max_shards = bench::env_size("CPKC_WRITE_SHARDS", 0);
+  std::string sample_path;
+  if (const char* v = std::getenv("CPKC_SAMPLE_JSON")) sample_path = v;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
       max_replicas = static_cast<std::size_t>(
@@ -345,12 +398,42 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--write-shards") == 0 && i + 1 < argc) {
       max_shards = static_cast<std::size_t>(
           std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
+      sample_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--replicas N] [--write-shards P]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--replicas N] [--write-shards P] "
+                   "[--sample PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  // Flight recorder: stream registry snapshots for the whole sweep (the
+  // per-cell services/groups register and deregister their sources as
+  // cells come and go). Destroyed after the sweep — the final sample
+  // captures the end state.
+  std::unique_ptr<obs::StatsSampler> sampler;
+  if (!sample_path.empty()) {
+    obs::SamplerOptions opts;
+    opts.path = sample_path;
+    opts.interval_ms = bench::env_size("CPKC_SAMPLE_MS", 200);
+    sampler = std::make_unique<obs::StatsSampler>(std::move(opts));
+  }
+  const auto finish = [&]() {
+    sampler.reset();  // final sample + flush before the trace dump
+    if (const char* path = std::getenv("CPKC_TRACE_FILE")) {
+      const obs::TraceStats ts = obs::trace_stats();
+      if (obs::trace_write_chrome_json(path)) {
+        std::fprintf(stderr,
+                     "# trace: %llu events (%llu dropped) -> %s\n",
+                     static_cast<unsigned long long>(ts.retained),
+                     static_cast<unsigned long long>(ts.dropped), path);
+      } else {
+        std::fprintf(stderr, "# trace: failed to write %s\n", path);
+      }
+    }
+    return 0;
+  };
   if (max_shards > 0) {
     // Write-scaling sweep: 1..P partitions at a fixed client count; with
     // --replicas R alongside, every partition also drives R replicas.
@@ -369,13 +452,13 @@ int main(int argc, char** argv) {
         run_sharded_cell(p, max_replicas, clients, format);
       }
     }
-    return 0;
+    return finish();
   }
   if (max_replicas > 0) {
     // Replicated read-throughput sweep: 0 (router straight to primary)
     // up to N replicas.
     for (std::size_t r = 0; r <= max_replicas; ++r) run_replicated_cell(r);
-    return 0;
+    return finish();
   }
   const std::size_t max_clients = bench::writer_workers();
   std::vector<std::size_t> sweep;
@@ -384,5 +467,5 @@ int main(int argc, char** argv) {
     sweep.push_back(max_clients);
   }
   for (std::size_t clients : sweep) run_cell(clients);
-  return 0;
+  return finish();
 }

@@ -37,6 +37,16 @@
 //   $ echo "stats
 //           quit" | ./example_dynamic_kcore_cli --snapshot-load g.snap -
 //
+// Flight recorder (see src/obs/):
+//   --metrics-out <path>   stream MetricsRegistry snapshots to <path> as
+//                          JSON lines while the session runs (StatsSampler;
+//                          final sample on exit). SIGUSR1 requests an
+//                          immediate off-schedule sample — `kill -USR1
+//                          <pid>` dumps the live state of a long session.
+//   --sample-ms <n>        sampling interval (default 1000)
+//   metrics                (command) print the current registry snapshot in
+//                          Prometheus text exposition format
+//
 // Commands:
 //   gen ba <n> <edges_per_vertex> <seed>   generate Barabasi-Albert
 //   gen er <n> <m> <seed>                  generate Erdos-Renyi
@@ -48,7 +58,10 @@
 //   query <v>                              approximate coreness (CPLDS read)
 //   exact <v>                              exact coreness (full peel)
 //   stats                                  n, m, batch number, max estimate
+//   metrics                                registry snapshot (Prometheus)
 //   quit
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -67,11 +80,36 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "kcore/peel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "service/kcore_service.hpp"
 
 namespace {
 
 using namespace cpkcore;
+
+/// The session's flight-recorder sampler, reachable from the SIGUSR1
+/// handler. request_sample() is async-signal-safe (it only sets an atomic
+/// flag; the sampler thread does the work).
+std::atomic<obs::StatsSampler*> g_sampler{nullptr};
+
+void on_sigusr1(int) {
+  if (obs::StatsSampler* s = g_sampler.load(std::memory_order_relaxed)) {
+    s->request_sample();
+  }
+}
+
+/// The `metrics` command: one consistent snapshot of every registered
+/// source, in Prometheus text exposition format (stable, greppable).
+void print_metrics() {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  if (snap.samples.empty()) {
+    std::printf("no metrics registered (cluster mode registers the full "
+                "pipeline; the scheduler always reports under sched_*)\n");
+    return;
+  }
+  std::fputs(snap.to_prometheus().c_str(), stdout);
+}
 
 struct Session {
   std::unique_ptr<CPLDS> ds;
@@ -139,8 +177,13 @@ struct Cluster {
     // lifetime.
     cfg.retain_records = 1024;
     cfg.base.num_vertices = n;
+    // Register the whole pipeline with the process registry so `metrics`
+    // and --metrics-out see it (partition p under "p<p>.", router under
+    // "router.").
+    cfg.base.metrics = &obs::MetricsRegistry::instance();
     group = std::make_unique<cluster::ShardGroup>(cfg);
     router = std::make_unique<cluster::Router>(*group);
+    router->register_metrics(&obs::MetricsRegistry::instance());
     session = router->make_session();
     mirror = std::make_unique<DynamicGraph>(n);
     for (const Edge& e : edges) {
@@ -340,6 +383,10 @@ bool handle_cluster(Cluster& c, const std::string& line) {
     }
     return true;
   }
+  if (cmd == "metrics") {
+    print_metrics();
+    return true;
+  }
   std::printf("unknown command '%s'\n", cmd.c_str());
   return true;
 }
@@ -435,6 +482,10 @@ bool handle(Session& s, const std::string& line) {
                 max_est, s.ds->params().approx_factor());
     return true;
   }
+  if (cmd == "metrics") {
+    print_metrics();
+    return true;
+  }
   std::printf("unknown command '%s'\n", cmd.c_str());
   return true;
 }
@@ -469,6 +520,8 @@ int run_cluster_demo(Cluster& c) {
 int main(int argc, char** argv) {
   std::string snapshot_load;
   std::string snapshot_save;
+  std::string metrics_out;
+  std::uint64_t sample_ms = 1000;
   bool interactive = false;
   std::size_t replicas = 0;
   std::size_t write_shards = 1;
@@ -479,6 +532,11 @@ int main(int argc, char** argv) {
       snapshot_load = argv[++i];
     } else if (arg == "--snapshot-save" && i + 1 < argc) {
       snapshot_save = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--sample-ms" && i + 1 < argc) {
+      sample_ms = std::strtoull(argv[++i], nullptr, 10);
+      if (sample_ms == 0) sample_ms = 1000;
     } else if (arg == "--replicas" && i + 1 < argc) {
       replicas = std::strtoul(argv[++i], nullptr, 10);
       cluster_mode = true;
@@ -491,11 +549,41 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--snapshot-load <path>] "
                    "[--snapshot-save <path>] [--replicas <r>] "
-                   "[--write-shards <p>] [-]\n",
+                   "[--write-shards <p>] [--metrics-out <path>] "
+                   "[--sample-ms <n>] [-]\n",
                    argv[0]);
       return 2;
     }
   }
+
+  // Flight recorder: stream registry snapshots for the whole session;
+  // SIGUSR1 dumps an off-schedule sample (handy on a long-running
+  // interactive session). Destroyed on exit — the final sample captures
+  // the end state.
+  std::unique_ptr<obs::StatsSampler> sampler;
+  if (!metrics_out.empty()) {
+    obs::SamplerOptions sopts;
+    sopts.path = metrics_out;
+    sopts.interval_ms = sample_ms;
+    try {
+      sampler = std::make_unique<obs::StatsSampler>(std::move(sopts));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error opening --metrics-out: %s\n", e.what());
+      return 1;
+    }
+    g_sampler.store(sampler.get(), std::memory_order_relaxed);
+    std::signal(SIGUSR1, on_sigusr1);
+  }
+  // Un-publish (and quiet the signal) before the sampler dies, whatever
+  // return path runs: declared after `sampler`, so this destructor runs
+  // first.
+  struct SamplerGuard {
+    ~SamplerGuard() {
+      if (g_sampler.exchange(nullptr, std::memory_order_relaxed) != nullptr) {
+        std::signal(SIGUSR1, SIG_IGN);
+      }
+    }
+  } sampler_guard;
 
   if (cluster_mode) {
     if (!snapshot_load.empty() || !snapshot_save.empty()) {

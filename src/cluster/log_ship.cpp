@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "service/wal.hpp"
 
 namespace cpkcore::cluster {
@@ -66,6 +67,7 @@ void LogShipper::on_commit(const service::WalFramePtr& frame) {
   while (retained_.size() > options_.retain_records) retained_.pop_front();
   retained_peak_ = std::max(retained_peak_, retained_.size());
   ++shipped_;
+  CPKC_TRACE_INSTANT("ship", lsn, subscribers_.size());
   for (auto& [id, cb] : subscribers_) {
     cb(record);
   }

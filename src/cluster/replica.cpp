@@ -1,5 +1,6 @@
 #include "cluster/replica.hpp"
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace cpkcore::cluster {
@@ -63,6 +64,7 @@ void Replica::enqueue(const ShippedRecord& record) {
 }
 
 void Replica::apply_loop() {
+  CPKC_TRACE_THREAD_NAME("replica_apply");
   for (;;) {
     ShippedRecord rec;
     {
@@ -76,6 +78,7 @@ void Replica::apply_loop() {
     // wait on either (that would stall the primary's commit path). This is
     // the pipeline's single decode — the frame traveled encoded from the
     // primary's group commit all the way to this thread.
+    CPKC_TRACE_SPAN(apply_span, "replica.apply", rec.lsn, 0);
     Timer timer;
     const UpdateBatch batch = rec.frame->decode_batch();
     const std::size_t edges = ds_->apply(batch).size();

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/timer.hpp"
+
 namespace cpkcore::cluster {
 
 namespace {
@@ -92,6 +94,7 @@ Router::Result<V> Router::fan_out(MinLsn min_lsn_for, bool strict,
   Result<V> result;
   result.parts.resize(parts_.size());
   reads_.fetch_add(1, std::memory_order_relaxed);
+  Timer read_timer;
   for (std::size_t p = 0; p < parts_.size(); ++p) {
     PartRead<V>& part = result.parts[p];
     const std::uint64_t min_lsn = min_lsn_for(p);
@@ -118,6 +121,7 @@ Router::Result<V> Router::fan_out(MinLsn min_lsn_for, bool strict,
     }
     result.value = p == 0 ? part.value : combine(result.value, part.value);
   }
+  read_latency_.record(read_timer.elapsed_ns());
   return result;
 }
 
@@ -185,6 +189,20 @@ Router::ReadResult Router::read_coreness_at_cut(
       [&](const service::KCoreService& s) {
         return s.read_coreness(v, mode);
       });
+}
+
+void Router::register_metrics(obs::MetricsRegistry* registry,
+                              std::string prefix) {
+  if (registry == nullptr) return;
+  metrics_ = obs::MetricsGroup(registry, std::move(prefix));
+  metrics_.collect([this](obs::MetricsSink& sink) {
+    const Stats st = stats();
+    sink.counter("writes", static_cast<double>(st.writes));
+    sink.counter("reads", static_cast<double>(st.reads));
+    sink.counter("primary_reads", static_cast<double>(st.primary_reads));
+    sink.counter("replica_reads", static_cast<double>(st.replica_reads));
+    sink.histogram("read_latency_ns", read_latency_);
+  });
 }
 
 Router::Stats Router::stats() const {

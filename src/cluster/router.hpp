@@ -42,6 +42,7 @@
 #include "cluster/replica.hpp"
 #include "cluster/shard_group.hpp"
 #include "core/read_modes.hpp"
+#include "obs/metrics.hpp"
 #include "service/kcore_service.hpp"
 
 namespace cpkcore::cluster {
@@ -212,6 +213,20 @@ class Router {
   }
   [[nodiscard]] Stats stats() const;
 
+  /// Merged fan-out read-latency histogram (every read() records its
+  /// end-to-end time, whichever backends served it). This is the reader-
+  /// side health signal the cluster feedback loop uses: its p99 feeds
+  /// KCoreService::observe_cluster_feedback via ShardGroup::feed_feedback.
+  [[nodiscard]] LatencyHistogram read_latency() const {
+    return read_latency_.merged();
+  }
+
+  /// Registers the router's counters and read-latency histogram with a
+  /// metrics registry under `prefix` (RAII-deregistered when the router
+  /// dies). Safe to call once; null registry no-ops.
+  void register_metrics(obs::MetricsRegistry* registry,
+                        std::string prefix = "router.");
+
  private:
   /// Per-partition routing state (round-robin cursor + serve counters).
   struct PartState {
@@ -241,6 +256,10 @@ class Router {
   std::vector<PartitionBackends> parts_;
   std::unique_ptr<PartState[]> state_;
   mutable std::atomic<std::uint64_t> reads_{0};
+  /// Striped: fan-out reads record concurrently from any reader thread.
+  mutable obs::StripedHistogram read_latency_;
+  // Declared last: deregisters before the members its collector reads.
+  obs::MetricsGroup metrics_;
 };
 
 }  // namespace cpkcore::cluster

@@ -1,8 +1,10 @@
 #include "cluster/shard_group.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <functional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -49,6 +51,17 @@ ShardGroup::ShardGroup(ClusterConfig config)
     cfg.wal_path = partition_path(config_.base.wal_path, p, p_count);
     cfg.snapshot_path =
         partition_path(config_.base.snapshot_path, p, p_count);
+    // Disambiguate the P primaries in one registry: partition p's sources
+    // land under "p<p>.<base prefix>".
+    if (cfg.metrics != nullptr) {
+      // Built by append (not `"p" + ...`): GCC 12's -Wrestrict misfires on
+      // the const char* + rvalue-string overload under -Werror.
+      std::string prefix = "p";
+      prefix += std::to_string(p);
+      prefix += '.';
+      prefix += config_.base.metrics_prefix;
+      cfg.metrics_prefix = std::move(prefix);
+    }
     primaries_.push_back(
         std::make_unique<service::KCoreService>(std::move(cfg)));
   }
@@ -74,6 +87,52 @@ ShardGroup::ShardGroup(ClusterConfig config)
       // "bootstrap from snapshot" if compacted — surfaced to the caller).
       replicas_[p].back()->start(*shippers_[p]);
     }
+  }
+  // Cluster-level sources: per-partition shipper + replica stats and the
+  // replica-lag gauges (primaries registered themselves above). All of
+  // them read components this group owns, so the group (via metrics_,
+  // declared last) deregisters them before any component dies.
+  if (config_.base.metrics != nullptr) {
+    metrics_ = obs::MetricsGroup(config_.base.metrics, "");
+    for (std::size_t p = 0; p < p_count; ++p) {
+      std::string pp = "p";
+      pp += std::to_string(p);
+      pp += '.';
+      metrics_.collect([this, p, pp](obs::MetricsSink& sink) {
+        const LogShipper::Stats st = shippers_[p]->stats();
+        sink.counter(pp + "ship.shipped_records",
+                     static_cast<double>(st.shipped_records));
+        sink.counter(pp + "ship.catchup_records",
+                     static_cast<double>(st.catchup_records));
+        sink.counter(pp + "ship.disk_records",
+                     static_cast<double>(st.disk_records));
+        sink.gauge(pp + "ship.retained", static_cast<double>(st.retained));
+        sink.gauge(pp + "ship.subscribers",
+                   static_cast<double>(st.subscribers));
+        for (std::size_t r = 0; r < replicas_[p].size(); ++r) {
+          const std::string rp = pp + "replica" + std::to_string(r) + ".";
+          const Replica::Stats rs = replicas_[p][r]->stats();
+          sink.counter(rp + "applied_batches",
+                       static_cast<double>(rs.applied_batches));
+          sink.counter(rp + "applied_edges",
+                       static_cast<double>(rs.applied_edges));
+          sink.gauge(rp + "applied_lsn",
+                     static_cast<double>(rs.applied_lsn));
+          sink.gauge(rp + "queue_depth",
+                     static_cast<double>(rs.queue_depth));
+        }
+        sink.gauge(pp + "replica_lag",
+                   static_cast<double>(replica_lag(p)));
+      });
+    }
+    metrics_.collect([this](obs::MetricsSink& sink) {
+      sink.gauge("cluster.partitions",
+                 static_cast<double>(primaries_.size()));
+      sink.gauge("cluster.replicas_per_partition",
+                 static_cast<double>(config_.replicas));
+      sink.gauge("cluster.max_replica_lag",
+                 static_cast<double>(max_replica_lag()));
+    });
   }
 }
 
@@ -154,6 +213,32 @@ ShardGroup::GlobalStats ShardGroup::global_stats() const {
     out.shippers.push_back(shippers_[p]->stats());
   }
   return out;
+}
+
+std::uint64_t ShardGroup::replica_lag(std::size_t p) const {
+  if (replicas_[p].empty()) return 0;
+  // Sample the primary first: its applied LSN only grows, so a replica
+  // racing past the sampled value reads as lag 0, never as negative.
+  const std::uint64_t primary_lsn = primaries_[p]->applied_lsn();
+  std::uint64_t slowest = primary_lsn;
+  for (const auto& r : replicas_[p]) {
+    slowest = std::min(slowest, r->applied_lsn());
+  }
+  return primary_lsn - slowest;
+}
+
+std::uint64_t ShardGroup::max_replica_lag() const {
+  std::uint64_t worst = 0;
+  for (std::size_t p = 0; p < replicas_.size(); ++p) {
+    worst = std::max(worst, replica_lag(p));
+  }
+  return worst;
+}
+
+void ShardGroup::feed_feedback(std::uint64_t read_p99_ns) {
+  for (std::size_t p = 0; p < primaries_.size(); ++p) {
+    primaries_[p]->observe_cluster_feedback(replica_lag(p), read_p99_ns);
+  }
 }
 
 std::size_t ShardGroup::num_edges() const {

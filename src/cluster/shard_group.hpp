@@ -38,6 +38,7 @@
 #include "cluster/log_ship.hpp"
 #include "cluster/partition.hpp"
 #include "cluster/replica.hpp"
+#include "obs/metrics.hpp"
 #include "service/kcore_service.hpp"
 
 namespace cpkcore::cluster {
@@ -61,7 +62,11 @@ struct ClusterConfig {
   /// `num_vertices` is the *global* vertex space (every partition spans
   /// it); `wal_path` and `snapshot_path` are stems — partition p uses
   /// "<stem>.p<p>" when partitions > 1 (see partition_path), the stem
-  /// itself when partitions == 1.
+  /// itself when partitions == 1. When `base.metrics` is set, the group
+  /// prefixes each partition's sources with "p<p>." (primary under
+  /// "p<p>.service.", shipper under "p<p>.ship.", replica r under
+  /// "p<p>.replica<r>.") and adds per-partition replica-lag gauges under
+  /// "cluster.".
   service::ServiceConfig base;
 };
 
@@ -188,6 +193,24 @@ class ShardGroup {
     return primaries_.front()->num_vertices();
   }
 
+  // ---------------- cluster feedback ----------------
+
+  /// Records partition p's slowest replica trails its primary's applied
+  /// LSN by (0 with no replicas).
+  [[nodiscard]] std::uint64_t replica_lag(std::size_t p) const;
+
+  /// Max of replica_lag(p) over the partitions — the cluster-wide
+  /// replication health signal.
+  [[nodiscard]] std::uint64_t max_replica_lag() const;
+
+  /// Pushes the current per-partition replica lag plus the caller's read
+  /// p99 (e.g. Router::read_latency().p99_ns(), or 0 when unknown) into
+  /// every primary's adaptive batch sizer (observe_cluster_feedback). Call
+  /// periodically — a StatsSampler on_sample hook is the natural driver —
+  /// so the drain budget backs off when replicas or readers fall behind.
+  /// No-ops toward the budget unless the base config's thresholds are set.
+  void feed_feedback(std::uint64_t read_p99_ns);
+
   // ---------------- lifecycle ----------------
 
   /// Checkpoints every partition (snapshot_p + WAL_p truncation) and
@@ -220,6 +243,9 @@ class ShardGroup {
   std::vector<std::unique_ptr<service::KCoreService>> primaries_;
   std::vector<std::unique_ptr<LogShipper>> shippers_;
   std::vector<std::vector<std::unique_ptr<Replica>>> replicas_;
+  // Declared last: the cluster-level collect callbacks walk every
+  // component above, so they must deregister first.
+  obs::MetricsGroup metrics_;
 };
 
 }  // namespace cpkcore::cluster

@@ -10,30 +10,71 @@
 
 namespace cpkcore::harness {
 
+namespace {
+
+/// The shared reader-thread pool behind all three workload runners. Each
+/// thread issues uniform-random vertex reads through `read(t, v)` until
+/// finish(); the per-read timing, per-thread histograms/counters, and the
+/// final merge live here so the runners only supply the read body. `read`
+/// returns the number of partition-serves the primary handled for that
+/// read (0 where the notion does not apply).
+template <typename ReadFn>
+class ReaderPool {
+ public:
+  ReaderPool(std::size_t threads, std::uint64_t seed, vertex_t n, ReadFn read)
+      : hists_(threads), counts_(threads, 0), primary_counts_(threads, 0) {
+    threads_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      threads_.emplace_back([this, seed, n, read, t] {
+        Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ULL + t + 1);
+        std::uint64_t issued = 0;
+        std::uint64_t primary = 0;
+        while (!stop_.load(std::memory_order_relaxed)) {
+          const auto v = static_cast<vertex_t>(rng.next_below(n));
+          const std::uint64_t t0 = now_ns();
+          primary += read(t, v);
+          hists_[t].record(now_ns() - t0);
+          ++issued;
+        }
+        counts_[t] = issued;
+        primary_counts_[t] = primary;
+      });
+    }
+  }
+
+  /// Stops and joins the pool, then folds every thread's histogram and
+  /// counters into the caller's result fields.
+  void finish(LatencyHistogram& latency, std::uint64_t& total_reads,
+              std::uint64_t* primary_reads = nullptr) {
+    stop_.store(true, std::memory_order_relaxed);
+    for (std::thread& th : threads_) th.join();
+    for (std::size_t t = 0; t < hists_.size(); ++t) {
+      latency.merge(hists_[t]);
+      total_reads += counts_[t];
+      if (primary_reads != nullptr) *primary_reads += primary_counts_[t];
+    }
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<LatencyHistogram> hists_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> primary_counts_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
 ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
                                            const ServiceWorkloadConfig& cfg) {
   const vertex_t n = svc.num_vertices();
   ServiceWorkloadResult result;
 
-  std::atomic<bool> stop{false};
-  std::vector<LatencyHistogram> hists(cfg.reader_threads);
-  std::vector<std::uint64_t> counts(cfg.reader_threads, 0);
-  std::vector<std::thread> readers;
-  readers.reserve(cfg.reader_threads);
-  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
-    readers.emplace_back([&, t] {
-      Xoshiro256 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + t + 1);
-      std::uint64_t issued = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        const auto v = static_cast<vertex_t>(rng.next_below(n));
-        const std::uint64_t t0 = now_ns();
-        (void)svc.read_coreness(v, cfg.mode);
-        hists[t].record(now_ns() - t0);
-        ++issued;
-      }
-      counts[t] = issued;
-    });
-  }
+  ReaderPool readers(cfg.reader_threads, cfg.seed, n,
+                     [&](std::size_t, vertex_t v) {
+                       (void)svc.read_coreness(v, cfg.mode);
+                       return std::uint64_t{0};
+                     });
 
   Timer wall;
   std::vector<std::thread> submitters;
@@ -65,12 +106,7 @@ ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
   result.ops_submitted =
       static_cast<std::uint64_t>(cfg.submitter_threads) * cfg.ops_per_thread;
 
-  stop.store(true, std::memory_order_relaxed);
-  for (auto& r : readers) r.join();
-  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
-    result.read_latency.merge(hists[t]);
-    result.total_reads += counts[t];
-  }
+  readers.finish(result.read_latency, result.total_reads);
   return result;
 }
 
@@ -91,37 +127,21 @@ ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
     sessions.push_back(router.make_session());
   }
 
-  std::atomic<bool> stop{false};
-  std::vector<LatencyHistogram> hists(cfg.reader_threads);
-  std::vector<std::uint64_t> counts(cfg.reader_threads, 0);
-  std::vector<std::uint64_t> primary_counts(cfg.reader_threads, 0);
   // Wall clock covers the readers' whole run (they start immediately, not
   // when the writers do), so total_reads / wall_seconds stays honest even
   // with zero writers.
   Timer wall;
-  std::vector<std::thread> readers;
-  readers.reserve(cfg.reader_threads);
-  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
-    readers.emplace_back([&, t] {
-      cluster::Router::Session& session =
-          *sessions[cfg.writer_threads > 0 ? t % cfg.writer_threads : 0];
-      Xoshiro256 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + t + 1);
-      std::uint64_t issued = 0;
-      std::uint64_t primary = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        const auto v = static_cast<vertex_t>(rng.next_below(n));
-        const std::uint64_t t0 = now_ns();
+  ReaderPool readers(
+      cfg.reader_threads, cfg.seed, n, [&](std::size_t t, vertex_t v) {
+        cluster::Router::Session& session =
+            *sessions[cfg.writer_threads > 0 ? t % cfg.writer_threads : 0];
         const auto read = router.read_coreness(session, v, cfg.mode);
-        hists[t].record(now_ns() - t0);
-        ++issued;
+        std::uint64_t primary = 0;
         for (const auto& part : read.parts) {
           if (part.backend == cluster::Router::kPrimary) ++primary;
         }
-      }
-      counts[t] = issued;
-      primary_counts[t] = primary;
-    });
-  }
+        return primary;
+      });
 
   std::vector<std::thread> writers;
   writers.reserve(cfg.writer_threads);
@@ -148,17 +168,11 @@ ClusterWorkloadResult run_cluster_workload(cluster::Router& router,
     });
   }
   for (auto& w : writers) w.join();
-  stop.store(true, std::memory_order_relaxed);
-  for (auto& r : readers) r.join();
+  std::uint64_t primary_total = 0;
+  readers.finish(result.read_latency, result.total_reads, &primary_total);
   result.wall_seconds = wall.elapsed_s();
   result.ops_written =
       static_cast<std::uint64_t>(cfg.writer_threads) * cfg.ops_per_thread;
-  std::uint64_t primary_total = 0;
-  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
-    result.read_latency.merge(hists[t]);
-    result.total_reads += counts[t];
-    primary_total += primary_counts[t];
-  }
   result.primary_reads = primary_total;
   result.replica_reads =
       result.total_reads * router.num_partitions() - primary_total;
@@ -175,25 +189,11 @@ ShardedWorkloadResult run_sharded_workload(cluster::ShardGroup& group,
   // the write plane is under load.
   cluster::Router router(group);
 
-  std::atomic<bool> stop{false};
-  std::vector<LatencyHistogram> hists(cfg.reader_threads);
-  std::vector<std::uint64_t> counts(cfg.reader_threads, 0);
-  std::vector<std::thread> readers;
-  readers.reserve(cfg.reader_threads);
-  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
-    readers.emplace_back([&, t] {
-      Xoshiro256 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + t + 1);
-      std::uint64_t issued = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        const auto v = static_cast<vertex_t>(rng.next_below(n));
-        const std::uint64_t t0 = now_ns();
-        (void)router.read_coreness(v, cfg.mode);
-        hists[t].record(now_ns() - t0);
-        ++issued;
-      }
-      counts[t] = issued;
-    });
-  }
+  ReaderPool readers(cfg.reader_threads, cfg.seed, n,
+                     [&](std::size_t, vertex_t v) {
+                       (void)router.read_coreness(v, cfg.mode);
+                       return std::uint64_t{0};
+                     });
 
   Timer wall;
   std::vector<std::vector<std::uint64_t>> routed(
@@ -235,12 +235,7 @@ ShardedWorkloadResult run_sharded_workload(cluster::ShardGroup& group,
     }
   }
 
-  stop.store(true, std::memory_order_relaxed);
-  for (auto& r : readers) r.join();
-  for (std::size_t t = 0; t < cfg.reader_threads; ++t) {
-    result.read_latency.merge(hists[t]);
-    result.total_reads += counts[t];
-  }
+  readers.finish(result.read_latency, result.total_reads);
   return result;
 }
 

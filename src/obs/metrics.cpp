@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace cpkcore::obs {
+
+namespace {
+
+std::size_t thread_slot() {
+  // One stable small integer per thread; cheaper and better-distributed
+  // than hashing std::thread::id on every record.
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  // Sanitization is 1:1, so the leading-character rule can be applied to
+  // the input directly.
+  if (name.empty() || (name[0] >= '0' && name[0] <= '9')) out += '_';
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_json_field(std::string& out, const std::string& name,
+                       double value) {
+  out += ",\"";
+  out += json_escape(name);
+  out += "\":";
+  out += format_double(value);
+}
+
+}  // namespace
+
+std::size_t Counter::stripe_index() { return thread_slot() % kStripes; }
+
+std::size_t StripedHistogram::stripe_index() {
+  return thread_slot() % kStripes;
+}
+
+void MetricsSink::push(const std::string& name, MetricType type,
+                       double value, const LatencyHistogram* hist) {
+  MetricSample sample;
+  sample.name = prefix_ + name;
+  sample.type = type;
+  sample.value = value;
+  if (hist != nullptr) {
+    sample.hist.count = hist->count();
+    sample.hist.min_ns = hist->min_ns();
+    sample.hist.max_ns = hist->max_ns();
+    sample.hist.mean_ns = hist->mean_ns();
+    sample.hist.p50_ns = hist->p50_ns();
+    sample.hist.p99_ns = hist->p99_ns();
+    sample.hist.p9999_ns = hist->p9999_ns();
+  }
+  out_.push_back(std::move(sample));
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"ts_ms\":" + std::to_string(wall_unix_ms);
+  for (const MetricSample& s : samples) {
+    if (s.type == MetricType::kHistogram) {
+      append_json_field(out, s.name + ".count",
+                        static_cast<double>(s.hist.count));
+      append_json_field(out, s.name + ".p50_ns",
+                        static_cast<double>(s.hist.p50_ns));
+      append_json_field(out, s.name + ".p99_ns",
+                        static_cast<double>(s.hist.p99_ns));
+      append_json_field(out, s.name + ".p9999_ns",
+                        static_cast<double>(s.hist.p9999_ns));
+      append_json_field(out, s.name + ".mean_ns", s.hist.mean_ns);
+      append_json_field(out, s.name + ".max_ns",
+                        static_cast<double>(s.hist.max_ns));
+    } else {
+      append_json_field(out, s.name, s.value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const MetricSample& s : samples) {
+    const std::string name = prometheus_name(s.name);
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += "# TYPE " + name + "_total counter\n";
+        out += name + "_total " + format_double(s.value) + "\n";
+        break;
+      case MetricType::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + format_double(s.value) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        out += "# TYPE " + name + " summary\n";
+        const std::pair<const char*, std::uint64_t> quantiles[] = {
+            {"0.5", s.hist.p50_ns},
+            {"0.99", s.hist.p99_ns},
+            {"0.9999", s.hist.p9999_ns}};
+        for (const auto& [q, v] : quantiles) {
+          out += name + "{quantile=\"" + q + "\"} " +
+                 std::to_string(v) + "\n";
+        }
+        out += name + "_count " + std::to_string(s.hist.count) + "\n";
+        out += name + "_sum " +
+               format_double(s.hist.mean_ns *
+                             static_cast<double>(s.hist.count)) +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::uint64_t MetricsRegistry::add_source(std::string prefix,
+                                          CollectFn collect) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_id_++;
+  sources_.push_back(Source{id, std::move(prefix), std::move(collect)});
+  return id;
+}
+
+void MetricsRegistry::remove_source(std::uint64_t id) {
+  std::lock_guard lock(mu_);
+  std::erase_if(sources_, [&](const Source& s) { return s.id == id; });
+}
+
+std::size_t MetricsRegistry::num_sources() const {
+  std::lock_guard lock(mu_);
+  return sources_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.wall_unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  snap.mono_ns = now_ns();
+  {
+    // Collection runs under the registry lock: remove_source() returning
+    // guarantees the callback is not (and will never again be) running, so
+    // RAII-deregistering components cannot dangle.
+    std::lock_guard lock(mu_);
+    for (const Source& source : sources_) {
+      MetricsSink sink(source.prefix, snap.samples);
+      source.collect(sink);
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace cpkcore::obs

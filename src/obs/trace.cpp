@@ -1,0 +1,304 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace cpkcore::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = 1 << 16;  // 64Ki events/thread
+
+/// One thread's ring. The owning thread writes under `mu` (uncontended
+/// except while an exporter reads), so export and wraparound accounting
+/// are race-free without per-field atomics.
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity, std::uint32_t tid)
+      : capacity(capacity == 0 ? 1 : capacity), tid(tid) {
+    events.resize(this->capacity);
+  }
+
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // ring storage, under mu
+  std::uint64_t next = 0;          // total events ever recorded, under mu
+  std::size_t capacity;
+  std::uint32_t tid;
+  std::string thread_name;  // under mu
+
+  void record(const TraceEvent& e) {
+    std::lock_guard lock(mu);
+    events[static_cast<std::size_t>(next % capacity)] = e;
+    ++next;
+  }
+};
+
+struct Recorder {
+  std::mutex mu;
+  // Rings live for the program: a thread may exit while its events are
+  // still wanted in the export, and thread counts are bounded, so nothing
+  // is reclaimed.
+  std::vector<std::shared_ptr<ThreadRing>> rings;  // under mu
+  std::atomic<std::size_t> ring_capacity{0};       // 0 = unset, use env
+  std::atomic<int> enabled{-1};                    // -1 = read env
+
+  static Recorder& instance() {
+    static Recorder r;
+    return r;
+  }
+
+  std::size_t resolve_capacity() {
+    std::size_t cap = ring_capacity.load(std::memory_order_relaxed);
+    if (cap != 0) return cap;
+    if (const char* v = std::getenv("CPKC_TRACE_BUF")) {
+      const long long parsed = std::strtoll(v, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return kDefaultRingCapacity;
+  }
+
+  ThreadRing& ring_for_this_thread() {
+    thread_local std::shared_ptr<ThreadRing> ring;
+    if (!ring) {
+      std::lock_guard lock(mu);
+      ring = std::make_shared<ThreadRing>(
+          resolve_capacity(), static_cast<std::uint32_t>(rings.size() + 1));
+      rings.push_back(ring);
+    }
+    return *ring;
+  }
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+/// Chrome trace timestamps are microseconds; keep sub-microsecond
+/// resolution as a decimal fraction so adjacent events do not collapse.
+void append_ts_us(std::string& out, std::uint64_t ns) {
+  append_u64(out, ns / 1000);
+  out += '.';
+  const std::uint64_t frac = ns % 1000;
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+}
+
+struct ExportedEvent {
+  TraceEvent event;
+  std::uint32_t tid;
+};
+
+}  // namespace
+
+bool trace_enabled() {
+  Recorder& r = Recorder::instance();
+  int state = r.enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* v = std::getenv("CPKC_TRACE");
+    state = (v != nullptr && std::strtol(v, nullptr, 10) != 0) ? 1 : 0;
+    r.enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void trace_set_enabled(bool enabled) {
+  Recorder::instance().enabled.store(enabled ? 1 : 0,
+                                     std::memory_order_relaxed);
+}
+
+void trace_set_ring_capacity(std::size_t events) {
+  Recorder::instance().ring_capacity.store(events,
+                                           std::memory_order_relaxed);
+}
+
+void trace_set_thread_name(const std::string& name) {
+  ThreadRing& ring = Recorder::instance().ring_for_this_thread();
+  std::lock_guard lock(ring.mu);
+  ring.thread_name = name;
+}
+
+void trace_record(const TraceEvent& event) {
+  if (!trace_enabled()) return;
+  Recorder::instance().ring_for_this_thread().record(event);
+}
+
+void trace_instant(const char* name, std::uint64_t id, std::uint64_t arg) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.id = id;
+  e.arg = arg;
+  e.name = name;
+  e.phase = 'i';
+  Recorder::instance().ring_for_this_thread().record(e);
+}
+
+void trace_async_begin(const char* name, std::uint64_t id,
+                       std::uint64_t arg) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.id = id;
+  e.arg = arg;
+  e.name = name;
+  e.phase = 'b';
+  Recorder::instance().ring_for_this_thread().record(e);
+}
+
+void trace_async_end(const char* name, std::uint64_t id, std::uint64_t arg) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.id = id;
+  e.arg = arg;
+  e.name = name;
+  e.phase = 'e';
+  Recorder::instance().ring_for_this_thread().record(e);
+}
+
+TraceSpan::TraceSpan(const char* name, std::uint64_t id, std::uint64_t arg) {
+  if (!trace_enabled()) return;
+  armed_ = true;
+  event_.ts_ns = now_ns();
+  event_.id = id;
+  event_.arg = arg;
+  event_.name = name;
+  event_.phase = 'X';
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  event_.dur_ns = now_ns() - event_.ts_ns;
+  Recorder::instance().ring_for_this_thread().record(event_);
+}
+
+TraceStats trace_stats() {
+  Recorder& r = Recorder::instance();
+  TraceStats stats;
+  std::lock_guard lock(r.mu);
+  stats.threads = r.rings.size();
+  for (const auto& ring : r.rings) {
+    std::lock_guard rlock(ring->mu);
+    stats.recorded += ring->next;
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(ring->next, ring->capacity);
+    stats.retained += retained;
+    stats.dropped += ring->next - retained;
+  }
+  return stats;
+}
+
+std::string trace_chrome_json() {
+  Recorder& r = Recorder::instance();
+  std::vector<ExportedEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  {
+    std::lock_guard lock(r.mu);
+    for (const auto& ring : r.rings) {
+      std::lock_guard rlock(ring->mu);
+      if (!ring->thread_name.empty()) {
+        thread_names.emplace_back(ring->tid, ring->thread_name);
+      }
+      const std::uint64_t count =
+          std::min<std::uint64_t>(ring->next, ring->capacity);
+      for (std::uint64_t i = ring->next - count; i < ring->next; ++i) {
+        const TraceEvent& e =
+            ring->events[static_cast<std::size_t>(i % ring->capacity)];
+        events.push_back(ExportedEvent{e, ring->tid});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ExportedEvent& a, const ExportedEvent& b) {
+              return a.event.ts_ns < b.event.ts_ns;
+            });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : thread_names) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    append_u64(out, tid);
+    out += ",\"args\":{\"name\":\"" + json_escape(name) + "\"}}";
+  }
+  for (const ExportedEvent& ee : events) {
+    const TraceEvent& e = ee.event;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(e.name != nullptr ? e.name : "?");
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    append_u64(out, ee.tid);
+    out += ",\"ts\":";
+    append_ts_us(out, e.ts_ns);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      append_ts_us(out, e.dur_ns);
+    }
+    if (e.phase == 'b' || e.phase == 'e') {
+      // Async events match on (cat, id, name); the LSN is the id, so one
+      // logical commit's begin/end pair joins across threads.
+      out += ",\"cat\":\"pipeline\",\"id\":\"0x";
+      char hex[17];
+      std::snprintf(hex, sizeof(hex), "%llx",
+                    static_cast<unsigned long long>(e.id));
+      out += hex;
+      out += "\"";
+    } else if (e.phase == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"args\":{\"lsn\":";
+    append_u64(out, e.id);
+    out += ",\"v\":";
+    append_u64(out, e.arg);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool trace_write_chrome_json(const std::string& path) {
+  const std::string json = trace_chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) std::fclose(f);
+  return ok;
+}
+
+void trace_clear() {
+  Recorder& r = Recorder::instance();
+  std::lock_guard lock(r.mu);
+  for (const auto& ring : r.rings) {
+    std::lock_guard rlock(ring->mu);
+    ring->next = 0;
+  }
+}
+
+}  // namespace cpkcore::obs

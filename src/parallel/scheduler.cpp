@@ -115,6 +115,7 @@ Scheduler::TaskScope::~TaskScope() { --tl_task_depth_; }
 Scheduler::ExternalScope::ExternalScope(Scheduler& sched)
     : sched_(sched), prev_(tl_binding_) {
   tl_binding_ = Binding{&sched, sched.claim_external_slot()};
+  sched.external_roots_.add();
 }
 
 Scheduler::ExternalScope::~ExternalScope() {
@@ -129,7 +130,17 @@ Scheduler& Scheduler::instance() {
   return sched;
 }
 
-Scheduler::Scheduler(std::size_t num_workers) { start(num_workers); }
+Scheduler::Scheduler(std::size_t num_workers) {
+  start(num_workers);
+  metrics_ = obs::MetricsGroup(&obs::MetricsRegistry::instance(), "sched.");
+  metrics_.collect([this](obs::MetricsSink& sink) {
+    sink.gauge("workers", static_cast<double>(num_workers_));
+    sink.counter("spawns", spawns_);
+    sink.counter("steals", steals_);
+    sink.counter("helped_joins", helped_joins_);
+    sink.counter("external_roots", external_roots_);
+  });
+}
 
 Scheduler::~Scheduler() { stop(); }
 
@@ -167,6 +178,7 @@ void Scheduler::stop() {
 bool Scheduler::push_task(Task* task) {
   Slot* slot = tl_binding_.slot;
   if (slot == nullptr || !slot->push(task)) return false;
+  spawns_.add();
   if (sleepers_.load(std::memory_order_relaxed) > 0) cv_.notify_one();
   return true;
 }
@@ -200,7 +212,10 @@ Scheduler::Task* Scheduler::try_steal(const Slot* self,
   for (std::size_t k = 0; k < num_slots_; ++k) {
     Slot* victim = &slots_[(start + k) % num_slots_];
     if (victim == self) continue;
-    if (Task* task = victim->steal()) return task;
+    if (Task* task = victim->steal()) {
+      steals_.add();
+      return task;
+    }
   }
   return nullptr;
 }
@@ -212,6 +227,7 @@ void Scheduler::wait_task(Task& task) {
   while (!task.done.load(std::memory_order_acquire)) {
     if (tl_binding_.wait_steal_depth < kMaxWaitStealDepth) {
       if (Task* other = try_steal(tl_binding_.slot, rng_state)) {
+        helped_joins_.add();
         ++tl_binding_.wait_steal_depth;
         run_task(other);
         --tl_binding_.wait_steal_depth;

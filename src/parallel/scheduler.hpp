@@ -32,6 +32,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace cpkcore {
 
 class Scheduler {
@@ -96,6 +98,20 @@ class Scheduler {
 
   /// Legacy name from the chunk-queue scheduler; same meaning as in_task().
   static bool in_chunk() { return in_task(); }
+
+  /// Work-stealing counters, exported to the metrics registry under
+  /// "sched." (steal/spawn rates are the first thing to look at when a
+  /// parallel phase stops scaling).
+  struct SchedulerCounters {
+    std::uint64_t spawns = 0;       ///< tasks pushed onto a deque
+    std::uint64_t steals = 0;       ///< tasks stolen by another thread
+    std::uint64_t helped_joins = 0;  ///< tasks run while waiting on a join
+    std::uint64_t external_roots = 0;  ///< root calls from non-pool threads
+  };
+  [[nodiscard]] SchedulerCounters counters() const {
+    return SchedulerCounters{spawns_.value(), steals_.value(),
+                             helped_joins_.value(), external_roots_.value()};
+  }
 
  private:
   /// A fork-join task. Lives on the forking thread's stack; `done` is set
@@ -224,6 +240,14 @@ class Scheduler {
   std::condition_variable cv_;
   std::atomic<int> sleepers_{0};
   std::atomic<bool> shutdown_{false};
+
+  obs::Counter spawns_;
+  obs::Counter steals_;
+  obs::Counter helped_joins_;
+  obs::Counter external_roots_;
+  // Declared last: deregisters first on destruction, so a collect callback
+  // can never observe a partially destroyed scheduler.
+  obs::MetricsGroup metrics_;
 };
 
 /// Convenience wrappers over the global scheduler.

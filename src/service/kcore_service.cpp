@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -13,7 +14,9 @@ namespace cpkcore::service {
 KCoreService::KCoreService(ServiceConfig config)
     : config_(std::move(config)),
       sizer_(config_.min_ops_per_cycle, config_.max_ops_per_cycle,
-             config_.target_apply_ns) {
+             config_.target_apply_ns,
+             AdaptiveBatchSizer::Feedback{config_.max_replica_lag,
+                                          config_.target_read_p99_ns}) {
   namespace fs = std::filesystem;
   const bool warm = !config_.snapshot_path.empty() &&
                     fs::exists(config_.snapshot_path);
@@ -68,6 +71,43 @@ KCoreService::KCoreService(ServiceConfig config)
   shards_ = std::make_unique<Shard[]>(num_shards_);
   stats_.batch_budget = sizer_.budget();
   apply_thread_ = std::thread([this] { apply_loop(); });
+  // Registered after the service is fully constructed; stats() is
+  // thread-safe, so the collect callback can fire from any snapshot.
+  if (config_.metrics != nullptr) {
+    metrics_ = obs::MetricsGroup(config_.metrics, config_.metrics_prefix);
+    metrics_.collect([this](obs::MetricsSink& sink) {
+      const ServiceStats st = stats();
+      sink.counter("submitted_ops", static_cast<double>(st.submitted_ops));
+      sink.counter("acked_ops", static_cast<double>(st.acked_ops));
+      sink.counter("applied_edges", static_cast<double>(st.applied_edges));
+      sink.counter("batches", static_cast<double>(st.batches));
+      sink.counter("cycles", static_cast<double>(st.cycles));
+      sink.counter("rejected_ops", static_cast<double>(st.rejected_ops));
+      sink.counter("blocked_submits",
+                   static_cast<double>(st.blocked_submits));
+      sink.counter("wal_flushes", static_cast<double>(st.wal_flushes));
+      sink.counter("wal_flush_bytes",
+                   static_cast<double>(st.wal_flush_bytes));
+      sink.gauge("commit_lsn", static_cast<double>(st.commit_lsn));
+      sink.gauge("applied_lsn", static_cast<double>(st.applied_lsn));
+      sink.gauge("durable_lsn", static_cast<double>(st.durable_lsn));
+      sink.gauge("batch_budget", static_cast<double>(st.batch_budget));
+      sink.gauge("wal_flush_depth",
+                 static_cast<double>(st.wal_flush_depth));
+      sink.gauge("wal_inflight_bytes",
+                 static_cast<double>(st.wal_inflight_bytes));
+      sink.gauge("pending_ops", static_cast<double>(pending_ops()));
+      std::size_t max_depth = 0;
+      for (const std::size_t d : st.shard_depths) {
+        max_depth = std::max(max_depth, d);
+      }
+      sink.gauge("shard_depth_max", static_cast<double>(max_depth));
+      sink.histogram("ack_latency_ns", st.ack_latency);
+      sink.histogram("apply_latency_ns", st.apply_latency);
+      sink.histogram("applied_latency_ns", st.applied_latency);
+      sink.histogram("durable_lag_ns", st.durable_lag);
+    });
+  }
 }
 
 KCoreService::~KCoreService() { stop(/*drain_first=*/true); }
@@ -203,6 +243,7 @@ bool KCoreService::wait_wal_durable(std::uint64_t lsn) {
 }
 
 void KCoreService::apply_loop() {
+  CPKC_TRACE_THREAD_NAME("apply/" + config_.metrics_prefix);
   for (;;) {
     {
       std::unique_lock lock(ingest_mu_);
@@ -281,6 +322,8 @@ std::size_t KCoreService::run_cycle() {
   }
   if (ops.empty()) return 0;
   pending_ops_.fetch_sub(ops.size(), std::memory_order_seq_cst);
+  // Spans the rest of the cycle: coalesce + WAL staging + apply + ack/queue.
+  CPKC_TRACE_SPAN(cycle_span, "cycle", 0, ops.size());
 
   // Coalesce into homogeneous batches — canonical + deduplicated only when
   // they are about to be logged or shipped (the CPLDS re-normalizes on
@@ -322,17 +365,27 @@ std::size_t KCoreService::run_cycle() {
   const bool defer = async_wal && !lsns.empty() &&
                      config_.wal_durability != WalDurability::kOsCache;
   if (wal_.is_open()) {
-    if (binary_wal) {
-      for (const WalFramePtr& frame : frames) wal_.append(*frame);
-    } else {
-      for (std::size_t i = 0; i < batches.size(); ++i) {
-        wal_.append(lsns[i], batches[i]);
-      }
+    // The cross-thread commit span: begins here on the apply thread, ends
+    // in deliver_cycle — on the engine's completion thread when the ack is
+    // deferred to the durable watermark.
+    if (!lsns.empty()) {
+      CPKC_TRACE_ASYNC_BEGIN("commit", lsns.back(), ops.size());
     }
-    if (async_wal) {
-      wal_.commit_async();
-    } else {
-      wal_.flush();
+    {
+      CPKC_TRACE_SPAN(wal_span, "wal_submit",
+                      lsns.empty() ? 0 : lsns.back(), batches.size());
+      if (binary_wal) {
+        for (const WalFramePtr& frame : frames) wal_.append(*frame);
+      } else {
+        for (std::size_t i = 0; i < batches.size(); ++i) {
+          wal_.append(lsns[i], batches[i]);
+        }
+      }
+      if (async_wal) {
+        wal_.commit_async();
+      } else {
+        wal_.flush();
+      }
     }
   }
   if (!lsns.empty() && !defer) {
@@ -365,18 +418,23 @@ std::size_t KCoreService::run_cycle() {
   std::size_t cycle_applied_edges = 0;
   std::vector<std::uint64_t> batch_ns;
   batch_ns.reserve(batches.size());
-  for (const UpdateBatch& batch : batches) {
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    CPKC_TRACE_SPAN(apply_span, "apply", lsns[i], batches[i].edges.size());
     Timer timer;
-    cycle_applied_edges += ds_->apply(batch).size();
+    cycle_applied_edges += ds_->apply(batches[i]).size();
     const std::uint64_t ns = timer.elapsed_ns();
     cycle_apply_ns += ns;
     batch_ns.push_back(ns);
   }
-  // Feed the sizer both costs: the cycle's apply time and the most recent
-  // applied->acked lag, so the budget backs off when the durability
-  // pipeline (not the apply) is the bottleneck.
+  // Feed the sizer every cost signal: the cycle's apply time, the most
+  // recent applied->acked lag, and the cluster feedback (replica lag /
+  // read p99, via observe_cluster_feedback), so the budget backs off when
+  // the durability pipeline, the replicas, or the readers — not the apply —
+  // are the bottleneck.
   sizer_.observe(ops.size(), cycle_apply_ns,
-                 last_ack_lag_ns_.load(std::memory_order_relaxed));
+                 last_ack_lag_ns_.load(std::memory_order_relaxed),
+                 replica_lag_signal_.load(std::memory_order_relaxed),
+                 read_p99_signal_.load(std::memory_order_relaxed));
   if (!lsns.empty()) {
     applied_lsn_.store(lsns.back(), std::memory_order_release);
   }
@@ -432,7 +490,13 @@ std::size_t KCoreService::run_cycle() {
 
 void KCoreService::deliver_cycle(PendingCycle& cycle,
                                  std::uint64_t acked_at) {
-  // Caller holds pending_mu_ (see header): acks serialize here.
+  // Caller holds pending_mu_ (see header): acks serialize here. Closes the
+  // cross-thread commit span opened at WAL staging — on the engine's
+  // completion thread when the ack was deferred to the durable watermark.
+  if (wal_.is_open()) {
+    CPKC_TRACE_ASYNC_END("commit", cycle.upto_lsn, cycle.submit_ns.size());
+  }
+  CPKC_TRACE_INSTANT("ack", cycle.cycle_lsn, cycle.submit_ns.size());
   if (config_.ship_at == ShipPoint::kDurable) {
     std::lock_guard slock(ship_mu_);
     if (commit_listener_) {
@@ -475,6 +539,7 @@ void KCoreService::on_durable(std::uint64_t lsn, const std::string* error) {
     fail_from_durability(*error);
     return;
   }
+  CPKC_TRACE_INSTANT("durable", lsn, 0);
   if (config_.wal_durability != WalDurability::kOsCache) {
     // Monotone max: at the sync levels "committed" is the watermark.
     std::uint64_t cur = commit_lsn_.load(std::memory_order_relaxed);

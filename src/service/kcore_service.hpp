@@ -71,6 +71,7 @@
 
 #include "core/read_modes.hpp"
 #include "core/snapshot.hpp"
+#include "obs/metrics.hpp"
 #include "service/coalescer.hpp"
 #include "service/wal.hpp"
 #include "util/cacheline.hpp"
@@ -139,6 +140,21 @@ struct ServiceConfig {
   std::uint64_t target_apply_ns = 5'000'000;  // 5 ms
   std::size_t min_ops_per_cycle = 64;
   std::size_t max_ops_per_cycle = 1u << 20;
+
+  /// Cluster-feedback backoff thresholds for the drain budget (0 = trigger
+  /// off). The signals themselves arrive via observe_cluster_feedback() —
+  /// the cluster layer (or any periodic observer) computes max replica lag
+  /// and read p99 and feeds them in; the sizer backs the budget off when
+  /// either exceeds its threshold.
+  std::uint64_t max_replica_lag = 0;     ///< records behind primary apply
+  std::uint64_t target_read_p99_ns = 0;  ///< read-latency p99 ceiling, ns
+
+  /// Flight-recorder metrics: when set, the service registers its stats as
+  /// a collect source under `metrics_prefix` for the registry's lifetime
+  /// overlap with the service (RAII-deregistered on destruction). Null =
+  /// metrics off (the default keeps single-purpose tests quiet).
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "service.";
 };
 
 /// Handle for one submitted op: shard + 1-based per-shard sequence number.
@@ -325,6 +341,20 @@ class KCoreService {
   /// Quiescent-only access (tests, validation).
   [[nodiscard]] const CPLDS& cplds() const { return *ds_; }
 
+  // ---------------- cluster feedback ----------------
+
+  /// Feeds the latest cluster health signals into the adaptive batch
+  /// sizer: `replica_lag` is how many records the slowest replica trails
+  /// this primary's applied LSN, `read_p99_ns` the current read-latency
+  /// p99. Thread-safe (just stores atomics; the apply thread reads them
+  /// each cycle). No-ops toward the budget unless the corresponding
+  /// ServiceConfig threshold is nonzero.
+  void observe_cluster_feedback(std::uint64_t replica_lag,
+                                std::uint64_t read_p99_ns) {
+    replica_lag_signal_.store(replica_lag, std::memory_order_relaxed);
+    read_p99_signal_.store(read_p99_ns, std::memory_order_relaxed);
+  }
+
  private:
   struct PendingOp {
     Update op;
@@ -433,6 +463,10 @@ class KCoreService {
   /// Most recent applied->acked lag (ns), fed to the sizer so the batch
   /// budget backs off when the durability pipeline is the bottleneck.
   std::atomic<std::uint64_t> last_ack_lag_ns_{0};
+  /// Latest cluster feedback (observe_cluster_feedback), read by the apply
+  /// thread each cycle and fed to the sizer alongside the ack lag.
+  std::atomic<std::uint64_t> replica_lag_signal_{0};
+  std::atomic<std::uint64_t> read_p99_signal_{0};
   WalEngineKind wal_engine_kind_ = WalEngineKind::kSync;  ///< resolved
 
   mutable std::mutex stats_mu_;
@@ -446,6 +480,10 @@ class KCoreService {
   std::atomic<std::uint64_t> flush_bytes_baseline_{0};
 
   std::thread apply_thread_;
+
+  // Declared last: deregisters before any member the collect callback
+  // reads is destroyed.
+  obs::MetricsGroup metrics_;
 };
 
 }  // namespace cpkcore::service

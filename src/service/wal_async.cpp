@@ -14,6 +14,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 #if defined(__linux__) && __has_include(<linux/io_uring.h>)
 #include <linux/io_uring.h>
 #include <sys/mman.h>
@@ -176,6 +178,7 @@ class FlusherEngine final : public WalCommitEngine {
   };
 
   void run() {
+    CPKC_TRACE_THREAD_NAME("wal_flusher");
     for (;;) {
       std::deque<Flight> batch;
       {
@@ -185,6 +188,8 @@ class FlusherEngine final : public WalCommitEngine {
         batch.swap(queue_);
       }
       std::uint64_t bytes_written = 0;
+      CPKC_TRACE_SPAN(flush_span, "wal_flush", batch.back().upto_lsn,
+                      batch.size());
       try {
         for (const Flight& f : batch) {
           pwrite_all(fd_, f.bytes.data(), f.bytes.size(), f.offset, path_);
@@ -493,6 +498,7 @@ class IoUringEngine final : public WalCommitEngine {
   }
 
   void reap_loop() {
+    CPKC_TRACE_THREAD_NAME("wal_uring_reaper");
     for (;;) {
       {
         std::lock_guard lock(mu_);
@@ -578,6 +584,9 @@ class IoUringEngine final : public WalCommitEngine {
     }
     // Callbacks outside mu_, success before failure, watermark published
     // after the callback returns (see the header contract).
+    if (advanced) {
+      CPKC_TRACE_INSTANT("wal_reap", new_durable, bytes_done);
+    }
     if (advanced && cb) cb(new_durable, nullptr);
     {
       std::lock_guard lock(mu_);
