@@ -45,6 +45,12 @@
 //   CPKC_TRACE_FILE        write the Chrome trace-event JSON here on exit
 //                          (load in Perfetto; implies nothing unless
 //                          CPKC_TRACE is also set)
+//   --http-port N / CPKC_HTTP_PORT   serve /metrics /vars /events (and a
+//                          monitor-less /healthz) on 127.0.0.1:N for the
+//                          duration of the sweep (0 = ephemeral; the bound
+//                          port is printed to stderr) — curl the live
+//                          registry mid-cell instead of waiting for the
+//                          JSON lines
 // Every JSON line additionally reports the scheduler's work-stealing
 // activity over the cell (sched_spawns / sched_steals deltas).
 #include <algorithm>
@@ -62,6 +68,7 @@
 #include "cluster/shard_group.hpp"
 #include "graph/generators.hpp"
 #include "harness/service_workload.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -391,6 +398,10 @@ int main(int argc, char** argv) {
   std::size_t max_shards = bench::env_size("CPKC_WRITE_SHARDS", 0);
   std::string sample_path;
   if (const char* v = std::getenv("CPKC_SAMPLE_JSON")) sample_path = v;
+  int http_port = -1;  // -1 = no exporter; 0 = ephemeral
+  if (const char* v = std::getenv("CPKC_HTTP_PORT")) {
+    http_port = static_cast<int>(std::strtoul(v, nullptr, 10));
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
       max_replicas = static_cast<std::size_t>(
@@ -400,13 +411,27 @@ int main(int argc, char** argv) {
           std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
       sample_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--http-port") == 0 && i + 1 < argc) {
+      http_port = static_cast<int>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--replicas N] [--write-shards P] "
-                   "[--sample PATH]\n",
+                   "[--sample PATH] [--http-port N]\n",
                    argv[0]);
       return 2;
     }
+  }
+  // Health plane: expose the live registry and event journal over HTTP
+  // while the sweep runs (curl 127.0.0.1:<port>/metrics mid-cell). The
+  // per-cell services register and deregister their sources process-wide,
+  // so a scrape sees whatever cell is running.
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (http_port >= 0) {
+    obs::HttpExporterOptions hopts;
+    hopts.port = static_cast<std::uint16_t>(http_port);
+    exporter = std::make_unique<obs::HttpExporter>(hopts);
+    std::fprintf(stderr, "# http exporter on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(exporter->port()));
   }
   // Flight recorder: stream registry snapshots for the whole sweep (the
   // per-cell services/groups register and deregister their sources as

@@ -47,6 +47,19 @@
 //   metrics                (command) print the current registry snapshot in
 //                          Prometheus text exposition format
 //
+// Health plane (see src/obs/): a stall watchdog (HealthMonitor) always
+// runs; cluster mode registers every pipeline thread with it.
+//   --http-port <n>        serve the flight recorder and health plane over
+//                          HTTP on 127.0.0.1:<n> (0 = ephemeral; the bound
+//                          port is printed): GET /metrics (Prometheus),
+//                          /healthz (503 when stalled), /vars (JSON),
+//                          /events (journal tail)
+//   health                 (command) print the watchdog rollup as JSON
+//   stall <ms>             (command, cluster mode) inject an <ms> busy-sleep
+//                          into partition 0's apply thread — the watchdog
+//                          flags it stalled, /healthz flips 503, and it
+//                          recovers on its own
+//
 // Commands:
 //   gen ba <n> <edges_per_vertex> <seed>   generate Barabasi-Albert
 //   gen er <n> <m> <seed>                  generate Erdos-Renyi
@@ -59,6 +72,8 @@
 //   exact <v>                              exact coreness (full peel)
 //   stats                                  n, m, batch number, max estimate
 //   metrics                                registry snapshot (Prometheus)
+//   health                                 watchdog rollup (JSON)
+//   stall <ms>                             inject an apply-thread stall
 //   quit
 #include <atomic>
 #include <csignal>
@@ -80,6 +95,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "kcore/peel.hpp"
+#include "obs/event_log.hpp"
+#include "obs/health.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "service/kcore_service.hpp"
@@ -97,6 +115,19 @@ void on_sigusr1(int) {
   if (obs::StatsSampler* s = g_sampler.load(std::memory_order_relaxed)) {
     s->request_sample();
   }
+}
+
+/// The session's stall watchdog (always on; cluster mode registers every
+/// pipeline thread with it). Set once in main before any command runs.
+obs::HealthMonitor* g_health = nullptr;
+
+/// The `health` command: the watchdog rollup, re-evaluated now.
+void print_health() {
+  if (g_health == nullptr) {
+    std::printf("no health monitor\n");
+    return;
+  }
+  std::printf("%s\n", g_health->check_now().to_json().c_str());
 }
 
 /// The `metrics` command: one consistent snapshot of every registered
@@ -181,6 +212,9 @@ struct Cluster {
     // and --metrics-out see it (partition p under "p<p>.", router under
     // "router.").
     cfg.base.metrics = &obs::MetricsRegistry::instance();
+    // ... and every pipeline thread with the watchdog, so `health`,
+    // /healthz, and the router's stalled-replica gate see the real state.
+    cfg.base.health = g_health;
     group = std::make_unique<cluster::ShardGroup>(cfg);
     router = std::make_unique<cluster::Router>(*group);
     router->register_metrics(&obs::MetricsRegistry::instance());
@@ -387,6 +421,28 @@ bool handle_cluster(Cluster& c, const std::string& line) {
     print_metrics();
     return true;
   }
+  if (cmd == "health") {
+    print_health();
+    return true;
+  }
+  if (cmd == "stall") {
+    std::uint64_t ms = 0;
+    if (in >> ms && ms > 0) {
+      // Arm the one-shot injection, then poke partition 0's pipeline with
+      // a duplicate insert (a structural no-op) so the apply thread runs a
+      // cycle, beats, and busy-sleeps — exactly what a wedged apply looks
+      // like to the watchdog. Fire-and-forget: the ack rides out the stall.
+      c.group->primary(0).debug_inject_apply_stall(ms);
+      c.group->primary(0).submit_insert(0, 1);
+      c.mirror->insert_edge({0, 1});
+      std::printf("stall armed: partition 0 apply thread sleeps %llu ms on "
+                  "its next cycle (watch `health` / GET /healthz)\n",
+                  static_cast<unsigned long long>(ms));
+    } else {
+      std::printf("usage: stall <ms>\n");
+    }
+    return true;
+  }
   std::printf("unknown command '%s'\n", cmd.c_str());
   return true;
 }
@@ -486,6 +542,14 @@ bool handle(Session& s, const std::string& line) {
     print_metrics();
     return true;
   }
+  if (cmd == "health") {
+    print_health();
+    return true;
+  }
+  if (cmd == "stall") {
+    std::printf("stall requires cluster mode (--write-shards/--replicas)\n");
+    return true;
+  }
   std::printf("unknown command '%s'\n", cmd.c_str());
   return true;
 }
@@ -522,6 +586,7 @@ int main(int argc, char** argv) {
   std::string snapshot_save;
   std::string metrics_out;
   std::uint64_t sample_ms = 1000;
+  int http_port = -1;  // -1 = no exporter; 0 = ephemeral
   bool interactive = false;
   std::size_t replicas = 0;
   std::size_t write_shards = 1;
@@ -537,6 +602,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--sample-ms" && i + 1 < argc) {
       sample_ms = std::strtoull(argv[++i], nullptr, 10);
       if (sample_ms == 0) sample_ms = 1000;
+    } else if (arg == "--http-port" && i + 1 < argc) {
+      http_port = static_cast<int>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--replicas" && i + 1 < argc) {
       replicas = std::strtoul(argv[++i], nullptr, 10);
       cluster_mode = true;
@@ -550,10 +617,33 @@ int main(int argc, char** argv) {
                    "usage: %s [--snapshot-load <path>] "
                    "[--snapshot-save <path>] [--replicas <r>] "
                    "[--write-shards <p>] [--metrics-out <path>] "
-                   "[--sample-ms <n>] [-]\n",
+                   "[--sample-ms <n>] [--http-port <n>] [-]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  // Health plane: the stall watchdog always runs (cluster mode registers
+  // its pipeline threads below); the HTTP exporter is opt-in. Both outlive
+  // every session object created later in main, so teardown unregisters
+  // cleanly before the monitor dies.
+  obs::HealthMonitor health_monitor;
+  g_health = &health_monitor;
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (http_port >= 0) {
+    obs::HttpExporterOptions hopts;
+    hopts.port = static_cast<std::uint16_t>(http_port);
+    hopts.health = &health_monitor;
+    try {
+      exporter = std::make_unique<obs::HttpExporter>(hopts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error starting --http-port exporter: %s\n",
+                   e.what());
+      return 1;
+    }
+    std::printf("http exporter on 127.0.0.1:%u "
+                "(/metrics /healthz /vars /events)\n",
+                static_cast<unsigned>(exporter->port()));
   }
 
   // Flight recorder: stream registry snapshots for the whole session;

@@ -6,10 +6,29 @@
 #include <utility>
 #include <vector>
 
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 #include "service/wal.hpp"
 
 namespace cpkcore::cluster {
+
+namespace {
+
+/// Journals one catch-up serving pass: which source fed the subscriber
+/// (the retention ring or the on-disk WAL) and how many records it
+/// served. A replica joining far behind flips between the two as the
+/// ring advances under it — the event stream is how an operator sees
+/// that dance.
+void emit_catchup(const std::string& component, const char* source,
+                  std::uint64_t from_lsn, std::uint64_t records) {
+  obs::EventLog::instance().emit(
+      obs::Severity::kInfo, component, "catchup_source",
+      {{"source", source},
+       {"from_lsn", std::to_string(from_lsn)},
+       {"records", std::to_string(records)}});
+}
+
+}  // namespace
 
 LogShipper::LogShipper(service::KCoreService& primary)
     : LogShipper(primary, Options()) {}
@@ -98,9 +117,16 @@ std::uint64_t LogShipper::subscribe(std::uint64_t from_lsn,
         }
         const std::uint64_t id = next_id_++;
         subscribers_.emplace(id, std::move(callback));
+        lock.unlock();
+        if (!backlog.empty()) {
+          emit_catchup(options_.event_component, "ring", from_lsn,
+                       backlog.size());
+        }
         return id;
       }
       lock.unlock();
+      emit_catchup(options_.event_component, "ring", from_lsn,
+                   backlog.size());
       for (const ShippedRecord& rec : backlog) callback(rec);
       from_lsn = backlog.back().lsn;
       {
@@ -156,6 +182,10 @@ std::uint64_t LogShipper::subscribe(std::uint64_t from_lsn,
       const std::uint64_t n = served_upto - from_lsn;
       catchup_ += n;
       disk_ += n;
+    }
+    if (served_upto > from_lsn) {
+      emit_catchup(options_.event_component, "disk", from_lsn,
+                   served_upto - from_lsn);
     }
     from_lsn = served_upto;
   }

@@ -70,6 +70,11 @@ class LogShipper {
     /// (via repeated full-WAL scans) once the primary pauses committing —
     /// use at least a small ring when joiners must land under write load.
     std::size_t retain_records = std::numeric_limits<std::size_t>::max();
+
+    /// Event-journal component for catch-up source events ("served N
+    /// records from the ring / from the on-disk WAL"); a ShardGroup names
+    /// its shippers per partition ("p0.ship").
+    std::string event_component = "ship";
   };
 
   struct Stats {

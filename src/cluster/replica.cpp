@@ -1,5 +1,8 @@
 #include "cluster/replica.hpp"
 
+#include <utility>
+
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -11,6 +14,13 @@ Replica::Replica(const service::ServiceConfig& like) {
       LDSParams::create(like.num_vertices, like.delta, like.lambda,
                         like.levels_per_group_cap),
       like.cplds);
+}
+
+void Replica::register_health(obs::HealthMonitor& monitor, std::string name,
+                              int partition) {
+  if (heartbeat_ != nullptr) return;  // one registration per replica
+  health_ = &monitor;
+  heartbeat_ = monitor.register_thread(std::move(name), partition);
 }
 
 void Replica::start(LogShipper& shipper) {
@@ -53,6 +63,14 @@ void Replica::stop() {
     stopped_.store(true, std::memory_order_release);
   }
   applied_cv_.notify_all();
+  // Tombstone after the join: the handle stays valid (the Router may
+  // still hold it — a stopped replica just reads inactive/healthy), but
+  // the watchdog stops classifying it.
+  if (heartbeat_ != nullptr && health_ != nullptr) {
+    health_->unregister(heartbeat_);
+    heartbeat_ = nullptr;
+    health_ = nullptr;
+  }
 }
 
 void Replica::enqueue(const ShippedRecord& record) {
@@ -69,10 +87,13 @@ void Replica::apply_loop() {
     ShippedRecord rec;
     {
       std::unique_lock lock(mu_);
+      // Parked on an empty queue is healthy: idle stops the age clock.
+      if (heartbeat_ != nullptr && queue_.empty()) heartbeat_->idle();
       queue_cv_.wait(lock, [&] { return stop_requested_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and fully drained
       rec = std::move(queue_.front());
       queue_.pop_front();
+      if (heartbeat_ != nullptr) heartbeat_->busy();
     }
     // Decode and apply outside the lock: the shipper's enqueue must never
     // wait on either (that would stall the primary's commit path). This is

@@ -53,6 +53,17 @@ class Replica {
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;
 
+  /// Health plane (optional): registers this replica's apply thread as a
+  /// heartbeat component (idle while parked on an empty queue, beaten per
+  /// shipped record). Call before start(); stop() tombstones the
+  /// component. The handle from health_component() stays valid for the
+  /// monitor's lifetime — the Router caches it to skip stalled replicas.
+  void register_health(obs::HealthMonitor& monitor, std::string name,
+                       int partition = -1);
+  [[nodiscard]] const obs::HealthComponent* health_component() const {
+    return heartbeat_;
+  }
+
   /// Starts the apply thread and subscribes to the shipper from this
   /// replica's applied LSN (0 for a fresh replica — a late joiner catches
   /// up through the shipper's ring/WAL path). Throws what subscribe()
@@ -102,6 +113,11 @@ class Replica {
   LogShipper* shipper_ = nullptr;
   std::uint64_t subscription_ = 0;
   bool started_ = false;
+
+  /// Health plane (register_health): the apply thread's heartbeat,
+  /// tombstoned by stop(). The monitor outlives the handle's use.
+  obs::HealthMonitor* health_ = nullptr;
+  obs::HealthComponent* heartbeat_ = nullptr;
 
   mutable std::mutex mu_;
   mutable std::condition_variable queue_cv_;    // apply thread wakeups

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/health.hpp"
 #include "util/timer.hpp"
 
 namespace cpkcore::cluster {
@@ -15,8 +16,16 @@ std::vector<Router::PartitionBackends> backends_of(ShardGroup& group) {
   std::vector<Router::PartitionBackends> parts;
   parts.reserve(group.num_partitions());
   for (std::size_t p = 0; p < group.num_partitions(); ++p) {
-    parts.push_back(
-        Router::PartitionBackends{&group.primary(p), group.replica_set(p)});
+    Router::PartitionBackends part{&group.primary(p), group.replica_set(p),
+                                   {}};
+    // Snapshot the health handles at construction: they are stable for
+    // the monitor's lifetime (tombstoned, never freed), so the router
+    // reads them lock-free even across replica teardown.
+    part.replica_health.reserve(part.replicas.size());
+    for (const Replica* r : part.replicas) {
+      part.replica_health.push_back(r->health_component());
+    }
+    parts.push_back(std::move(part));
   }
   return parts;
 }
@@ -68,15 +77,31 @@ int Router::pick_backend(std::size_t partition, std::uint64_t min_lsn,
   if (n > 0) {
     const std::uint64_t start =
         state_[partition].round_robin.fetch_add(1, std::memory_order_relaxed);
+    bool skipped_stalled = false;
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t r = (start + i) % n;
       // Sampled before the read: applied LSNs only grow, so the state the
       // read observes is at least this fresh.
       const std::uint64_t lsn = part.replicas[r]->applied_lsn();
-      if (lsn >= min_lsn) {
-        *served_lsn = lsn;
-        return static_cast<int>(r);
+      if (lsn < min_lsn) continue;
+      // Health gate: a replica the watchdog classifies stalled (apply
+      // thread wedged — its applied LSN may be fresh but will not stay
+      // that way) stops taking reads; degraded still serves. One relaxed
+      // load of the cached state — no lock on the read path.
+      const obs::HealthComponent* hc =
+          r < part.replica_health.size() ? part.replica_health[r] : nullptr;
+      if (hc != nullptr && hc->state() == obs::HealthState::kStalled) {
+        skipped_stalled = true;
+        continue;
       }
+      if (skipped_stalled) {
+        rerouted_unhealthy_.fetch_add(1, std::memory_order_relaxed);
+      }
+      *served_lsn = lsn;
+      return static_cast<int>(r);
+    }
+    if (skipped_stalled) {
+      rerouted_unhealthy_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Primary fallback. Every acked write on this partition was applied
@@ -201,6 +226,8 @@ void Router::register_metrics(obs::MetricsRegistry* registry,
     sink.counter("reads", static_cast<double>(st.reads));
     sink.counter("primary_reads", static_cast<double>(st.primary_reads));
     sink.counter("replica_reads", static_cast<double>(st.replica_reads));
+    sink.counter("reads_rerouted_unhealthy",
+                 static_cast<double>(st.reads_rerouted_unhealthy));
     sink.histogram("read_latency_ns", read_latency_);
   });
 }
@@ -208,6 +235,8 @@ void Router::register_metrics(obs::MetricsRegistry* registry,
 Router::Stats Router::stats() const {
   Stats out;
   out.reads = reads_.load(std::memory_order_relaxed);
+  out.reads_rerouted_unhealthy =
+      rerouted_unhealthy_.load(std::memory_order_relaxed);
   out.partitions.resize(parts_.size());
   for (std::size_t p = 0; p < parts_.size(); ++p) {
     PartitionStats& ps = out.partitions[p];

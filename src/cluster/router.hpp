@@ -125,6 +125,10 @@ class Router {
                                ///< every partition)
     std::uint64_t primary_reads = 0;  ///< partition-serves, aggregated
     std::uint64_t replica_reads = 0;  ///< partition-serves, aggregated
+    /// Partition-serves where an LSN-eligible replica was passed over
+    /// because the health plane classified it stalled (the read landed on
+    /// another replica or the primary instead).
+    std::uint64_t reads_rerouted_unhealthy = 0;
     std::vector<PartitionStats> partitions;
   };
 
@@ -133,6 +137,11 @@ class Router {
   struct PartitionBackends {
     service::KCoreService* primary = nullptr;
     std::vector<Replica*> replicas;  ///< may be empty (primary serves all)
+    /// Parallel to `replicas` (or empty / nullptr entries = no health
+    /// plane): each replica's watchdog handle, read lock-free per pick so
+    /// a stalled replica stops serving reads. HealthMonitor keeps the
+    /// pointers valid past replica teardown (tombstones read healthy).
+    std::vector<const obs::HealthComponent*> replica_health;
   };
 
   /// Production form: route over a ShardGroup's partitions (the group must
@@ -256,6 +265,7 @@ class Router {
   std::vector<PartitionBackends> parts_;
   std::unique_ptr<PartState[]> state_;
   mutable std::atomic<std::uint64_t> reads_{0};
+  mutable std::atomic<std::uint64_t> rerouted_unhealthy_{0};
   /// Striped: fan-out reads record concurrently from any reader thread.
   mutable obs::StripedHistogram read_latency_;
   // Declared last: deregisters before the members its collector reads.

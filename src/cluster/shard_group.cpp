@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/health.hpp"
+
 namespace cpkcore::cluster {
 
 namespace {
@@ -62,15 +64,29 @@ ShardGroup::ShardGroup(ClusterConfig config)
       prefix += config_.base.metrics_prefix;
       cfg.metrics_prefix = std::move(prefix);
     }
+    if (cfg.health != nullptr) {
+      // Same "p<p>." scheme for the health plane: partition p's apply
+      // thread registers as "p<p>.apply", its WAL engine thread as
+      // "p<p>.wal_flusher"/"p<p>.wal_reaper", all tagged partition p.
+      std::string hp = "p";
+      hp += std::to_string(p);
+      hp += '.';
+      cfg.health_prefix = std::move(hp);
+      cfg.health_partition = static_cast<int>(p);
+    }
     primaries_.push_back(
         std::make_unique<service::KCoreService>(std::move(cfg)));
   }
-  LogShipper::Options ship_opts;
-  ship_opts.retain_records = config_.retain_records;
   shippers_.reserve(p_count);
   for (std::size_t p = 0; p < p_count; ++p) {
+    LogShipper::Options ship_opts;
+    ship_opts.retain_records = config_.retain_records;
+    std::string ship_comp = "p";
+    ship_comp += std::to_string(p);
+    ship_comp += ".ship";
+    ship_opts.event_component = std::move(ship_comp);
     shippers_.push_back(
-        std::make_unique<LogShipper>(*primaries_[p], ship_opts));
+        std::make_unique<LogShipper>(*primaries_[p], std::move(ship_opts)));
   }
   replicas_.resize(p_count);
   for (std::size_t p = 0; p < p_count; ++p) {
@@ -82,10 +98,38 @@ ShardGroup::ShardGroup(ClusterConfig config)
       service::ServiceConfig like = config_.base;
       like.num_vertices = primaries_[p]->num_vertices();
       replicas_[p].push_back(std::make_unique<Replica>(like));
+      // Heartbeat before start(): the apply thread stamps the handle from
+      // its first iteration.
+      if (config_.base.health != nullptr) {
+        std::string rn = "p";
+        rn += std::to_string(p);
+        rn += ".replica";
+        rn += std::to_string(r);
+        replicas_[p].back()->register_health(
+            *config_.base.health, std::move(rn), static_cast<int>(p));
+      }
       // Fresh replicas subscribe from LSN 0; a primary warm-restarted with
       // history behind it serves the catch-up from its ring/WAL (or throws
       // "bootstrap from snapshot" if compacted — surfaced to the caller).
       replicas_[p].back()->start(*shippers_[p]);
+    }
+  }
+  // Replica-lag probes: sampled on the watchdog thread against the
+  // cluster thresholds (0 = report-only). Tombstoned first in shutdown()
+  // — the callbacks walk primaries_/replicas_.
+  if (config_.base.health != nullptr && config_.replicas > 0) {
+    lag_probes_.reserve(p_count);
+    for (std::size_t p = 0; p < p_count; ++p) {
+      std::string pn = "p";
+      pn += std::to_string(p);
+      pn += ".replica_lag";
+      lag_probes_.push_back(config_.base.health->register_probe(
+          std::move(pn), static_cast<int>(p),
+          [this, p]() -> double {
+            return static_cast<double>(replica_lag(p));
+          },
+          static_cast<double>(config_.replica_lag_degraded),
+          static_cast<double>(config_.replica_lag_stalled)));
     }
   }
   // Cluster-level sources: per-partition shipper + replica stats and the
@@ -133,6 +177,23 @@ ShardGroup::ShardGroup(ClusterConfig config)
       sink.gauge("cluster.max_replica_lag",
                  static_cast<double>(max_replica_lag()));
     });
+  }
+  // The closed feedback loop: a quiet sampler (no output file — the
+  // snapshot itself is the product) snapshots the registry every
+  // feedback_interval_ms and hands the router's read-latency p99 plus the
+  // current replica lag to every primary's batch sizer. This is the
+  // periodic driver feed_feedback() always wanted; the p99 reads 0 until
+  // a Router registers its metrics in the same registry.
+  if (config_.base.metrics != nullptr && config_.feedback_interval_ms > 0) {
+    obs::SamplerOptions so;
+    so.quiet = true;
+    so.interval_ms = config_.feedback_interval_ms;
+    so.registry = config_.base.metrics;
+    so.on_sample = [this](const obs::MetricsSnapshot& snap) {
+      const obs::MetricSample* rl = snap.find("router.read_latency_ns");
+      feed_feedback(rl != nullptr ? rl->hist.p99_ns : 0);
+    };
+    feedback_sampler_ = std::make_unique<obs::StatsSampler>(std::move(so));
   }
 }
 
@@ -265,6 +326,21 @@ std::vector<std::uint64_t> ShardGroup::checkpoint() {
 }
 
 void ShardGroup::shutdown() {
+  // The feedback sampler's on_sample (and the snapshot it rides on) walks
+  // every primary and replica — stop it before any of them goes down.
+  if (feedback_sampler_ != nullptr) {
+    feedback_sampler_->stop();
+    feedback_sampler_.reset();
+  }
+  // Tombstone the lag probes next, for the same reason: unregister()
+  // excludes a concurrent watchdog check, so after this loop no probe
+  // callback can touch a stopping component.
+  if (config_.base.health != nullptr) {
+    for (obs::HealthComponent* probe : lag_probes_) {
+      config_.base.health->unregister(probe);
+    }
+    lag_probes_.clear();
+  }
   // Stage by dependency (replicas, shippers, primaries), each stage
   // overlapped across partitions — a primary's shutdown drains its async
   // WAL engine, and those waits should run concurrently, not in sequence.

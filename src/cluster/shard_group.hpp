@@ -39,6 +39,7 @@
 #include "cluster/partition.hpp"
 #include "cluster/replica.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "service/kcore_service.hpp"
 
 namespace cpkcore::cluster {
@@ -58,6 +59,26 @@ struct ClusterConfig {
   /// the partition's on-disk WAL. Defaults to unbounded, like LogShipper.
   std::size_t retain_records = std::numeric_limits<std::size_t>::max();
 
+  /// Closed-loop feedback cadence: with `base.metrics` set and this
+  /// nonzero, the group runs an internal *quiet* StatsSampler that
+  /// snapshots the registry every feedback_interval_ms and pushes the
+  /// per-partition replica lag plus the router's read-latency p99 (the
+  /// "router.read_latency_ns" sample, once a Router has registered its
+  /// metrics in the same registry) into every primary's adaptive batch
+  /// sizer via feed_feedback(). 0 = no internal driver; callers may still
+  /// call feed_feedback() themselves. Inert toward the budget unless the
+  /// base config's feedback thresholds (max_replica_lag /
+  /// target_read_p99_ns) are set.
+  std::uint64_t feedback_interval_ms = 200;
+
+  /// Replica-lag health probes (records the slowest replica trails its
+  /// partition primary): with `base.health` set and replicas > 0, each
+  /// partition registers a "p<p>.replica_lag" value probe classified
+  /// against these thresholds. 0 disables that classification — the probe
+  /// still reports its value in rollups.
+  std::uint64_t replica_lag_degraded = 0;
+  std::uint64_t replica_lag_stalled = 0;
+
   /// Template ServiceConfig applied to every partition primary.
   /// `num_vertices` is the *global* vertex space (every partition spans
   /// it); `wal_path` and `snapshot_path` are stems — partition p uses
@@ -66,7 +87,10 @@ struct ClusterConfig {
   /// prefixes each partition's sources with "p<p>." (primary under
   /// "p<p>.service.", shipper under "p<p>.ship.", replica r under
   /// "p<p>.replica<r>.") and adds per-partition replica-lag gauges under
-  /// "cluster.".
+  /// "cluster.". When `base.health` is set, the same "p<p>." scheme names
+  /// the health components (apply/WAL-engine heartbeats, replica apply
+  /// heartbeats "p<p>.replica<r>", lag probes "p<p>.replica_lag"), each
+  /// tagged with its partition id for per-partition rollups.
   service::ServiceConfig base;
 };
 
@@ -205,10 +229,11 @@ class ShardGroup {
 
   /// Pushes the current per-partition replica lag plus the caller's read
   /// p99 (e.g. Router::read_latency().p99_ns(), or 0 when unknown) into
-  /// every primary's adaptive batch sizer (observe_cluster_feedback). Call
-  /// periodically — a StatsSampler on_sample hook is the natural driver —
-  /// so the drain budget backs off when replicas or readers fall behind.
-  /// No-ops toward the budget unless the base config's thresholds are set.
+  /// every primary's adaptive batch sizer (observe_cluster_feedback).
+  /// Driven automatically by the group's internal feedback sampler every
+  /// ClusterConfig::feedback_interval_ms (when metrics are on); exposed
+  /// for callers that want an extra push or run without metrics. No-ops
+  /// toward the budget unless the base config's thresholds are set.
   void feed_feedback(std::uint64_t read_p99_ns);
 
   // ---------------- lifecycle ----------------
@@ -243,6 +268,13 @@ class ShardGroup {
   std::vector<std::unique_ptr<service::KCoreService>> primaries_;
   std::vector<std::unique_ptr<LogShipper>> shippers_;
   std::vector<std::vector<std::unique_ptr<Replica>>> replicas_;
+  /// Per-partition replica-lag probes (base.health set, replicas > 0);
+  /// their callbacks walk primaries_/replicas_, so shutdown() tombstones
+  /// them before any component stops.
+  std::vector<obs::HealthComponent*> lag_probes_;
+  /// Internal feedback driver (quiet sampler, feedback_interval_ms): its
+  /// on_sample walks every component, so shutdown() stops it FIRST.
+  std::unique_ptr<obs::StatsSampler> feedback_sampler_;
   // Declared last: the cluster-level collect callbacks walk every
   // component above, so they must deregister first.
   obs::MetricsGroup metrics_;

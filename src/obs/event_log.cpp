@@ -1,0 +1,215 @@
+#include "obs/event_log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cpkcore::obs {
+
+namespace {
+
+std::uint64_t wall_unix_ms_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t mono_ns_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kDebug:
+      return "debug";
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Event::to_json() const {
+  std::string out = "{\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"ts_ms\":";
+  out += std::to_string(wall_unix_ms);
+  out += ",\"severity\":\"";
+  out += severity_name(severity);
+  out += "\",\"component\":\"";
+  out += json_escape(component);
+  out += "\",\"event\":\"";
+  out += json_escape(name);
+  out += "\",\"fields\":{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += json_escape(key);
+    out += "\":\"";
+    out += json_escape(value);
+    out += "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+EventLog::EventLog(EventLogOptions options) : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.reserve(options_.capacity);
+  if (!options_.json_path.empty()) {
+    sink_ = std::fopen(options_.json_path.c_str(), "a");
+    if (sink_ == nullptr) {
+      throw std::runtime_error("EventLog: cannot open " + options_.json_path);
+    }
+  }
+}
+
+EventLog::~EventLog() {
+  if (sink_ != nullptr) std::fclose(sink_);
+}
+
+void EventLog::emit(Severity severity, std::string component,
+                    std::string name, Fields fields) {
+  Event e;
+  e.wall_unix_ms = wall_unix_ms_now();
+  e.mono_ns = mono_ns_now();
+  e.severity = severity;
+  e.component = std::move(component);
+  e.name = std::move(name);
+  e.fields = std::move(fields);
+
+  std::lock_guard lock(mu_);
+  if (options_.rate_limit_window_ms > 0) {
+    RateState& rs = rate_[e.component + "\x1f" + e.name];
+    const std::uint64_t window_ns = options_.rate_limit_window_ms * 1000000ull;
+    if (e.mono_ns - rs.window_start_ns >= window_ns) {
+      rs.window_start_ns = e.mono_ns;
+      rs.in_window = 0;
+    }
+    if (rs.in_window >= options_.rate_limit_burst) {
+      ++rs.suppressed;
+      ++stats_.suppressed;
+      return;
+    }
+    ++rs.in_window;
+    if (rs.suppressed > 0) {
+      // The first admitted event after a suppression run reports how many
+      // of its kind the limiter dropped, so the journal never lies by
+      // omission.
+      e.fields.emplace_back("suppressed", std::to_string(rs.suppressed));
+      rs.suppressed = 0;
+    }
+  }
+  e.seq = next_seq_++;
+  ++stats_.emitted;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(e);
+  } else {
+    ring_[e.seq % options_.capacity] = e;
+    ++stats_.overwritten;
+  }
+  if (sink_ != nullptr) {
+    const std::string line = e.to_json();
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+  }
+  for (const auto& [id, fn] : subscribers_) fn(e);
+}
+
+std::vector<Event> EventLog::tail(std::size_t n) const {
+  std::lock_guard lock(mu_);
+  std::vector<Event> out;
+  const std::size_t have = ring_.size();
+  const std::size_t take = n < have ? n : have;
+  out.reserve(take);
+  // Oldest retained seq is next_seq_ - have; we want the last `take`.
+  for (std::uint64_t seq = next_seq_ - take; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % options_.capacity]);
+  }
+  return out;
+}
+
+std::string EventLog::tail_json(std::size_t n) const {
+  const std::vector<Event> events = tail(n);
+  std::string out = "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",\n ";
+    out += events[i].to_json();
+  }
+  out += "]";
+  return out;
+}
+
+std::uint64_t EventLog::subscribe(Subscriber fn) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_subscriber_id_++;
+  subscribers_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void EventLog::unsubscribe(std::uint64_t id) {
+  std::lock_guard lock(mu_);
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if (it->first == id) {
+      subscribers_.erase(it);
+      return;
+    }
+  }
+}
+
+EventLog::Stats EventLog::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace cpkcore::obs

@@ -1,0 +1,191 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/event_log.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+
+namespace cpkcore::obs {
+
+namespace {
+
+/// One full response on a throwaway HTTP/1.0 connection. Short writes are
+/// retried; a peer that hangs up mid-response is its own problem.
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void respond(int fd, int status, const char* reason,
+             const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(status);
+  out += " ";
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  write_all(fd, out);
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::instance();
+  }
+  if (options_.events == nullptr) options_.events = &EventLog::instance();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpExporter: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpExporter: bad bind address " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    std::string msg = "HttpExporter: cannot listen on ";
+    msg += options_.bind_address;
+    msg += ":";
+    msg += std::to_string(options_.port);
+    msg += " (";
+    msg += std::strerror(err);
+    msg += ")";
+    throw std::runtime_error(msg);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { run(); });
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::run() {
+  // poll() with a short timeout rather than a blocking accept: stop() only
+  // has to flip the flag and join, no self-connect wakeup dance.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::serve(int fd) {
+  // One read is enough for any real GET line; loop until the header
+  // terminator just in case the client dribbles.
+  std::string req;
+  char buf[2048];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+         req.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  if (req.compare(0, 4, "GET ") != 0) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    respond(fd, 400, "Bad Request", "text/plain", "GET only\n");
+    return;
+  }
+  const std::size_t path_end = req.find_first_of(" \r\n", 4);
+  std::string target =
+      path_end == std::string::npos ? req.substr(4) : req.substr(4, path_end - 4);
+  std::string query;
+  if (const std::size_t q = target.find('?'); q != std::string::npos) {
+    query = target.substr(q + 1);
+    target.resize(q);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (target == "/metrics") {
+    respond(fd, 200, "OK", "text/plain; version=0.0.4",
+            options_.registry->snapshot().to_prometheus());
+    return;
+  }
+  if (target == "/vars") {
+    respond(fd, 200, "OK", "application/json",
+            options_.registry->snapshot().to_json() + "\n");
+    return;
+  }
+  if (target == "/healthz") {
+    if (options_.health == nullptr) {
+      respond(fd, 200, "OK", "application/json",
+              "{\"status\":\"ok\",\"monitor\":false}\n");
+      return;
+    }
+    const HealthMonitor::Rollup roll = options_.health->check_now();
+    if (roll.any_stalled()) {
+      respond(fd, 503, "Service Unavailable", "application/json",
+              roll.to_json() + "\n");
+    } else {
+      respond(fd, 200, "OK", "application/json", roll.to_json() + "\n");
+    }
+    return;
+  }
+  if (target == "/events") {
+    std::size_t n = options_.events_tail;
+    if (query.compare(0, 2, "n=") == 0) {
+      const unsigned long parsed = std::strtoul(query.c_str() + 2, nullptr, 10);
+      if (parsed > 0) n = parsed;
+    }
+    respond(fd, 200, "OK", "application/json",
+            options_.events->tail_json(n) + "\n");
+    return;
+  }
+  respond(fd, 404, "Not Found", "text/plain",
+          "/metrics /healthz /vars /events\n");
+}
+
+}  // namespace cpkcore::obs

@@ -1,0 +1,94 @@
+// HttpExporter — the embedded scrape endpoint of the health plane.
+//
+// A minimal HTTP/1.0 listener (raw POSIX sockets, one accept thread, no
+// keep-alive, Connection: close) — the codebase's first network surface —
+// that serves the flight recorder and health plane to curl / Prometheus:
+//
+//   GET /metrics        Prometheus text exposition of the registry
+//   GET /healthz        HealthMonitor rollup JSON; 200 when nothing is
+//                       stalled, 503 otherwise (degraded stays 200 —
+//                       load-balancer semantics, not alerting semantics)
+//   GET /vars           MetricsSnapshot JSON (one flat object)
+//   GET /events[?n=K]   EventLog tail as a JSON array (default 100)
+//
+// Binds 127.0.0.1 by default (an operator opts into wider exposure);
+// port 0 asks the kernel for an ephemeral port — port() reports it, which
+// is what the tests use. Requests are served inline on the accept thread:
+// scrapes are rare and cheap, and one thread means no connection pool to
+// size or leak. The exporter only *reads* the registry/journal/monitor,
+// so it can start before or after the components it exports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace cpkcore::obs {
+
+class EventLog;
+class HealthMonitor;
+class MetricsRegistry;
+
+struct HttpExporterOptions {
+  /// TCP port to listen on; 0 = kernel-assigned ephemeral (see port()).
+  std::uint16_t port = 0;
+
+  /// Listen address. Loopback by default.
+  std::string bind_address = "127.0.0.1";
+
+  /// Registry behind /metrics and /vars (nullptr = process-wide).
+  MetricsRegistry* registry = nullptr;
+
+  /// Journal behind /events (nullptr = process-wide).
+  EventLog* events = nullptr;
+
+  /// Monitor behind /healthz (nullptr = /healthz reports 200 "ok" with
+  /// "monitor":false — serving without a watchdog is not an error).
+  HealthMonitor* health = nullptr;
+
+  /// Default /events tail length when ?n= is absent.
+  std::size_t events_tail = 100;
+};
+
+class HttpExporter {
+ public:
+  /// Binds, listens, and starts the accept thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  explicit HttpExporter(HttpExporterOptions options);
+
+  /// stop()s if still running.
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// The bound port (the kernel's pick under port = 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Joins the accept thread and closes the listen socket. Idempotent.
+  void stop();
+
+  struct Stats {
+    std::uint64_t requests = 0;     ///< well-formed GETs routed
+    std::uint64_t bad_requests = 0; ///< unparseable or non-GET
+  };
+  [[nodiscard]] Stats stats() const {
+    return {requests_.load(std::memory_order_relaxed),
+            bad_requests_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  void run();
+  void serve(int fd);
+
+  HttpExporterOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace cpkcore::obs

@@ -36,6 +36,11 @@ struct SamplerOptions {
   /// Output file (appended; one JSON object per line). Empty = stdout.
   std::string path;
 
+  /// No output at all: snapshots are taken on schedule and handed to
+  /// on_sample only. This is how ShardGroup runs its internal feedback
+  /// loop — the sampler as a periodic-snapshot driver, not a recorder.
+  bool quiet = false;
+
   /// Sampling period. The sampler wakes every poll tick (min(interval,
   /// 100ms)) to honor request_sample() and stop() promptly.
   std::uint64_t interval_ms = 1000;

@@ -1,15 +1,30 @@
 #include "service/kcore_service.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/event_log.hpp"
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace cpkcore::service {
+
+namespace {
+
+/// Event-journal component label: "<health_prefix><what>", so per-partition
+/// services get their own rate-limit budgets and self-identifying events.
+std::string event_component(const ServiceConfig& config, const char* what) {
+  std::string comp = config.health_prefix;
+  comp += what;
+  return comp;
+}
+
+}  // namespace
 
 KCoreService::KCoreService(ServiceConfig config)
     : config_(std::move(config)),
@@ -47,12 +62,35 @@ KCoreService::KCoreService(ServiceConfig config)
     wal_options.durability = config_.wal_durability;
     wal_options.format = config_.wal_format;
     wal_options.engine = config_.wal_engine;
+    wal_options.health = config_.health;
+    wal_options.health_prefix = config_.health_prefix;
+    wal_options.health_partition = config_.health_partition;
     const WalOpenInfo info = wal_.open(
         config_.wal_path, ds_->num_vertices(),
         [&](std::uint64_t, const UpdateBatch& batch) { ds_->apply(batch); },
         wal_options);
     stats_.replayed_batches = info.replayed;
     wal_engine_kind_ = info.engine;
+    if (info.migrated) {
+      obs::EventLog::instance().emit(
+          obs::Severity::kInfo, event_component(config_, "wal"),
+          "wal_migrated",
+          {{"format", "v4"},
+           {"replayed", std::to_string(info.replayed)},
+           {"last_lsn", std::to_string(info.last_lsn)}});
+    }
+    // The engine the config asked for vs the one that actually runs: a
+    // kIoUring/kAuto intent landing on the flusher means the io_uring
+    // probe failed (kernel too old, seccomp, RLIMIT) — operationally
+    // interesting, so it goes in the journal, not just a stats label.
+    if (const WalEngineKind intent = resolve_wal_engine(config_.wal_engine);
+        intent != info.engine) {
+      obs::EventLog::instance().emit(
+          obs::Severity::kWarn, event_component(config_, "wal"),
+          "wal_engine_degraded",
+          {{"requested", wal_engine_name(intent)},
+           {"resolved", wal_engine_name(info.engine)}});
+    }
     // Resume LSN numbering where the committed log ends; the replayed
     // prefix is both committed and applied (and shipped: it predates any
     // listener).
@@ -70,6 +108,35 @@ KCoreService::KCoreService(ServiceConfig config)
   num_shards_ = std::max<std::size_t>(1, config_.num_shards);
   shards_ = std::make_unique<Shard[]>(num_shards_);
   stats_.batch_budget = sizer_.budget();
+  // Health registration precedes the apply thread: the thread stamps
+  // apply_heartbeat_ unconditionally once it sees it non-null, so the
+  // pointer must be final before the thread can read it.
+  if (config_.health != nullptr) {
+    std::string name = config_.health_prefix;
+    name += "apply";
+    apply_heartbeat_ = config_.health->register_thread(
+        std::move(name), config_.health_partition);
+    if (!config_.wal_path.empty() &&
+        (config_.divergence_degraded > 0 || config_.divergence_stalled > 0)) {
+      std::string probe_name = config_.health_prefix;
+      probe_name += "wal_divergence";
+      // Samples on the watchdog thread: both cursors are atomics, and the
+      // probe is tombstoned in stop() before wal_.close() tears the
+      // engine down.
+      divergence_probe_ = config_.health->register_probe(
+          std::move(probe_name), config_.health_partition,
+          [this]() -> double {
+            const std::uint64_t applied =
+                applied_lsn_.load(std::memory_order_acquire);
+            const std::uint64_t durable = wal_.durable_lsn();
+            return applied > durable
+                       ? static_cast<double>(applied - durable)
+                       : 0.0;
+          },
+          static_cast<double>(config_.divergence_degraded),
+          static_cast<double>(config_.divergence_stalled));
+    }
+  }
   apply_thread_ = std::thread([this] { apply_loop(); });
   // Registered after the service is fully constructed; stats() is
   // thread-safe, so the collect callback can fire from any snapshot.
@@ -134,9 +201,22 @@ Ticket KCoreService::submit(Update op) {
         bound > 0 && shard.pending.size() >= bound) {
       if (config_.admission == AdmissionPolicy::kReject) {
         rejected_ops_.fetch_add(1, std::memory_order_relaxed);
+        // Journaled (rate-limited per component by the EventLog — a
+        // rejection storm costs at most the burst per window, and the
+        // next admitted event carries the suppressed count).
+        obs::EventLog::instance().emit(
+            obs::Severity::kWarn, event_component(config_, "service"),
+            "backpressure_reject",
+            {{"shard", std::to_string(s)},
+             {"depth", std::to_string(shard.pending.size())}});
         throw QueueFullError("KCoreService: ingest shard full");
       }
       blocked_submits_.fetch_add(1, std::memory_order_relaxed);
+      obs::EventLog::instance().emit(
+          obs::Severity::kInfo, event_component(config_, "service"),
+          "backpressure_block",
+          {{"shard", std::to_string(s)},
+           {"depth", std::to_string(shard.pending.size())}});
       shard.space_cv.wait(lock, [&] {
         return shard.pending.size() < bound ||
                stopped_.load(std::memory_order_seq_cst);
@@ -248,12 +328,16 @@ void KCoreService::apply_loop() {
     {
       std::unique_lock lock(ingest_mu_);
       apply_sleeping_.store(true, std::memory_order_seq_cst);
+      // Parked is healthy: an idle mark stops the heartbeat age from
+      // counting while the queue is empty (or a pause holds the thread).
+      if (apply_heartbeat_ != nullptr) apply_heartbeat_->idle();
       ingest_cv_.wait(lock, [&] {
         return stop_requested_ ||
                (!paused_.load(std::memory_order_relaxed) &&
                 pending_ops_.load(std::memory_order_seq_cst) > 0);
       });
       apply_sleeping_.store(false, std::memory_order_seq_cst);
+      if (apply_heartbeat_ != nullptr) apply_heartbeat_->busy();
       if (crash_requested_) break;
       if (stop_requested_ &&
           pending_ops_.load(std::memory_order_seq_cst) == 0) {
@@ -271,6 +355,9 @@ void KCoreService::apply_loop() {
         std::lock_guard lock(stats_mu_);
         stats_.apply_error = e.what();
       }
+      obs::EventLog::instance().emit(
+          obs::Severity::kError, event_component(config_, "service"),
+          "apply_error", {{"error", e.what()}});
       std::fprintf(stderr, "KCoreService: apply thread failed: %s\n",
                    e.what());
       {
@@ -294,6 +381,18 @@ std::size_t KCoreService::run_cycle() {
   // Checked under apply_mu_, so once pause_applies() (which passes through
   // this mutex) returns, no further cycle can drain ops.
   if (paused_.load(std::memory_order_acquire)) return 0;
+  if (apply_heartbeat_ != nullptr) apply_heartbeat_->beat();
+  // Fault injection (debug_inject_apply_stall): sleep with the heartbeat
+  // marked busy — the beat above ages through the sleep, which is what a
+  // genuinely wedged apply thread looks like to the watchdog.
+  if (const std::uint64_t stall_ms =
+          inject_stall_ms_.exchange(0, std::memory_order_relaxed);
+      stall_ms > 0) {
+    obs::EventLog::instance().emit(
+        obs::Severity::kWarn, event_component(config_, "service"),
+        "apply_stall_injected", {{"ms", std::to_string(stall_ms)}});
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
 
   // Drain: take up to the adaptive budget, preserving per-shard FIFO (and
   // therefore per-edge order, since an edge's ops always share a shard).
@@ -569,6 +668,9 @@ void KCoreService::fail_from_durability(const std::string& what) {
       stats_.apply_error = "WAL durability engine failed: " + what;
     }
   }
+  obs::EventLog::instance().emit(
+      obs::Severity::kError, event_component(config_, "wal"),
+      "durability_failed", {{"error", what}});
   std::fprintf(stderr, "KCoreService: WAL durability engine failed: %s\n",
                what.c_str());
   {
@@ -606,6 +708,11 @@ void KCoreService::checkpoint() {
     edges = collect_snapshot_edges(*ds_);
     cut_lsn = next_lsn_;
   }
+  obs::EventLog::instance().emit(
+      obs::Severity::kInfo, event_component(config_, "service"),
+      "checkpoint_begin",
+      {{"cut_lsn", std::to_string(cut_lsn)},
+       {"edges", std::to_string(edges.size())}});
   // Phase 2 — stream (no lock): write the snapshot while updates keep
   // committing past the cut. A crash mid-save cannot destroy the previous
   // snapshot: until the rename below, the old snapshot + full WAL still
@@ -621,6 +728,14 @@ void KCoreService::checkpoint() {
     std::filesystem::rename(tmp, config_.snapshot_path);
     if (wal_.is_open()) wal_.compact(cut_lsn);
   }
+  if (!config_.wal_path.empty()) {
+    obs::EventLog::instance().emit(
+        obs::Severity::kInfo, event_component(config_, "wal"),
+        "wal_compacted", {{"cut_lsn", std::to_string(cut_lsn)}});
+  }
+  obs::EventLog::instance().emit(
+      obs::Severity::kInfo, event_component(config_, "service"),
+      "checkpoint_end", {{"cut_lsn", std::to_string(cut_lsn)}});
 }
 
 void KCoreService::shutdown() { stop(/*drain_first=*/true); }
@@ -680,6 +795,20 @@ void KCoreService::stop(bool drain_first) {
     std::lock_guard lock(shards_[s].mu);
     shards_[s].ack_cv.notify_all();
     shards_[s].space_cv.notify_all();
+  }
+  // Tombstone the health components before the WAL closes: the divergence
+  // probe samples wal_.durable_lsn(), and unregister() excludes any
+  // concurrent watchdog check before returning. (The apply thread is
+  // already joined, so its heartbeat handle is quiescent.)
+  if (config_.health != nullptr) {
+    if (divergence_probe_ != nullptr) {
+      config_.health->unregister(divergence_probe_);
+      divergence_probe_ = nullptr;
+    }
+    if (apply_heartbeat_ != nullptr) {
+      config_.health->unregister(apply_heartbeat_);
+      apply_heartbeat_ = nullptr;
+    }
   }
   // Under apply_mu_: a concurrent checkpoint() holds it while compacting
   // the WAL, and WriteAheadLog is not thread-safe. (close() also drains

@@ -155,6 +155,22 @@ struct ServiceConfig {
   /// metrics off (the default keeps single-purpose tests quiet).
   obs::MetricsRegistry* metrics = nullptr;
   std::string metrics_prefix = "service.";
+
+  /// Health plane (optional): with a monitor set, the service registers
+  /// the apply thread's heartbeat as "<health_prefix>apply" (idle while
+  /// parked on the ingest cv, beaten per drain cycle), passes the monitor
+  /// through to the WAL for its engine-thread heartbeat, and — when the
+  /// divergence thresholds below are nonzero — registers a value probe
+  /// "<health_prefix>wal_divergence" sampling applied_lsn - durable_lsn
+  /// (how far acked-side progress has run ahead of the disk). Null =
+  /// health plane off.
+  obs::HealthMonitor* health = nullptr;
+  std::string health_prefix;  ///< usually "" or "p<p>."
+  int health_partition = -1;  ///< partition id for rollups (-1 = none)
+  /// Staged-vs-durable LSN divergence (records) past which the divergence
+  /// probe classifies degraded / stalled; 0 disables that classification.
+  std::uint64_t divergence_degraded = 0;
+  std::uint64_t divergence_stalled = 0;
 };
 
 /// Handle for one submitted op: shard + 1-based per-shard sequence number.
@@ -314,6 +330,15 @@ class KCoreService {
   /// Pending (never-logged) ops are dropped; their wait() returns false.
   void simulate_crash();
 
+  /// Fault-injection hook for the stall watchdog (tests, CLI `stall`):
+  /// the next drain cycle sleeps `ms` on the apply thread *without*
+  /// marking its heartbeat idle — exactly what a wedged apply (livelock,
+  /// pathological batch, blocked syscall) looks like to the
+  /// HealthMonitor. One-shot: the hook disarms as the cycle consumes it.
+  void debug_inject_apply_stall(std::uint64_t ms) {
+    inject_stall_ms_.store(ms, std::memory_order_relaxed);
+  }
+
   /// Maintenance/test hook: holds the apply thread between drain cycles
   /// (submits keep queueing, reads keep serving). When pause_applies()
   /// returns, no further ops will be drained until resume_applies();
@@ -468,6 +493,14 @@ class KCoreService {
   std::atomic<std::uint64_t> replica_lag_signal_{0};
   std::atomic<std::uint64_t> read_p99_signal_{0};
   WalEngineKind wal_engine_kind_ = WalEngineKind::kSync;  ///< resolved
+
+  /// Health plane (config_.health != nullptr): the apply thread's
+  /// heartbeat and the staged-vs-durable divergence probe. Tombstoned in
+  /// stop(); the monitor keeps the pointers valid after that.
+  obs::HealthComponent* apply_heartbeat_ = nullptr;
+  obs::HealthComponent* divergence_probe_ = nullptr;
+  /// debug_inject_apply_stall: ms the next cycle busy-sleeps (one-shot).
+  std::atomic<std::uint64_t> inject_stall_ms_{0};
 
   mutable std::mutex stats_mu_;
   ServiceStats stats_;  // guarded by stats_mu_ (atomic counters kept aside)

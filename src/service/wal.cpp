@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/health.hpp"
 #include "util/crc32.hpp"
 
 namespace cpkcore::service {
@@ -374,9 +375,18 @@ WalOpenInfo WriteAheadLog::open(const std::string& path,
 
 void WriteAheadLog::start_engine() {
   if (engine_kind_ == WalEngineKind::kSync) return;
+  if (options_.health != nullptr) {
+    // One heartbeat per engine incarnation, named after what actually
+    // runs; the old handle was tombstoned in stop_engine.
+    std::string name = options_.health_prefix;
+    name += engine_kind_ == WalEngineKind::kIoUring ? "wal_reaper"
+                                                    : "wal_flusher";
+    engine_heartbeat_ = options_.health->register_thread(
+        std::move(name), options_.health_partition);
+  }
   std::shared_ptr<WalCommitEngine> engine = make_wal_commit_engine(
       engine_kind_, path_, options_.durability, size_,
-      staged_lsn_.load(std::memory_order_relaxed));
+      staged_lsn_.load(std::memory_order_relaxed), engine_heartbeat_);
   engine->set_durable_callback(
       [this](std::uint64_t lsn, const std::string* error) {
         if (error == nullptr) {
@@ -420,6 +430,12 @@ void WriteAheadLog::stop_engine(bool swallow_errors) {
     while (cur < final_lsn && !durable_lsn_.compare_exchange_weak(
                                   cur, final_lsn, std::memory_order_release,
                                   std::memory_order_relaxed)) {
+    }
+    // The engine thread is joined by stop() on every path (failure
+    // included), so the heartbeat can be tombstoned here.
+    if (engine_heartbeat_ != nullptr && options_.health != nullptr) {
+      options_.health->unregister(engine_heartbeat_);
+      engine_heartbeat_ = nullptr;
     }
   };
   try {

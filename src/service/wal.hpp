@@ -79,6 +79,10 @@
 #include "service/wal_codec.hpp"
 #include "util/types.hpp"
 
+namespace cpkcore::obs {
+class HealthMonitor;
+}  // namespace cpkcore::obs
+
 namespace cpkcore::service {
 
 struct WalOptions {
@@ -92,6 +96,15 @@ struct WalOptions {
   /// kIoUring run an async engine behind commit_async() (see wal_async.hpp
   /// for resolution and the CPKC_WAL_ENGINE override, kAuto only).
   WalEngine engine = WalEngine::kSync;
+
+  /// Health plane (optional): with a monitor set, the log registers a
+  /// heartbeat component for the engine's completion thread (named
+  /// "<health_prefix>wal_flusher" / "...wal_reaper" after the resolved
+  /// engine) each time an engine starts, and tombstones it when the engine
+  /// stops — so a flusher wedged behind a hung disk classifies stalled.
+  obs::HealthMonitor* health = nullptr;
+  std::string health_prefix;  ///< usually "" or "p<p>."
+  int health_partition = -1;  ///< partition id for rollups (-1 = none)
 };
 
 /// Replay/scan callback: (lsn, batch), in strictly increasing LSN order.
@@ -240,6 +253,10 @@ class WriteAheadLog {
   std::uint64_t prealloc_limit_ = 0;  ///< extent frontier already reserved
 
   WalEngineKind engine_kind_ = WalEngineKind::kSync;  ///< resolved at open
+  /// Engine completion thread's health handle (tombstoned in stop_engine;
+  /// a fresh one is registered per engine start so the name tracks the
+  /// engine actually running).
+  obs::HealthComponent* engine_heartbeat_ = nullptr;
   /// Active engine (null in sync mode / during exclusive rewrites). The
   /// pointer swap is under engine_mu_; cross-thread readers snapshot the
   /// shared_ptr and never hold engine_mu_ across an engine call that can

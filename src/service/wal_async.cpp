@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 
 #if defined(__linux__) && __has_include(<linux/io_uring.h>)
@@ -85,10 +86,12 @@ void sync_fd(int fd, WalDurability durability, const std::string& path) {
 class FlusherEngine final : public WalCommitEngine {
  public:
   FlusherEngine(const std::string& path, WalDurability durability,
-                std::uint64_t start_offset, std::uint64_t start_lsn)
+                std::uint64_t start_offset, std::uint64_t start_lsn,
+                obs::HealthComponent* heartbeat)
       : path_(path),
         durability_(durability),
         fd_(open_engine_fd(path)),
+        heartbeat_(heartbeat),
         next_offset_(start_offset),
         durable_(start_lsn) {
     thread_ = std::thread([this] { run(); });
@@ -183,10 +186,14 @@ class FlusherEngine final : public WalCommitEngine {
       std::deque<Flight> batch;
       {
         std::unique_lock lock(mu_);
+        // Parked on an empty queue is healthy, however long it lasts;
+        // stamped busy again the moment a swap starts.
+        if (heartbeat_ != nullptr && queue_.empty()) heartbeat_->idle();
         work_cv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
         if (queue_.empty()) break;  // stopping_, fully drained
         batch.swap(queue_);
       }
+      if (heartbeat_ != nullptr) heartbeat_->busy();
       std::uint64_t bytes_written = 0;
       CPKC_TRACE_SPAN(flush_span, "wal_flush", batch.back().upto_lsn,
                       batch.size());
@@ -201,6 +208,7 @@ class FlusherEngine final : public WalCommitEngine {
         return;
       }
       const std::uint64_t upto = batch.back().upto_lsn;
+      if (heartbeat_ != nullptr) heartbeat_->beat();
       DurableFn cb;
       {
         std::lock_guard lock(mu_);
@@ -241,6 +249,7 @@ class FlusherEngine final : public WalCommitEngine {
   const std::string path_;
   const WalDurability durability_;
   int fd_ = -1;
+  obs::HealthComponent* const heartbeat_;  ///< owned by the caller
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
@@ -285,10 +294,12 @@ int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
 class IoUringEngine final : public WalCommitEngine {
  public:
   IoUringEngine(const std::string& path, WalDurability durability,
-                std::uint64_t start_offset, std::uint64_t start_lsn)
+                std::uint64_t start_offset, std::uint64_t start_lsn,
+                obs::HealthComponent* heartbeat)
       : path_(path),
         durability_(durability),
         fd_(open_engine_fd(path)),
+        heartbeat_(heartbeat),
         next_offset_(start_offset),
         durable_(start_lsn) {
     io_uring_params params;
@@ -503,6 +514,16 @@ class IoUringEngine final : public WalCommitEngine {
       {
         std::lock_guard lock(mu_);
         if (stopping_ && flights_.empty()) break;
+        // Idle ONLY with nothing in flight: blocked in GETEVENTS while
+        // commits are pending is a hung disk — the stall the watchdog
+        // must see, not a parked thread it should excuse.
+        if (heartbeat_ != nullptr) {
+          if (flights_.empty()) {
+            heartbeat_->idle();
+          } else {
+            heartbeat_->busy();
+          }
+        }
       }
       const int rc =
           sys_io_uring_enter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
@@ -643,6 +664,7 @@ class IoUringEngine final : public WalCommitEngine {
   const std::string path_;
   const WalDurability durability_;
   int fd_ = -1;
+  obs::HealthComponent* const heartbeat_;  ///< owned by the caller
   int ring_fd_ = -1;
 
   void* sq_ring_ = nullptr;
@@ -746,18 +768,19 @@ WalEngineKind resolve_wal_engine(WalEngine requested) {
 
 std::unique_ptr<WalCommitEngine> make_wal_commit_engine(
     WalEngineKind kind, const std::string& path, WalDurability durability,
-    std::uint64_t start_offset, std::uint64_t start_lsn) {
+    std::uint64_t start_offset, std::uint64_t start_lsn,
+    obs::HealthComponent* heartbeat) {
   if (kind == WalEngineKind::kIoUring) {
 #if CPKC_HAS_IO_URING
     return std::make_unique<IoUringEngine>(path, durability, start_offset,
-                                           start_lsn);
+                                           start_lsn, heartbeat);
 #else
     kind = WalEngineKind::kFlusher;
 #endif
   }
   if (kind == WalEngineKind::kFlusher) {
     return std::make_unique<FlusherEngine>(path, durability, start_offset,
-                                           start_lsn);
+                                           start_lsn, heartbeat);
   }
   throw std::logic_error(
       "make_wal_commit_engine: kSync means no engine; do not build one");

@@ -59,6 +59,10 @@
 #include <string>
 #include <vector>
 
+namespace cpkcore::obs {
+class HealthComponent;
+}  // namespace cpkcore::obs
+
 namespace cpkcore::service {
 
 /// What a group commit pushes the cycle's records to (see wal.hpp header).
@@ -144,8 +148,16 @@ class WalCommitEngine {
 /// kIoUring (kSync means "no engine"; callers just don't build one). Throws
 /// std::runtime_error when the file can't be opened or the ring can't be
 /// set up (callers may then fall back to kFlusher or kSync).
+///
+/// `heartbeat` (optional) is the engine thread's health-plane handle: the
+/// flusher marks idle around its queue wait and beats per swap; the
+/// io_uring reaper marks idle only when *nothing is in flight* before
+/// blocking in GETEVENTS — blocked with work in flight is exactly the
+/// hung-disk stall the watchdog exists to flag. The caller owns
+/// registration/unregistration; the engine only stamps it.
 std::unique_ptr<WalCommitEngine> make_wal_commit_engine(
     WalEngineKind kind, const std::string& path, WalDurability durability,
-    std::uint64_t start_offset, std::uint64_t start_lsn);
+    std::uint64_t start_offset, std::uint64_t start_lsn,
+    obs::HealthComponent* heartbeat = nullptr);
 
 }  // namespace cpkcore::service

@@ -256,7 +256,7 @@ TEST(Cluster, RouterReadYourWritesUnderConcurrentLoad) {
   r0.start(shipper);
   r1.start(shipper);
   Router router(Partitioner(1),
-                {Router::PartitionBackends{&primary, {&r0, &r1}}});
+                {Router::PartitionBackends{&primary, {&r0, &r1}, {}}});
 
   constexpr std::size_t kPairs = 4;
   constexpr std::size_t kOps = 1500;
@@ -333,7 +333,7 @@ TEST(Cluster, RouterFallsBackToPrimaryWhenNoReplicaQualifies) {
   LogShipper shipper(primary);
   Replica rep(cfg);  // never started: applied LSN pinned at 0
   Router router(Partitioner(1),
-                {Router::PartitionBackends{&primary, {&rep}}});
+                {Router::PartitionBackends{&primary, {&rep}, {}}});
 
   Router::Session session(1);
   const std::uint64_t lsn = router.write_insert(session, 1, 2);

@@ -1,0 +1,425 @@
+// Health-plane tests: the structured event journal (ring wraparound,
+// per-key rate limiting with suppressed-count carry, subscribers), the
+// stall watchdog (idle-vs-busy semantics, the 3-heartbeat-interval
+// detection bound — deterministic via manual check_now() and end-to-end
+// via an injected apply-thread stall on a live KCoreService), the
+// Router's stalled-replica read gate, and the embedded HTTP exporter
+// (/metrics Prometheus scrape, /healthz flip to 503 under a stall,
+// /events journal tail).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/log_ship.hpp"
+#include "cluster/partition.hpp"
+#include "cluster/replica.hpp"
+#include "cluster/router.hpp"
+#include "obs/event_log.hpp"
+#include "obs/health.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
+#include "service/kcore_service.hpp"
+
+namespace cpkcore {
+namespace {
+
+using cluster::LogShipper;
+using cluster::Partitioner;
+using cluster::Replica;
+using cluster::Router;
+using obs::EventLog;
+using obs::EventLogOptions;
+using obs::HealthMonitor;
+using obs::HealthMonitorOptions;
+using obs::HealthState;
+using obs::HttpExporter;
+using obs::HttpExporterOptions;
+using obs::MetricsRegistry;
+using obs::Severity;
+using service::KCoreService;
+using service::ServiceConfig;
+
+void sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ---------------------------------------------------------------------------
+// Event journal
+// ---------------------------------------------------------------------------
+
+TEST(EventLogTest, RingWraparoundKeepsNewestInOrder) {
+  EventLogOptions opts;
+  opts.capacity = 4;
+  opts.rate_limit_burst = 1000;  // rate limiting off for this test
+  EventLog log(opts);
+  for (int i = 0; i < 10; ++i) {
+    std::string name = "e";
+    name += std::to_string(i);
+    log.emit(Severity::kInfo, "test", std::move(name));
+  }
+  const auto events = log.tail(100);
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, newest last, consecutive seq.
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+  const EventLog::Stats st = log.stats();
+  EXPECT_EQ(st.emitted, 10u);
+  EXPECT_EQ(st.overwritten, 6u);
+  EXPECT_EQ(st.suppressed, 0u);
+}
+
+TEST(EventLogTest, RateLimitSuppressesAndCarriesCount) {
+  EventLogOptions opts;
+  opts.capacity = 64;
+  opts.rate_limit_window_ms = 50;
+  opts.rate_limit_burst = 2;
+  EventLog log(opts);
+  // 5 emits of one (component, name) key inside one window: 2 admitted.
+  for (int i = 0; i < 5; ++i) {
+    log.emit(Severity::kWarn, "svc", "hot", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(log.tail(100).size(), 2u);
+  EXPECT_EQ(log.stats().suppressed, 3u);
+  // A different key has its own budget.
+  log.emit(Severity::kInfo, "svc", "other");
+  EXPECT_EQ(log.tail(100).size(), 3u);
+  // Next window: the first admitted event for the throttled key carries
+  // the suppressed count, so the journal never lies by omission.
+  sleep_ms(75);
+  log.emit(Severity::kWarn, "svc", "hot");
+  const auto events = log.tail(1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "hot");
+  bool found = false;
+  for (const auto& [k, v] : events[0].fields) {
+    if (k == "suppressed") {
+      EXPECT_EQ(v, "3");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EventLogTest, SubscribersSeeAdmittedEvents) {
+  EventLog log(EventLogOptions{});
+  std::vector<std::string> seen;
+  const std::uint64_t id =
+      log.subscribe([&](const obs::Event& e) { seen.push_back(e.name); });
+  log.emit(Severity::kInfo, "c", "first");
+  log.unsubscribe(id);
+  log.emit(Severity::kInfo, "c", "second");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "first");
+}
+
+TEST(EventLogTest, TailJsonIsWellFormedArray) {
+  EventLog log(EventLogOptions{});
+  log.emit(Severity::kError, "c", "boom", {{"detail", "a \"quoted\" str"}});
+  const std::string json = log.tail_json(10);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"event\":\"boom\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Stall watchdog
+// ---------------------------------------------------------------------------
+
+TEST(HealthMonitorTest, DeterministicStallAndRecovery) {
+  EventLog events(EventLogOptions{});
+  HealthMonitorOptions opts;
+  opts.heartbeat_interval_ms = 40;
+  opts.start_thread = false;  // drive check_now() by hand
+  opts.events = &events;
+  HealthMonitor monitor(opts);
+  auto* c = monitor.register_thread("worker", /*partition=*/0);
+
+  c->beat();
+  auto rollup = monitor.check_now();
+  EXPECT_EQ(rollup.overall, HealthState::kHealthy);
+
+  // A parked (idle) thread stays healthy no matter the beat age.
+  c->idle();
+  sleep_ms(130);
+  rollup = monitor.check_now();
+  EXPECT_EQ(rollup.overall, HealthState::kHealthy);
+  EXPECT_FALSE(rollup.any_stalled());
+
+  // A busy beat aging past stalled_after_intervals (2 x 40ms) stalls —
+  // within the 3-interval detection bound by construction: we check at
+  // 2.5 intervals past the beat.
+  c->busy();
+  sleep_ms(100);
+  rollup = monitor.check_now();
+  EXPECT_EQ(rollup.overall, HealthState::kStalled);
+  EXPECT_TRUE(rollup.any_stalled());
+  EXPECT_EQ(c->state(), HealthState::kStalled);
+  ASSERT_EQ(rollup.partitions.size(), 1u);
+  EXPECT_EQ(rollup.partitions[0], HealthState::kStalled);
+
+  // Recovery: a fresh beat re-classifies healthy.
+  c->beat();
+  rollup = monitor.check_now();
+  EXPECT_EQ(rollup.overall, HealthState::kHealthy);
+
+  // Transitions (-> stalled, -> healthy) landed in the journal.
+  const std::string json = events.tail_json(100);
+  EXPECT_NE(json.find("health_transition"), std::string::npos);
+  EXPECT_NE(json.find("\"to\":\"stalled\""), std::string::npos);
+  EXPECT_NE(json.find("\"to\":\"healthy\""), std::string::npos);
+}
+
+TEST(HealthMonitorTest, ProbeThresholdsClassify) {
+  HealthMonitorOptions opts;
+  opts.start_thread = false;
+  HealthMonitor monitor(opts);
+  double value = 0.0;
+  auto* probe = monitor.register_probe(
+      "lag", /*partition=*/-1, [&] { return value; },
+      /*degraded_at=*/10.0, /*stalled_at=*/100.0);
+  EXPECT_EQ(monitor.check_now().overall, HealthState::kHealthy);
+  value = 50.0;
+  EXPECT_EQ(monitor.check_now().overall, HealthState::kDegraded);
+  value = 200.0;
+  EXPECT_EQ(monitor.check_now().overall, HealthState::kStalled);
+  value = 0.0;
+  EXPECT_EQ(monitor.check_now().overall, HealthState::kHealthy);
+  monitor.unregister(probe);
+  // Tombstoned: excluded from rollups, pointer still readable.
+  value = 200.0;
+  EXPECT_EQ(monitor.check_now().overall, HealthState::kHealthy);
+  EXPECT_FALSE(probe->active());
+}
+
+// The end-to-end bound the ISSUE pins: an injected apply-thread stall on a
+// live service is flagged by the watchdog thread within 3 heartbeat
+// intervals of the last beat.
+TEST(HealthMonitorTest, InjectedApplyStallDetectedWithinThreeIntervals) {
+  EventLog events(EventLogOptions{});
+  HealthMonitorOptions opts;
+  opts.heartbeat_interval_ms = 300;  // generous: absorbs scheduler jitter
+  opts.events = &events;
+  HealthMonitor monitor(opts);
+
+  ServiceConfig cfg;
+  cfg.num_vertices = 100;
+  cfg.health = &monitor;
+  KCoreService svc(cfg);
+  svc.submit_insert(1, 2);
+  svc.drain();
+  EXPECT_EQ(monitor.check_now().overall, HealthState::kHealthy);
+
+  // Inject a 4-interval busy sleep into the next cycle and start the
+  // clock at the submit that triggers it (the cycle beats, then sleeps).
+  svc.debug_inject_apply_stall(1200);
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.submit_insert(2, 3);  // open loop: the ack rides out the stall
+  bool stalled = false;
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::milliseconds(900)) {  // the 3-interval bound
+    if (monitor.rollup().overall == HealthState::kStalled) {
+      stalled = true;
+      break;
+    }
+    sleep_ms(10);
+  }
+  EXPECT_TRUE(stalled) << "stall not detected within 3 heartbeat intervals";
+
+  // The stall clears once the injected sleep ends and the cycle acks.
+  svc.drain();
+  bool recovered = false;
+  for (int i = 0; i < 200 && !recovered; ++i) {
+    recovered = monitor.check_now().overall == HealthState::kHealthy;
+    if (!recovered) sleep_ms(10);
+  }
+  EXPECT_TRUE(recovered);
+  // The service emits to the process-wide journal; the monitor's
+  // transition events went to the private one wired via options.
+  EXPECT_NE(EventLog::instance().tail_json(200).find("apply_stall_injected"),
+            std::string::npos);
+  EXPECT_NE(events.tail_json(200).find("\"to\":\"stalled\""),
+            std::string::npos);
+  svc.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Router x health: stalled replicas stop serving reads
+// ---------------------------------------------------------------------------
+
+TEST(RouterHealthTest, StalledReplicaIsSkipped) {
+  HealthMonitorOptions opts;
+  opts.heartbeat_interval_ms = 40;
+  opts.start_thread = false;
+  HealthMonitor monitor(opts);
+
+  ServiceConfig cfg;
+  cfg.num_vertices = 64;
+  KCoreService primary(cfg);
+  LogShipper shipper(primary);
+  ServiceConfig like = cfg;
+  Replica r0(like);
+  Replica r1(like);
+  r0.register_health(monitor, "replica0", 0);
+  r1.register_health(monitor, "replica1", 0);
+  r0.start(shipper);
+  r1.start(shipper);
+  for (vertex_t v = 0; v + 1 < 10; ++v) {
+    primary.submit_insert(v, v + 1);
+  }
+  primary.drain();
+  r0.wait_for_lsn(primary.applied_lsn());
+  r1.wait_for_lsn(primary.applied_lsn());
+
+  Router::PartitionBackends part;
+  part.primary = &primary;
+  part.replicas = {&r0, &r1};
+  part.replica_health = {r0.health_component(), r1.health_component()};
+  std::vector<Router::PartitionBackends> parts;
+  parts.push_back(std::move(part));
+  Router router(Partitioner(1), std::move(parts));
+
+  // Both healthy: reads spread over both replicas.
+  for (int i = 0; i < 8; ++i) (void)router.read_coreness(1);
+  EXPECT_EQ(router.stats().reads_rerouted_unhealthy, 0u);
+
+  // Force replica 0 stalled: stamp its heartbeat busy, age it past the
+  // threshold, re-evaluate. The stamp simulates the apply thread wedging
+  // mid-record — but that thread may not have parked yet after
+  // wait_for_lsn, and its final idle() on the way into the cv wait would
+  // overwrite the stamp. Retry until the stamp survives the aging window;
+  // once the thread is parked it writes nothing more, so this converges.
+  bool stalled = false;
+  for (int attempt = 0; attempt < 50 && !stalled; ++attempt) {
+    const_cast<obs::HealthComponent*>(r0.health_component())->busy();
+    sleep_ms(100);
+    stalled = monitor.check_now().overall == HealthState::kStalled;
+  }
+  ASSERT_TRUE(stalled) << "busy stamp never survived the aging window";
+
+  const auto before = router.stats();
+  for (int i = 0; i < 8; ++i) {
+    const auto result = router.read_coreness(1);
+    ASSERT_EQ(result.parts.size(), 1u);
+    EXPECT_NE(result.parts[0].backend, 0) << "stalled replica served a read";
+  }
+  const auto after = router.stats();
+  EXPECT_GT(after.reads_rerouted_unhealthy,
+            before.reads_rerouted_unhealthy);
+  // All 8 reads landed on replica 1 (or, pathologically, the primary —
+  // but never replica 0).
+  EXPECT_EQ(after.partitions[0].replica_reads[0],
+            before.partitions[0].replica_reads[0]);
+
+  r0.stop();
+  r1.stop();
+  shipper.detach();
+  primary.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// HTTP exporter
+// ---------------------------------------------------------------------------
+
+/// Minimal HTTP/1.0 GET: returns the full response (headers + body).
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = "GET ";
+  req += target;
+  req += " HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string out;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(HttpExporterTest, EndpointsServeMetricsHealthAndEvents) {
+  MetricsRegistry registry;
+  const std::uint64_t src = registry.add_source(
+      "demo.", [](obs::MetricsSink& sink) { sink.counter("ticks", 42.0); });
+  EventLog events(EventLogOptions{});
+  events.emit(Severity::kInfo, "test", "hello_event");
+  HealthMonitorOptions hopts;
+  hopts.heartbeat_interval_ms = 40;
+  hopts.start_thread = false;
+  HealthMonitor monitor(hopts);
+  auto* worker = monitor.register_thread("worker");
+  worker->beat();
+
+  HttpExporterOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.registry = &registry;
+  opts.events = &events;
+  opts.health = &monitor;
+  HttpExporter exporter(opts);
+  ASSERT_GT(exporter.port(), 0);
+
+  // /metrics: a Prometheus scrape with our counter in it.
+  std::string resp = http_get(exporter.port(), "/metrics");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(resp.find("text/plain"), std::string::npos);
+  EXPECT_NE(resp.find("demo_ticks_total 42"), std::string::npos);
+
+  // /vars: the JSON snapshot.
+  resp = http_get(exporter.port(), "/vars");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(resp.find("\"demo.ticks\":42"), std::string::npos);
+
+  // /healthz healthy: 200 + ok.
+  resp = http_get(exporter.port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(resp.find("\"status\":\"ok\""), std::string::npos);
+
+  // /events: the journal tail as a JSON array.
+  resp = http_get(exporter.port(), "/events?n=10");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(resp.find("hello_event"), std::string::npos);
+
+  // Stall the worker -> /healthz flips 503 and names the state.
+  worker->busy();
+  sleep_ms(100);
+  resp = http_get(exporter.port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 503"), std::string::npos);
+  EXPECT_NE(resp.find("\"status\":\"stalled\""), std::string::npos);
+
+  // Recovery flips it back.
+  worker->beat();
+  resp = http_get(exporter.port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+
+  // Unknown path: 404. Bad request: counted.
+  resp = http_get(exporter.port(), "/nope");
+  EXPECT_NE(resp.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_GE(exporter.stats().requests, 7u);
+  registry.remove_source(src);
+}
+
+}  // namespace
+}  // namespace cpkcore

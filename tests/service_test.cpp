@@ -314,7 +314,9 @@ TEST(Service, WalChecksumTruncatesCorruptTail) {
   // surviving prefix to v4, so this also covers migration of a log whose
   // tail rotted.
   TempPath wal("crc.wal");
-  const WalOptions text{WalDurability::kOsCache, WalFormat::kTextV3};
+  WalOptions text;
+  text.durability = WalDurability::kOsCache;
+  text.format = WalFormat::kTextV3;
   {
     WriteAheadLog log;
     log.open(wal.str(), 100, nullptr, text);
