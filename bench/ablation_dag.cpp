@@ -42,7 +42,7 @@ int main() {
   for (const Variant& v : variants) {
     harness::ExperimentSpec spec =
         standard_spec("dblp", UpdateKind::kInsert,
-                      v.track ? ReadMode::kCplds : ReadMode::kNonSync);
+                      v.track ? ReadMode::kCpldsDag : ReadMode::kNonSync);
     spec.cplds_options.track_dependencies = v.track;
     spec.cplds_options.path_compression = v.compression;
     spec.cplds_options.early_exit = v.early_exit;

@@ -72,9 +72,10 @@ inline harness::ExperimentSpec standard_spec(const std::string& dataset,
   spec.workload.reader_threads = reader_threads();
   spec.workload.seed = 7;
   spec.levels_per_group_cap = opt_cap();
-  // The paper's baselines run the original PLDS update path: descriptor /
-  // DAG maintenance is a CPLDS-only cost.
-  spec.cplds_options.track_dependencies = (mode == ReadMode::kCplds);
+  // Descriptor/DAG maintenance is needed only by the Algorithm 4 read
+  // path; the wait-free view read (kCplds/kNonSync) and the baselines run
+  // the original PLDS update path.
+  spec.cplds_options.track_dependencies = (mode == ReadMode::kCpldsDag);
   return spec;
 }
 

@@ -1,6 +1,7 @@
 // Figure 3: average, 99th-percentile, and 99.99th-percentile read latency
-// under batches of insertions and deletions, for CPLDS vs SyncReads vs
-// NonSync across all datasets.
+// under batches of insertions and deletions, for CPLDS (wait-free view
+// read) vs CPLDS-DAG (Algorithm 4) vs SyncReads vs NonSync across all
+// datasets.
 //
 // Paper's headline: CPLDS cuts read latency by up to five orders of
 // magnitude vs SyncReads (whose reads wait out the batch) while staying
@@ -24,7 +25,8 @@ int main() {
                           "Max", "Reads"});
     for (const auto& name : harness::dataset_names()) {
       for (ReadMode mode :
-           {ReadMode::kCplds, ReadMode::kSyncReads, ReadMode::kNonSync}) {
+           {ReadMode::kCplds, ReadMode::kCpldsDag, ReadMode::kSyncReads,
+            ReadMode::kNonSync}) {
         auto spec = standard_spec(name, kind, mode);
         auto out = run_trials(spec);
         const auto& lat = out.result.latency;

@@ -31,7 +31,7 @@ Cell run_accuracy(const std::string& dataset, UpdateKind kind,
   auto data = harness::make_dataset(dataset);
   auto params = LDSParams::create(data.num_vertices, 0.2, 9.0, opt_cap());
   CPLDS::Options opt;
-  opt.track_dependencies = (mode == ReadMode::kCplds);
+  opt.track_dependencies = (mode == ReadMode::kCpldsDag);
   CPLDS ds(data.num_vertices, params, opt);
 
   std::vector<UpdateBatch> stream;

@@ -15,6 +15,13 @@
 // vs P — the write-scaling curve. Combine with --replicas R to give every
 // partition R replicas (R is then fixed, not swept).
 //
+// With --readers N,N,... (or CPKC_READER_SWEEP) it runs the *reader-scaling*
+// sweep behind BENCH_read_path.json: at each reader count, a timed read
+// window (CPKC_READ_SECONDS, default 2) under continuous ingest, A/B-ing
+// the locked SyncReads baseline against the wait-free CPLDS view read with
+// both reclamation schemes (epoch, qsbr). Reports read_ops_per_s /
+// read_p50_ns / read_p99_ns plus acked_ops_per_s and reclaimer counters.
+//
 // Environment (on top of bench_common's knobs):
 //   CPKC_SERVICE_OPS       ops per client thread        (default 50000)
 //   CPKC_SERVICE_WAL       1 = log to a WAL in /tmp     (default 1)
@@ -64,6 +71,7 @@
 
 #include "bench_common.hpp"
 #include "cluster/partition.hpp"
+#include "concurrent/reclaim.hpp"
 #include "cluster/router.hpp"
 #include "cluster/shard_group.hpp"
 #include "graph/generators.hpp"
@@ -134,6 +142,19 @@ void remove_partition_wals(const std::string& stem, std::size_t partitions) {
   for (std::size_t p = 0; p < partitions; ++p) {
     std::filesystem::remove(cluster::partition_path(stem, p, partitions));
   }
+}
+
+/// Parses a comma-separated list of positive counts ("1,2,4,8,16").
+std::vector<std::size_t> parse_count_list(const char* s) {
+  std::vector<std::size_t> out;
+  while (*s != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s) break;
+    if (v > 0) out.push_back(static_cast<std::size_t>(v));
+    s = (*end == ',') ? end + 1 : end;
+  }
+  return out;
 }
 
 /// Scheduler work-stealing activity over one cell: samples the process-wide
@@ -217,6 +238,94 @@ void run_cell(std::size_t clients) {
       {"final_batch_budget", static_cast<std::int64_t>(stats.batch_budget)},
       {"sched_spawns", sched_spawns},
       {"sched_steals", sched_steals},
+  });
+}
+
+/// One reader-scaling leg: a timed read window (CPKC_READ_SECONDS, default
+/// 2 s) with continuous writer-thread ingest, at a fixed reader count,
+/// read mode, and reclamation scheme. The A/B behind BENCH_read_path.json:
+/// SyncReads is the locked baseline, CPLDS the wait-free view read.
+void run_read_scaling_cell(std::size_t readers, ReadMode mode,
+                           concurrent::ReclaimerKind reclaimer) {
+  const auto n = static_cast<vertex_t>(
+      100000 * bench::env_size("CPKC_SCALE", 1));
+  const std::string wal_path = "/tmp/cpkc_read_scaling.wal";
+  std::filesystem::remove(wal_path);
+
+  service::ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.levels_per_group_cap = bench::opt_cap();
+  if (wal_enabled()) cfg.wal_path = wal_path;
+  cfg.wal_format = wal_format();
+  cfg.wal_durability = wal_durability();
+  cfg.reclaimer = reclaimer;
+  cfg.metrics = &obs::MetricsRegistry::instance();
+  // The DAG cells reproduce the full pre-view default read path: Algorithm
+  // 4 double-collect reads plus the write-side descriptor maintenance they
+  // require.
+  cfg.cplds.track_dependencies = (mode == ReadMode::kCpldsDag);
+  // Open-loop writers run for the whole timed window; blocking admission
+  // keeps their backlog (and thus the post-window drain) bounded instead
+  // of letting 2 s of unthrottled submits queue minutes of apply work.
+  cfg.max_pending_per_shard = 4096;
+  cfg.admission = service::AdmissionPolicy::kBlock;
+  service::KCoreService svc(cfg);
+
+  for (const Edge& e : gen::barabasi_albert(n / 2, 4, 7)) {
+    svc.submit_insert(e.u, e.v);
+  }
+  svc.drain();
+  svc.reset_stats();
+
+  harness::ReadScalingConfig wl;
+  wl.reader_threads = readers;
+  wl.writer_threads = bench::env_size("CPKC_CLUSTER_WRITERS", 2);
+  wl.mode = mode;
+  wl.read_seconds =
+      static_cast<double>(bench::env_size("CPKC_READ_SECONDS", 2));
+  wl.delete_fraction = 0.2;
+  wl.seed = 7;
+  const auto result = harness::run_read_scaling(svc, wl);
+  const std::string reclaimer_name(svc.cplds().reclaimer().name());
+  const auto rs = svc.cplds().reclaimer().stats();
+  // Apply duty over the whole run (window + drain): the fraction of wall
+  // time the level structure was mutating, i.e. the fraction SyncReads
+  // readers spend blocked. The wait-free read's advantage scales with it.
+  const double apply_s = svc.stats().apply_seconds;
+  svc.shutdown();
+  std::filesystem::remove(wal_path);
+
+  bench::emit_json_line({
+      {"bench", std::string("read_scaling")},
+      {"readers", static_cast<std::int64_t>(readers)},
+      {"writers", static_cast<std::int64_t>(wl.writer_threads)},
+      {"read_mode", std::string(to_string(mode))},
+      {"reclaimer", reclaimer_name},
+      {"wal", static_cast<std::int64_t>(wal_enabled() ? 1 : 0)},
+      {"window_s", result.read_seconds},
+      {"reads", static_cast<std::int64_t>(result.total_reads)},
+      {"read_ops_per_s", result.read_throughput()},
+      {"read_p50_ns",
+       static_cast<std::int64_t>(result.read_latency.p50_ns())},
+      {"read_p99_ns",
+       static_cast<std::int64_t>(result.read_latency.p99_ns())},
+      // The deep tail is where the read paths actually differ: a SyncReads
+      // reader that lands inside a batch apply stalls for the rest of it
+      // (ms scale), a view reader never blocks at all.
+      {"read_p9999_ns",
+       static_cast<std::int64_t>(result.read_latency.p9999_ns())},
+      {"read_max_ns",
+       static_cast<std::int64_t>(result.read_latency.max_ns())},
+      {"ops", static_cast<std::int64_t>(result.ops_submitted)},
+      {"acked_ops_per_s", result.write_throughput()},
+      {"apply_s", apply_s},
+      {"drain_s", result.drain_seconds},
+      {"reclaim_epoch_advances",
+       static_cast<std::int64_t>(rs.epoch_advances)},
+      {"reclaim_retired", static_cast<std::int64_t>(rs.retired)},
+      {"reclaim_freed", static_cast<std::int64_t>(rs.freed)},
+      {"reclaim_lagging_readers",
+       static_cast<std::int64_t>(rs.lagging_readers)},
   });
 }
 
@@ -396,6 +505,10 @@ void run_sharded_cell(std::size_t partitions, std::size_t replicas,
 int main(int argc, char** argv) {
   std::size_t max_replicas = bench::env_size("CPKC_SERVICE_REPLICAS", 0);
   std::size_t max_shards = bench::env_size("CPKC_WRITE_SHARDS", 0);
+  std::vector<std::size_t> reader_sweep;
+  if (const char* v = std::getenv("CPKC_READER_SWEEP")) {
+    reader_sweep = parse_count_list(v);
+  }
   std::string sample_path;
   if (const char* v = std::getenv("CPKC_SAMPLE_JSON")) sample_path = v;
   int http_port = -1;  // -1 = no exporter; 0 = ephemeral
@@ -409,6 +522,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--write-shards") == 0 && i + 1 < argc) {
       max_shards = static_cast<std::size_t>(
           std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc) {
+      reader_sweep = parse_count_list(argv[++i]);
     } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
       sample_path = argv[++i];
     } else if (std::strcmp(argv[i], "--http-port") == 0 && i + 1 < argc) {
@@ -416,7 +531,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--replicas N] [--write-shards P] "
-                   "[--sample PATH] [--http-port N]\n",
+                   "[--readers N,N,...] [--sample PATH] [--http-port N]\n",
                    argv[0]);
       return 2;
     }
@@ -459,6 +574,23 @@ int main(int argc, char** argv) {
     }
     return 0;
   };
+  if (!reader_sweep.empty()) {
+    // Reader-scaling A/B at each reader count: the two pre-view baselines
+    // (locked SyncReads quiescence reads and the old default Algorithm 4
+    // DAG read with its write-side dependency tracking) vs the wait-free
+    // view read under both reclamation schemes.
+    for (const std::size_t r : reader_sweep) {
+      run_read_scaling_cell(r, ReadMode::kSyncReads,
+                            concurrent::ReclaimerKind::kEpoch);
+      run_read_scaling_cell(r, ReadMode::kCpldsDag,
+                            concurrent::ReclaimerKind::kEpoch);
+      run_read_scaling_cell(r, ReadMode::kCplds,
+                            concurrent::ReclaimerKind::kEpoch);
+      run_read_scaling_cell(r, ReadMode::kCplds,
+                            concurrent::ReclaimerKind::kQsbr);
+    }
+    return finish();
+  }
   if (max_shards > 0) {
     // Write-scaling sweep: 1..P partitions at a fixed client count; with
     // --replicas R alongside, every partition also drives R replicas.

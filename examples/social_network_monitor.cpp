@@ -29,7 +29,7 @@ int main() {
   for (ReadMode mode :
        {ReadMode::kCplds, ReadMode::kSyncReads, ReadMode::kNonSync}) {
     CPLDS::Options opt;
-    opt.track_dependencies = (mode == ReadMode::kCplds);
+    opt.track_dependencies = (mode == ReadMode::kCpldsDag);
     CPLDS ds(kUsers, LDSParams::create(kUsers), opt);
 
     // Warm start: most of the network exists; the update stream replays

@@ -9,11 +9,14 @@
 namespace cpkcore::cluster {
 
 Replica::Replica(const service::ServiceConfig& like) {
+  reclaimer_ = concurrent::make_reclaimer(like.reclaimer);
+  CPLDS::Options options = like.cplds;
+  options.reclaimer = reclaimer_.get();
   ds_ = std::make_unique<CPLDS>(
       like.num_vertices,
       LDSParams::create(like.num_vertices, like.delta, like.lambda,
                         like.levels_per_group_cap),
-      like.cplds);
+      options);
 }
 
 void Replica::register_health(obs::HealthMonitor& monitor, std::string name,

@@ -30,7 +30,10 @@
 // callers that want the raw cut.
 //
 // Thread-safety: the router is fully thread-safe. A Session may be shared
-// by the threads of one logical client; its cursors only advance.
+// by the threads of one logical client; its cursors only advance. Each
+// part-read lands on a backend's wait-free view read (ReadMode::kCplds /
+// kNonSync), so fan-out cost is per-partition pointer chases, not lock
+// acquisitions — SyncReads still blocks per partition by design.
 #pragma once
 
 #include <atomic>

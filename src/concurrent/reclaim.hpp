@@ -1,0 +1,135 @@
+// Pluggable safe-memory-reclamation for the lock-free read path.
+//
+// The CPLDS publishes an immutable LevelView per committed batch (pointer
+// swap); readers traverse the latest view without locks. Retired views
+// cannot be freed while a reader may still hold them — that is this layer's
+// job, in the shape of pop_setbench's recordmgr: one `Reclaimer` interface,
+// several algorithms behind it, selected per workload.
+//
+//   reader thread ──pin()──▶ per-thread slot (epoch announce / nesting)
+//        │ view_.load(seq_cst), traverse            ▲ scanned by
+//        └─unpin()                                  │
+//   apply thread ──retire(old view)──▶ limbo list ──┴─▶ advance + free
+//
+// Algorithms:
+//  * EpochReclaimer (EBR, the default): pin announces the global epoch with
+//    a seq_cst store; retire tags the object with the current epoch; the
+//    epoch advances only when every pinned slot has caught up, and objects
+//    two epochs behind are freed. Readers pay one seq_cst store per pin —
+//    wait-free, bounded reclamation lag.
+//  * QsbrReclaimer (quiescent-state-based): pin is a plain nesting bump (no
+//    ordered store at all); unpin declares a quiescent state by publishing
+//    the global epoch with one release store. Cheapest possible read side,
+//    but a registered thread that stops reading without exiting stalls
+//    reclamation — that shows up in `lagging_readers` and as a rate-limited
+//    "reclaimer_stall" event in the journal.
+//
+// Threading contract: any thread may pin/unpin (slots are acquired on first
+// pin and released at thread exit); retire and try_reclaim may be called
+// from any thread (serialized internally) but are typically the structure's
+// single apply thread. Destroying a reclaimer requires that no thread is
+// pinned and no further pins will occur; remaining limbo objects are freed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+namespace cpkcore::concurrent {
+
+/// Which reclamation algorithm backs a Reclaimer. kAuto resolves from the
+/// CPKC_RECLAIMER environment variable ("epoch" / "qsbr"), defaulting to
+/// epoch-based.
+enum class ReclaimerKind { kAuto, kEpoch, kQsbr };
+
+[[nodiscard]] std::string_view to_string(ReclaimerKind kind);
+
+/// Parses "epoch" / "ebr" / "qsbr" (case-sensitive); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] ReclaimerKind parse_reclaimer_kind(std::string_view name);
+
+/// Resolves kAuto against CPKC_RECLAIMER (unset/invalid -> kEpoch); returns
+/// a concrete kind unchanged.
+[[nodiscard]] ReclaimerKind resolve_reclaimer_kind(ReclaimerKind kind);
+
+class Reclaimer {
+ public:
+  /// Deletes/frees one retired object. Must be self-contained: it may run
+  /// on the retiring thread (during a later retire/try_reclaim) or in the
+  /// reclaimer's destructor, after the retiring structure is gone.
+  using Deleter = void (*)(void*);
+
+  /// Monotone counters (plus the limbo gauge), snapshot via stats().
+  struct Stats {
+    std::uint64_t epoch_advances = 0;  ///< global epoch increments
+    std::uint64_t retired = 0;         ///< objects handed to retire()
+    std::uint64_t freed = 0;           ///< retired objects actually freed
+    /// Reclamation attempts blocked by a reader pinned at (EBR) or not yet
+    /// quiesced past (QSBR) an older epoch.
+    std::uint64_t lagging_readers = 0;
+    std::size_t limbo = 0;  ///< gauge: retired objects not yet freed
+  };
+
+  /// RAII pin: the reclaimer guarantees that no object retired after the
+  /// pin is freed before the unpin. Nestable per thread; movable.
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(Reclaimer* r) : r_(r) {
+      if (r_ != nullptr) r_->pin();
+    }
+    ~Guard() {
+      if (r_ != nullptr) r_->unpin();
+    }
+    Guard(Guard&& other) noexcept : r_(std::exchange(other.r_, nullptr)) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        if (r_ != nullptr) r_->unpin();
+        r_ = std::exchange(other.r_, nullptr);
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Reclaimer* r_ = nullptr;
+  };
+
+  virtual ~Reclaimer() = default;
+
+  /// Protects a read-side critical section.
+  [[nodiscard]] Guard read_guard() { return Guard(this); }
+
+  /// Hands one unreachable (already un-published) object to the reclaimer;
+  /// `deleter(p)` runs once it is provably unreachable by every reader.
+  /// May reclaim older objects inline.
+  virtual void retire(void* p, Deleter deleter) = 0;
+
+  /// One explicit advance-and-free attempt (tests, idle housekeeping).
+  /// Returns the number of objects freed.
+  virtual std::size_t try_reclaim() = 0;
+
+  [[nodiscard]] virtual Stats stats() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual ReclaimerKind kind() const = 0;
+
+ protected:
+  friend class Guard;
+  virtual void pin() = 0;
+  virtual void unpin() = 0;
+};
+
+/// Builds a reclaimer of the given kind (kAuto resolved first).
+[[nodiscard]] std::unique_ptr<Reclaimer> make_reclaimer(
+    ReclaimerKind kind = ReclaimerKind::kAuto);
+
+/// Process-wide default (CPKC_RECLAIMER-resolved, epoch-based otherwise):
+/// what a CPLDS uses when its owner wires no instance of its own. Never
+/// destroyed — bare CPLDS instances (tests, examples) may retire into it up
+/// to the end of the process.
+[[nodiscard]] Reclaimer& global_reclaimer();
+
+}  // namespace cpkcore::concurrent

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "concurrent/reclaim.hpp"
 #include "parallel/primitives.hpp"
 #include "parallel/sort.hpp"
 
@@ -12,7 +13,14 @@ CPLDS::CPLDS(vertex_t num_vertices, LDSParams params, Options options)
       plds_(num_vertices, std::move(params)),
       desc_(num_vertices),
       uf_(num_vertices),
+      reclaimer_(options.reclaimer != nullptr
+                     ? options.reclaimer
+                     : &concurrent::global_reclaimer()),
       marked_list_(num_vertices, kNoVertex) {
+  // Initial published view: every vertex at level 0, matching the fresh
+  // PLDS. Readers can run from the first instant.
+  view_.store(LevelView::initial(num_vertices, 0),
+              std::memory_order_release);
   if (options_.track_dependencies) {
     PLDS::Hooks hooks;
     hooks.on_mark = [this](vertex_t v, level_t old_level,
@@ -22,6 +30,12 @@ CPLDS::CPLDS(vertex_t num_vertices, LDSParams params, Options options)
     hooks.is_marked = [this](vertex_t v) { return desc_.marked(v); };
     plds_.set_hooks(std::move(hooks));
   }
+}
+
+CPLDS::~CPLDS() {
+  // No readers at destruction (contract); retired views are the
+  // reclaimer's to free, the current view is ours.
+  LevelView::destroy(view_.load(std::memory_order_relaxed));
 }
 
 std::vector<Edge> CPLDS::apply(const UpdateBatch& batch) {
@@ -151,6 +165,21 @@ void CPLDS::finish_batch(std::size_t applied_edges) {
 
   last_stats_ = BatchStats{applied_edges, marked};
 
+  // Publish the batch's immutable level view (the linearization point of
+  // the wait-free read path) and retire the predecessor. A batch that
+  // moved nothing keeps the current view — no retire churn for no-ops.
+  if (const auto moved = plds_.moved_vertices(); !moved.empty()) {
+    const LevelView* old_view = view_.load(std::memory_order_relaxed);
+    const LevelView* next_view = LevelView::successor(
+        *old_view, moved, [this](vertex_t v) { return plds_.level(v); });
+    // seq_cst swap: pairs with the readers' seq_cst epoch announce so a
+    // reader that obtained old_view is visible as pinned to every
+    // subsequent reclaimer scan.
+    view_.store(next_view, std::memory_order_seq_cst);
+    reclaimer_->retire(const_cast<LevelView*>(old_view),
+                       &LevelView::destroy_erased);
+  }
+
   {
     std::lock_guard lock(sync_mu_);
     batch_active_ = false;
@@ -188,6 +217,19 @@ CPLDS::DagStatus CPLDS::check_dag(vertex_t v,
 }
 
 level_t CPLDS::read_level(vertex_t v) const {
+  // Wait-free: pin the reclamation guard, load the published view, index.
+  // The seq_cst load pairs with the seq_cst swap in finish_batch and the
+  // guard's seq_cst epoch announce (Dekker: a reader that still holds a
+  // retired view is visible as pinned to every later reclaimer scan).
+  const concurrent::Reclaimer::Guard guard = reclaimer_->read_guard();
+  return view_.load(std::memory_order_seq_cst)->level(v);
+}
+
+double CPLDS::read_coreness(vertex_t v) const {
+  return params().coreness_estimate(read_level(v));
+}
+
+level_t CPLDS::read_level_dag(vertex_t v) const {
   // Algorithm 4: double collect of the batch number around (level,
   // descriptor, DAG status, level).
   for (;;) {
@@ -206,8 +248,8 @@ level_t CPLDS::read_level(vertex_t v) const {
   }
 }
 
-double CPLDS::read_coreness(vertex_t v) const {
-  return params().coreness_estimate(read_level(v));
+double CPLDS::read_coreness_dag(vertex_t v) const {
+  return params().coreness_estimate(read_level_dag(v));
 }
 
 double CPLDS::read_coreness_sync(vertex_t v) const {
@@ -215,9 +257,16 @@ double CPLDS::read_coreness_sync(vertex_t v) const {
 }
 
 level_t CPLDS::read_level_sync(vertex_t v) const {
+  // The SyncReads baseline reads the *live* structure under quiescence —
+  // it must stay the genuinely locked path the A/B bench compares against.
   std::unique_lock lock(sync_mu_);
   sync_cv_.wait(lock, [&] { return !batch_active_; });
-  return read_level_nonsync(v);
+  return plds_.level(v);
+}
+
+std::uint64_t CPLDS::view_version() const {
+  const concurrent::Reclaimer::Guard guard = reclaimer_->read_guard();
+  return view_.load(std::memory_order_seq_cst)->version();
 }
 
 }  // namespace cpkcore

@@ -4,13 +4,27 @@
 // find, so that *asynchronous* reads of coreness estimates are linearizable
 // and lock-free while batches run.
 //
+// Read path: the default read_coreness/read_level is *wait-free* — the
+// update driver publishes an immutable LevelView per committed batch (one
+// pointer swap in finish_batch) and readers pin a reclamation guard, load
+// the pointer, and index it: no locks, no retries. Every read observes the
+// pre-batch or post-batch levels in their entirety (the linearization point
+// is the swap), which is strictly stronger than Algorithm 4's per-vertex
+// guarantee. The paper's original descriptor/DAG protocol survives as
+// read_coreness_dag/read_level_dag (lock-free with retries; the ablation
+// benches exercise its §5.2/§5.3 optimizations). Retired views go through
+// a pluggable concurrent::Reclaimer (Options::reclaimer; epoch-based by
+// default).
+//
 // Threading contract:
 //  * Updates: one driver thread calls insert_batch/delete_batch/apply; the
 //    batch executes in parallel on the global scheduler.
 //  * Reads: any number of reader threads may call read_coreness /
-//    read_level (linearizable), read_coreness_nonsync (the paper's NonSync
-//    baseline — not linearizable), or read_coreness_sync (the SyncReads
-//    baseline — waits for batch quiescence) at any time.
+//    read_level (wait-free view read), read_coreness_dag (Algorithm 4),
+//    read_coreness_nonsync (alias of the view read since the lock-free
+//    read path landed — possibly stale, never torn), or read_coreness_sync
+//    (the SyncReads baseline — waits for batch quiescence under a mutex)
+//    at any time.
 #pragma once
 
 #include <atomic>
@@ -23,12 +37,17 @@
 
 #include "concurrent/descriptor_table.hpp"
 #include "concurrent/union_find.hpp"
+#include "core/level_view.hpp"
 #include "graph/batch.hpp"
 #include "plds/plds.hpp"
 #include "util/flat_map.hpp"
 #include "util/types.hpp"
 
 namespace cpkcore {
+
+namespace concurrent {
+class Reclaimer;
+}  // namespace concurrent
 
 class CPLDS {
  public:
@@ -47,6 +66,12 @@ class CPLDS {
     /// Test hook: capture (vertex, DAG root) pairs of all marked vertices
     /// at the end of every batch (before unmarking).
     bool capture_dags = false;
+    /// Memory reclamation behind the wait-free read path: retired
+    /// LevelViews are freed through this reclaimer once no reader can hold
+    /// them. Null (the default) uses concurrent::global_reclaimer(); the
+    /// serving layer wires a per-service instance (ServiceConfig::
+    /// reclaimer) that must outlive the CPLDS.
+    concurrent::Reclaimer* reclaimer = nullptr;
   };
 
   /// Per-batch bookkeeping, readable after each batch completes.
@@ -58,6 +83,8 @@ class CPLDS {
   CPLDS(vertex_t num_vertices, LDSParams params, Options options);
   CPLDS(vertex_t num_vertices, LDSParams params)
       : CPLDS(num_vertices, std::move(params), Options{}) {}
+
+  ~CPLDS();
 
   CPLDS(const CPLDS&) = delete;
   CPLDS& operator=(const CPLDS&) = delete;
@@ -84,22 +111,32 @@ class CPLDS {
 
   // ---------------- read side ----------------
 
-  /// Linearizable lock-free coreness estimate (Algorithm 4): returns the
+  /// Wait-free linearizable coreness estimate: one guard pin, one pointer
+  /// load, one page index into the latest published LevelView. Returns the
   /// estimate at either the vertex's pre-batch or post-batch level, never
-  /// an intermediate one, with no new-old inversions inside a dependency
-  /// DAG.
+  /// an intermediate one (the swap in finish_batch is the linearization
+  /// point of the whole batch).
   [[nodiscard]] double read_coreness(vertex_t v) const;
 
-  /// Same protocol, exposing the level that the estimate derives from.
+  /// Same guarantee, exposing the level the estimate derives from.
   [[nodiscard]] level_t read_level(vertex_t v) const;
 
-  /// NonSync baseline: raw live level. Not linearizable; error unbounded
-  /// while a batch runs (§6.3).
+  /// The paper's Algorithm 4: lock-free (not wait-free) double-collect
+  /// over (level, descriptor, DAG status, level) with retries across batch
+  /// boundaries. Requires Options::track_dependencies for linearizability;
+  /// kept for the §5.2/§5.3 ablations and as the descriptor-path baseline.
+  [[nodiscard]] double read_coreness_dag(vertex_t v) const;
+  [[nodiscard]] level_t read_level_dag(vertex_t v) const;
+
+  /// NonSync baseline. Historically the raw live level (racy against
+  /// in-flight level stores); now routed through the published view, so
+  /// "non-linearizable" means *possibly stale by one in-flight batch*,
+  /// never torn or intermediate — operationally an alias of read_coreness.
   [[nodiscard]] double read_coreness_nonsync(vertex_t v) const {
-    return params().coreness_estimate(plds_.level(v));
+    return read_coreness(v);
   }
   [[nodiscard]] level_t read_level_nonsync(vertex_t v) const {
-    return plds_.level(v);
+    return read_level(v);
   }
 
   /// SyncReads baseline: blocks until no batch is active, then reads the
@@ -112,6 +149,13 @@ class CPLDS {
 
   [[nodiscard]] std::uint64_t batch_number() const {
     return batch_number_.load(std::memory_order_seq_cst);
+  }
+  /// Version of the currently published LevelView (counts batches that
+  /// moved at least one vertex; no-op batches publish nothing).
+  [[nodiscard]] std::uint64_t view_version() const;
+  /// The reclaimer retiring this structure's views.
+  [[nodiscard]] concurrent::Reclaimer& reclaimer() const {
+    return *reclaimer_;
   }
   [[nodiscard]] vertex_t num_vertices() const {
     return plds_.num_vertices();
@@ -161,6 +205,11 @@ class CPLDS {
   DescriptorTable desc_;
   mutable ConcurrentUnionFind uf_;
   std::atomic<std::uint64_t> batch_number_{0};
+
+  // Wait-free read path: the published immutable view and its reclaimer
+  // (never null after construction; outlives this object by contract).
+  concurrent::Reclaimer* reclaimer_ = nullptr;
+  std::atomic<const LevelView*> view_{nullptr};
 
   // Batch-scoped state (update path only).
   std::vector<vertex_t> marked_list_;

@@ -1,0 +1,125 @@
+// LevelView — the immutable per-batch snapshot behind the wait-free read
+// path.
+//
+// The apply thread builds one LevelView per committed batch and publishes
+// it with a single pointer swap; readers pin a reclamation guard, load the
+// pointer, and index two arrays — no locks, no retries, no CAS. Views are
+// copy-on-write at page granularity: a view is a table of refcounted pages
+// (kPageSize levels each), and a successor copies only the pages containing
+// vertices the batch moved, sharing every other page with its predecessor.
+// A no-op batch therefore costs one pointer-vector copy; the initial view
+// is every slot aliasing one zero page.
+//
+// Lifetime: pages are refcounted (writer/reclaimer side only — readers
+// never touch the counts); whole views are freed through the Reclaimer once
+// no reader can hold them. destroy() drops one view and every page
+// reference it holds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cpkcore {
+
+class LevelView {
+ public:
+  static constexpr std::uint32_t kPageBits = 11;  // 2048 levels per page
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+  static constexpr std::uint32_t kPageMask = kPageSize - 1;
+
+  /// Initial view: every vertex at `fill` (one shared page).
+  static const LevelView* initial(vertex_t num_vertices, level_t fill) {
+    auto* view = new LevelView(num_vertices, /*version=*/0);
+    if (!view->pages_.empty()) {
+      Page* zero = new Page;
+      for (level_t& l : zero->levels) l = fill;
+      zero->refs.store(static_cast<std::uint32_t>(view->pages_.size()),
+                       std::memory_order_relaxed);
+      for (Page*& slot : view->pages_) slot = zero;
+    }
+    return view;
+  }
+
+  /// COW successor: pages containing `moved` vertices (distinct ids) are
+  /// re-read through `level_of`; all others are shared with `prev`.
+  template <typename LevelFn>
+  static const LevelView* successor(const LevelView& prev,
+                                    std::span<const vertex_t> moved,
+                                    LevelFn&& level_of) {
+    auto* view = new LevelView(prev.num_vertices_, prev.version_ + 1);
+    view->pages_ = prev.pages_;
+    for (Page* page : view->pages_) {
+      page->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::vector<std::uint8_t> copied(view->pages_.size(), 0);
+    for (vertex_t v : moved) {
+      const std::size_t p = v >> kPageBits;
+      if (!copied[p]) {
+        copied[p] = 1;
+        Page* fresh = new Page;
+        for (std::uint32_t i = 0; i < kPageSize; ++i) {
+          fresh->levels[i] = view->pages_[p]->levels[i];
+        }
+        unref_page(view->pages_[p]);
+        view->pages_[p] = fresh;
+      }
+      view->pages_[p]->levels[v & kPageMask] = level_of(v);
+    }
+    return view;
+  }
+
+  /// Frees one view and drops its page references (pages die at zero).
+  /// Shape-compatible with Reclaimer::Deleter via destroy_erased.
+  static void destroy(const LevelView* view) {
+    for (Page* page : view->pages_) unref_page(page);
+    delete view;
+  }
+
+  static void destroy_erased(void* view) {
+    destroy(static_cast<const LevelView*>(view));
+  }
+
+  [[nodiscard]] level_t level(vertex_t v) const {
+    return pages_[v >> kPageBits]->levels[v & kPageMask];
+  }
+
+  /// Batch count this view reflects (0 = initial).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] vertex_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::size_t num_pages() const { return pages_.size(); }
+
+  LevelView(const LevelView&) = delete;
+  LevelView& operator=(const LevelView&) = delete;
+
+ private:
+  struct Page {
+    std::atomic<std::uint32_t> refs{1};
+    level_t levels[kPageSize];
+  };
+
+  LevelView(vertex_t num_vertices, std::uint64_t version)
+      : num_vertices_(num_vertices),
+        version_(version),
+        pages_((num_vertices + kPageSize - 1) >> kPageBits, nullptr) {}
+
+  ~LevelView() = default;
+
+  static void unref_page(Page* page) {
+    // Standard split-count teardown: release on the decrement so every
+    // prior write to the page is visible to the acquire of the freeing
+    // decrement.
+    if (page->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete page;
+    }
+  }
+
+  vertex_t num_vertices_;
+  std::uint64_t version_;
+  std::vector<Page*> pages_;
+};
+
+}  // namespace cpkcore

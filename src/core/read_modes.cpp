@@ -9,6 +9,8 @@ std::string_view to_string(ReadMode mode) {
   switch (mode) {
     case ReadMode::kCplds:
       return "CPLDS";
+    case ReadMode::kCpldsDag:
+      return "CPLDS-DAG";
     case ReadMode::kSyncReads:
       return "SyncReads";
     case ReadMode::kNonSync:
@@ -19,6 +21,9 @@ std::string_view to_string(ReadMode mode) {
 
 ReadMode parse_read_mode(std::string_view name) {
   if (name == "cplds" || name == "CPLDS") return ReadMode::kCplds;
+  if (name == "dag" || name == "cplds-dag" || name == "CPLDS-DAG") {
+    return ReadMode::kCpldsDag;
+  }
   if (name == "sync" || name == "SyncReads") return ReadMode::kSyncReads;
   if (name == "nonsync" || name == "NonSync") return ReadMode::kNonSync;
   throw std::invalid_argument("unknown read mode: " + std::string(name));
@@ -28,6 +33,8 @@ double read_with_mode(const CPLDS& ds, vertex_t v, ReadMode mode) {
   switch (mode) {
     case ReadMode::kCplds:
       return ds.read_coreness(v);
+    case ReadMode::kCpldsDag:
+      return ds.read_coreness_dag(v);
     case ReadMode::kSyncReads:
       return ds.read_coreness_sync(v);
     case ReadMode::kNonSync:
@@ -40,6 +47,8 @@ level_t read_level_with_mode(const CPLDS& ds, vertex_t v, ReadMode mode) {
   switch (mode) {
     case ReadMode::kCplds:
       return ds.read_level(v);
+    case ReadMode::kCpldsDag:
+      return ds.read_level_dag(v);
     case ReadMode::kSyncReads:
       return ds.read_level_sync(v);
     case ReadMode::kNonSync:

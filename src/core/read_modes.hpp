@@ -1,5 +1,6 @@
-// The three read strategies evaluated in the paper (§7, "Evaluated
-// Algorithms"), dispatched uniformly for the workload harness.
+// The read strategies evaluated in the paper (§7, "Evaluated Algorithms")
+// plus the descriptor-path ablation mode, dispatched uniformly for the
+// workload harness.
 #pragma once
 
 #include <string_view>
@@ -9,14 +10,16 @@
 namespace cpkcore {
 
 enum class ReadMode {
-  kCplds,     ///< this paper: asynchronous linearizable reads
+  kCplds,     ///< this paper: wait-free linearizable reads (published view)
+  kCpldsDag,  ///< Algorithm 4 descriptor/DAG double-collect (ablations)
   kSyncReads, ///< baseline: reads wait for the current batch to finish
-  kNonSync,   ///< baseline: unsynchronized (non-linearizable) reads
+  kNonSync,   ///< baseline: view-backed, possibly stale, never torn
 };
 
 [[nodiscard]] std::string_view to_string(ReadMode mode);
 
-/// Parses "cplds" / "sync" / "nonsync"; throws std::invalid_argument.
+/// Parses "cplds" / "dag" ("cplds-dag") / "sync" / "nonsync"; throws
+/// std::invalid_argument.
 [[nodiscard]] ReadMode parse_read_mode(std::string_view name);
 
 /// Performs one coreness read with the given strategy.

@@ -1,6 +1,7 @@
 #include "harness/service_workload.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -107,6 +108,61 @@ ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
       static_cast<std::uint64_t>(cfg.submitter_threads) * cfg.ops_per_thread;
 
   readers.finish(result.read_latency, result.total_reads);
+  return result;
+}
+
+ReadScalingResult run_read_scaling(service::KCoreService& svc,
+                                   const ReadScalingConfig& cfg) {
+  const vertex_t n = svc.num_vertices();
+  ReadScalingResult result;
+
+  // Writers run open loop for the whole read window; their op count is
+  // whatever they managed to submit before the stop flag.
+  std::atomic<bool> stop_writers{false};
+  std::vector<std::uint64_t> submitted(cfg.writer_threads, 0);
+  std::vector<std::thread> writers;
+  writers.reserve(cfg.writer_threads);
+  for (std::size_t t = 0; t < cfg.writer_threads; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(cfg.seed * 0xD1B54A32D192ED03ULL + t + 1);
+      std::vector<Edge> inserted;
+      std::uint64_t ops = 0;
+      while (!stop_writers.load(std::memory_order_relaxed)) {
+        const bool del = !inserted.empty() &&
+                         rng.next_double() < cfg.delete_fraction;
+        if (del) {
+          const std::size_t j = rng.next_below(inserted.size());
+          svc.submit({inserted[j], UpdateKind::kDelete});
+          inserted[j] = inserted.back();
+          inserted.pop_back();
+        } else {
+          const Edge e{static_cast<vertex_t>(rng.next_below(n)),
+                       static_cast<vertex_t>(rng.next_below(n))};
+          svc.submit({e, UpdateKind::kInsert});
+          if (!e.is_self_loop()) inserted.push_back(e.canonical());
+        }
+        ++ops;
+      }
+      submitted[t] = ops;
+    });
+  }
+
+  Timer window;
+  ReaderPool readers(cfg.reader_threads, cfg.seed, n,
+                     [&](std::size_t, vertex_t v) {
+                       (void)svc.read_coreness(v, cfg.mode);
+                       return std::uint64_t{0};
+                     });
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.read_seconds));
+  readers.finish(result.read_latency, result.total_reads);
+  result.read_seconds = window.elapsed_s();
+
+  Timer drain;
+  stop_writers.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) w.join();
+  svc.drain();
+  result.drain_seconds = drain.elapsed_s();
+  for (const std::uint64_t ops : submitted) result.ops_submitted += ops;
   return result;
 }
 

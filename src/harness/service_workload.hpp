@@ -59,6 +59,44 @@ struct ServiceWorkloadResult {
 ServiceWorkloadResult run_service_workload(service::KCoreService& svc,
                                            const ServiceWorkloadConfig& cfg);
 
+/// Reader-scaling sweep leg: a *timed* read window instead of a fixed op
+/// count. Writer threads ingest continuously for the whole window (open
+/// loop, drained afterwards) while `reader_threads` issue uniform-random
+/// coreness reads through `mode`; read throughput and latency quantiles
+/// come from the window only, so legs with different reader counts are
+/// comparable.
+struct ReadScalingConfig {
+  std::size_t reader_threads = 8;
+  std::size_t writer_threads = 2;
+  ReadMode mode = ReadMode::kCplds;
+  double read_seconds = 2.0;  ///< length of the timed read window
+  double delete_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct ReadScalingResult {
+  std::uint64_t total_reads = 0;
+  std::uint64_t ops_submitted = 0;  ///< writes submitted during the window
+  double read_seconds = 0.0;        ///< measured window wall time
+  double drain_seconds = 0.0;       ///< post-window drain (acked tail)
+  LatencyHistogram read_latency;
+
+  [[nodiscard]] double read_throughput() const {
+    return read_seconds > 0
+               ? static_cast<double>(total_reads) / read_seconds
+               : 0.0;
+  }
+  /// Acked write ops per second, amortized over window + drain (every
+  /// submitted op is acked by the time the runner returns).
+  [[nodiscard]] double write_throughput() const {
+    const double t = read_seconds + drain_seconds;
+    return t > 0 ? static_cast<double>(ops_submitted) / t : 0.0;
+  }
+};
+
+ReadScalingResult run_read_scaling(service::KCoreService& svc,
+                                   const ReadScalingConfig& cfg);
+
 struct ClusterWorkloadConfig {
   std::size_t writer_threads = 4;
   std::size_t reader_threads = 4;

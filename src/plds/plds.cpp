@@ -15,6 +15,8 @@ PLDS::PLDS(vertex_t num_vertices, LDSParams params)
       buckets_(num_vertices),
       marked_stamp_(num_vertices, 0),
       dirty_stamp_(num_vertices, 0),
+      moved_stamp_(num_vertices, 0),
+      moved_list_(num_vertices, kNoVertex),
       moving_stamp_(num_vertices, 0),
       desire_(num_vertices, 0) {}
 
@@ -23,7 +25,10 @@ bool PLDS::has_edge(vertex_t u, vertex_t v) const {
   return buckets_[u].contains(v, level_relaxed(v), level_relaxed(u));
 }
 
-void PLDS::begin_batch() { ++batch_stamp_; }
+void PLDS::begin_batch() {
+  ++batch_stamp_;
+  moved_count_.store(0, std::memory_order_relaxed);
+}
 
 std::vector<Edge> PLDS::normalize(std::vector<Edge> edges,
                                   bool for_insert) const {
@@ -181,9 +186,10 @@ void PLDS::insertion_rebalance(std::vector<vertex_t> dirty) {
     },
     /*grain=*/1);
 
-    // Publish the new levels.
+    // Publish the new levels (and record the movers for the view layer).
     parallel_for(0, movers.size(), [&](std::size_t i) {
       level_[movers[i]].store(lmin + 1, std::memory_order_seq_cst);
+      record_move(movers[i]);
     });
 
     // Flatten + group fix-ups by affected vertex and apply; a vertex whose
@@ -302,6 +308,7 @@ void PLDS::deletion_rebalance(std::vector<vertex_t> dirty) {
 
     parallel_for(0, movers.size(), [&](std::size_t i) {
       level_[movers[i]].store(target, std::memory_order_seq_cst);
+      record_move(movers[i]);
     });
 
     std::vector<std::size_t> offsets(movers.size());

@@ -95,6 +95,14 @@ class PLDS {
     return buckets_[v].up_neighbors();
   }
 
+  /// Distinct vertices whose level changed in the current (or most recent)
+  /// batch, recorded independently of the CPLDS hooks — the dirty set the
+  /// published-view maintenance copies pages for. Valid between batches
+  /// (quiescent use only); reset by the next batch.
+  [[nodiscard]] std::span<const vertex_t> moved_vertices() const {
+    return {moved_list_.data(), moved_count_.load(std::memory_order_acquire)};
+  }
+
   /// Test hook: checks bucket/level consistency and both invariants for
   /// every vertex. On failure returns false and, if `why` is non-null,
   /// stores a description.
@@ -123,6 +131,16 @@ class PLDS {
   /// Calls hooks_.on_mark for v if this is v's first move in the batch.
   void mark_if_needed(vertex_t v, bool insertion_phase);
 
+  /// Records v into the batch's moved set (first move only; a vertex can
+  /// move several times per batch). Called from the level-publication
+  /// steps, where movers are distinct within a step and steps are
+  /// barrier-separated — so each stamp slot has one writer at a time.
+  void record_move(vertex_t v) {
+    if (moved_stamp_[v] == batch_stamp_) return;
+    moved_stamp_[v] = batch_stamp_;
+    moved_list_[moved_count_.fetch_add(1, std::memory_order_relaxed)] = v;
+  }
+
   /// Desire level (deletion phase): highest d <= level(v) where Invariant 2
   /// holds for v at level d; 0 if none.
   [[nodiscard]] level_t desire_level(vertex_t v) const;
@@ -148,6 +166,9 @@ class PLDS {
   std::uint32_t batch_stamp_ = 0;
   std::vector<std::uint32_t> marked_stamp_;  // v marked in batch b
   std::vector<std::uint32_t> dirty_stamp_;   // v in the dirty/pending set
+  std::vector<std::uint32_t> moved_stamp_;   // v already in the moved set
+  std::vector<vertex_t> moved_list_;         // distinct movers this batch
+  std::atomic<std::size_t> moved_count_{0};
   std::uint64_t move_step_ = 0;
   std::vector<std::uint64_t> moving_stamp_;  // v moves in step s
   std::vector<level_t> desire_;              // cached desire levels

@@ -33,6 +33,10 @@ KCoreService::KCoreService(ServiceConfig config)
              AdaptiveBatchSizer::Feedback{config_.max_replica_lag,
                                           config_.target_read_p99_ns}) {
   namespace fs = std::filesystem;
+  // Per-service reclaimer behind the wait-free read path; wired into the
+  // CPLDS options so both the warm (snapshot) and cold paths use it.
+  reclaimer_ = concurrent::make_reclaimer(config_.reclaimer);
+  config_.cplds.reclaimer = reclaimer_.get();
   const bool warm = !config_.snapshot_path.empty() &&
                     fs::exists(config_.snapshot_path);
   if (warm) {
@@ -173,6 +177,14 @@ KCoreService::KCoreService(ServiceConfig config)
       sink.histogram("apply_latency_ns", st.apply_latency);
       sink.histogram("applied_latency_ns", st.applied_latency);
       sink.histogram("durable_lag_ns", st.durable_lag);
+      const concurrent::Reclaimer::Stats rs = reclaimer_->stats();
+      sink.counter("reclaim.epoch_advances",
+                   static_cast<double>(rs.epoch_advances));
+      sink.counter("reclaim.retired", static_cast<double>(rs.retired));
+      sink.counter("reclaim.freed", static_cast<double>(rs.freed));
+      sink.counter("reclaim.lagging_readers",
+                   static_cast<double>(rs.lagging_readers));
+      sink.gauge("reclaim.limbo", static_cast<double>(rs.limbo));
     });
   }
 }

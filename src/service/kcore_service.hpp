@@ -69,6 +69,7 @@
 #include <thread>
 #include <vector>
 
+#include "concurrent/reclaim.hpp"
 #include "core/read_modes.hpp"
 #include "core/snapshot.hpp"
 #include "obs/metrics.hpp"
@@ -111,6 +112,12 @@ struct ServiceConfig {
   double lambda = kDefaultLambda;
   int levels_per_group_cap = kDefaultLevelsPerGroupCap;
   CPLDS::Options cplds{};
+
+  /// Memory-reclamation scheme behind the wait-free read path. The service
+  /// owns one Reclaimer per instance (never the process-global one) and
+  /// wires it into the CPLDS. kAuto honors the CPKC_RECLAIMER env override
+  /// ("epoch" / "ebr" / "qsbr") and defaults to epoch-based.
+  concurrent::ReclaimerKind reclaimer = concurrent::ReclaimerKind::kAuto;
 
   /// Ingest shards. More shards = less submit contention.
   std::size_t num_shards = 8;
@@ -437,6 +444,9 @@ class KCoreService {
   void fail_from_durability(const std::string& what);
 
   ServiceConfig config_;
+  /// Declared before ds_: the CPLDS destructor may still reference its
+  /// reclaimer, and retired views are freed by the reclaimer's destructor.
+  std::unique_ptr<concurrent::Reclaimer> reclaimer_;
   std::unique_ptr<CPLDS> ds_;
   WriteAheadLog wal_;
   std::unique_ptr<Shard[]> shards_;

@@ -185,6 +185,21 @@ TEST(CpldsConcurrent, ReadsNeverObserveIntermediateLevels) {
       << "out of " << result.samples.size() << " sampled reads";
 }
 
+TEST(CpldsConcurrent, DagReadsNeverObserveIntermediateLevels) {
+  // Algorithm 4 (the descriptor/DAG double-collect) keeps its own
+  // linearizability guarantee independent of the published view.
+  constexpr vertex_t kN = 2000;
+  CPLDS ds(kN, small_params(kN));
+  auto edges = gen::barabasi_albert(kN, 8, 7);
+  auto stream = insertion_stream(edges, 2000, 9);
+  auto result = churn_with_readers(ds, stream, ReadMode::kCpldsDag);
+  ASSERT_GT(result.samples.size(), 0u);
+  const auto violations = harness::count_out_of_window_samples(
+      result.samples, result.boundary_levels, result.window_base);
+  EXPECT_EQ(violations, 0u)
+      << "out of " << result.samples.size() << " sampled reads";
+}
+
 TEST(CpldsConcurrent, DeletionReadsNeverObserveIntermediateLevels) {
   constexpr vertex_t kN = 2000;
   CPLDS ds(kN, small_params(kN));
@@ -208,24 +223,47 @@ TEST(CpldsConcurrent, SyncReadsAlsoLinearizable) {
   EXPECT_EQ(violations, 0u);
 }
 
-TEST(CpldsConcurrent, NonSyncObservesIntermediateLevelsOnCascades) {
+TEST(CpldsConcurrent, NonSyncIsStaleButNeverTorn) {
+  // Since the wait-free read path landed, NonSync routes through the
+  // published view: a read may lag by the in-flight batch but never
+  // observes an intermediate level.
+  constexpr vertex_t kN = 3000;
+  CPLDS ds(kN, small_params(kN));
+  auto edges = gen::barabasi_albert(kN, 16, 100);
+  auto stream = insertion_stream(edges, 4000, 31);
+  auto result = churn_with_readers(ds, stream, ReadMode::kNonSync, 8);
+  ASSERT_GT(result.samples.size(), 0u);
+  const auto violations = harness::count_out_of_window_samples(
+      result.samples, result.boundary_levels, result.window_base);
+  EXPECT_EQ(violations, 0u)
+      << "out of " << result.samples.size() << " sampled reads";
+}
+
+TEST(CpldsConcurrent, RawLiveReadsObserveIntermediateLevelsOnCascades) {
   // Sanity check that the checker can fail: a long chain of dependent moves
-  // (clique built level by level) makes intermediate levels visible to the
-  // unsynchronized baseline. This is inherently probabilistic, so retry a
-  // few times before concluding.
+  // makes intermediate levels visible to a reader sampling the raw live
+  // level array (the historical torn NonSync behavior, reachable only via
+  // the harness's raw_live_reads negative control now that every ReadMode
+  // is tear-free). Inherently probabilistic, so retry a few times.
   constexpr vertex_t kN = 3000;
   std::size_t violations = 0;
   for (int attempt = 0; attempt < 5 && violations == 0; ++attempt) {
     CPLDS ds(kN, small_params(kN));
     auto edges = gen::barabasi_albert(kN, 16, 100 + attempt);
     auto stream = insertion_stream(edges, 4000, 31 + attempt);
-    auto result = churn_with_readers(ds, stream, ReadMode::kNonSync, 8);
+    harness::WorkloadConfig cfg;
+    cfg.reader_threads = 8;
+    cfg.seed = 12345 + static_cast<std::uint64_t>(attempt);
+    cfg.sample_stride = 1;
+    cfg.record_boundary_levels = true;
+    cfg.raw_live_reads = true;
+    auto result = harness::run_workload(ds, stream, cfg);
     violations = harness::count_out_of_window_samples(
         result.samples, result.boundary_levels, result.window_base);
   }
   EXPECT_GT(violations, 0u)
-      << "NonSync never observed an intermediate level; the linearizability "
-         "checker may be vacuous";
+      << "raw live reads never observed an intermediate level; the "
+         "linearizability checker may be vacuous";
 }
 
 TEST(CpldsConcurrent, FinalLevelsMatchUnperturbedReplay) {
@@ -271,7 +309,7 @@ TEST(CpldsConcurrent, NoNewOldInversionWithinADagForOneThread) {
     while (!stop.load(std::memory_order_relaxed)) {
       const auto v = static_cast<vertex_t>(rng.next_below(kN));
       const std::uint64_t b1 = ds.batch_number();
-      const level_t l = ds.read_level(v);
+      const level_t l = ds.read_level_dag(v);
       const std::uint64_t b2 = ds.batch_number();
       if (b1 == b2) observations.push_back({v, l, b1});
     }
@@ -321,7 +359,7 @@ TEST(Cplds, AblationOptionsStillCorrect) {
       CPLDS ds(kN, small_params(kN), opt);
       auto stream =
           insertion_stream(gen::barabasi_albert(kN, 6, 61), 1200, 63);
-      auto result = churn_with_readers(ds, stream, ReadMode::kCplds, 3);
+      auto result = churn_with_readers(ds, stream, ReadMode::kCpldsDag, 3);
       const auto violations = harness::count_out_of_window_samples(
           result.samples, result.boundary_levels, result.window_base);
       EXPECT_EQ(violations, 0u)
@@ -355,9 +393,12 @@ TEST(Cplds, DeleteVerticesIsolatesThem) {
 
 TEST(Cplds, ReadModeHelpers) {
   EXPECT_EQ(to_string(ReadMode::kCplds), "CPLDS");
+  EXPECT_EQ(to_string(ReadMode::kCpldsDag), "CPLDS-DAG");
   EXPECT_EQ(to_string(ReadMode::kSyncReads), "SyncReads");
   EXPECT_EQ(to_string(ReadMode::kNonSync), "NonSync");
   EXPECT_EQ(parse_read_mode("cplds"), ReadMode::kCplds);
+  EXPECT_EQ(parse_read_mode("dag"), ReadMode::kCpldsDag);
+  EXPECT_EQ(parse_read_mode("cplds-dag"), ReadMode::kCpldsDag);
   EXPECT_EQ(parse_read_mode("sync"), ReadMode::kSyncReads);
   EXPECT_EQ(parse_read_mode("NonSync"), ReadMode::kNonSync);
   EXPECT_THROW(static_cast<void>(parse_read_mode("bogus")),

@@ -121,9 +121,10 @@ TEST(Stress, HighChurnSlidingWindowWithAllModes) {
   auto edges = gen::rmat(12, 20000, 41);
   auto stream = sliding_window_stream(edges, 8000, 2000, 43);
   for (ReadMode mode :
-       {ReadMode::kCplds, ReadMode::kSyncReads, ReadMode::kNonSync}) {
+       {ReadMode::kCplds, ReadMode::kCpldsDag, ReadMode::kSyncReads,
+        ReadMode::kNonSync}) {
     CPLDS::Options opt;
-    opt.track_dependencies = (mode == ReadMode::kCplds);
+    opt.track_dependencies = (mode == ReadMode::kCpldsDag);
     CPLDS ds(kN, LDSParams::create(kN), opt);
     harness::WorkloadConfig cfg;
     cfg.mode = mode;
